@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation study for the OS-model design choices DESIGN.md calls
+ * out. The paper attributes space variability to OS scheduling and
+ * lock-acquisition order (Section 2.1); this bench quantifies how
+ * much each scheduler mechanism contributes by toggling it:
+ *
+ *  - scheduling quantum (short / paper-scaled / long);
+ *  - adaptive mutex spinning vs sleeping-only mutexes;
+ *  - work stealing on idle CPUs.
+ *
+ * Expected: variability survives every ablation (it is inherent to
+ * the workload), but throughput and the CoV magnitude shift — e.g.
+ * sleeping-only mutexes convoy (lower throughput, fatter tails), and
+ * very long quanta remove the quantum-race divergence mechanism.
+ */
+
+#include "bench/common.hh"
+
+using namespace varsim;
+
+namespace
+{
+
+struct Variant
+{
+    const char *name;
+    sim::Tick quantum;
+    sim::Tick spin;
+    bool stealing;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner(
+        "Scheduler ablation",
+        "contribution of each OS mechanism to variability",
+        "variability is inherent to the workload; scheduler "
+        "mechanisms modulate its magnitude and the absolute "
+        "throughput");
+
+    const Variant variants[] = {
+        {"baseline (20us quantum, adaptive, stealing)", 20'000,
+         250, true},
+        {"short quantum (5us)", 5'000, 250, true},
+        {"long quantum (200us, few preemptions)", 200'000, 250,
+         true},
+        {"sleeping-only mutexes (no spin)", 20'000, 0, true},
+        {"no work stealing", 20'000, 250, false},
+    };
+
+    const std::size_t numRuns = bench::scaleRuns(12);
+    core::RunConfig rc;
+    rc.warmupTxns = 100;
+    rc.measureTxns = bench::scaleTxns(200);
+
+    stats::Table t({"variant", "mean cpt", "CoV %", "range %",
+                    "preempts/run", "blocks/run", "spins/run"});
+    for (const Variant &v : variants) {
+        core::SystemConfig sys = bench::paperSystem();
+        sys.os.quantum = v.quantum;
+        sys.os.spinRetryNs = v.spin;
+        sys.os.workStealing = v.stealing;
+        core::ExperimentConfig exp;
+        exp.numRuns = numRuns;
+        const auto results = core::runMany(
+            sys, bench::oltpWorkload(), rc, exp);
+        const auto rep = core::analyze(results);
+        stats::RunningStat preempts, blocks, spins;
+        for (const auto &r : results) {
+            preempts.add(static_cast<double>(r.os.preemptions));
+            blocks.add(static_cast<double>(r.os.contendedLocks));
+            spins.add(static_cast<double>(r.os.lockSpins));
+        }
+        t.addRow({v.name, stats::fmtF(rep.summary.mean, 0),
+                  stats::fmtF(rep.coefficientOfVariation, 2),
+                  stats::fmtF(rep.rangeOfVariability, 2),
+                  stats::fmtF(preempts.mean(), 0),
+                  stats::fmtF(blocks.mean(), 0),
+                  stats::fmtF(spins.mean(), 0)});
+        std::fflush(stdout);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nreading guide: every variant keeps a nonzero "
+                "CoV (the workload is inherently variable); "
+                "sleeping-only mutexes trade spins for blocks and "
+                "lose throughput; the long quantum removes most "
+                "preemptions yet divergence persists through lock "
+                "races\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Section 5.2: "Accounting for Time Variability" — the ANOVA study.
+ *
+ * Groups = runs started from different checkpoints of a workload's
+ * lifetime (the Figure 9 data). One-way ANOVA asks whether
+ * between-group (time) variability can be attributed to within-group
+ * (space) variability. The paper: "for both of these workloads
+ * [OLTP and SPECjbb], time variability is significant, and
+ * simulations should be performed from different starting points."
+ */
+
+#include "bench/common.hh"
+
+using namespace varsim;
+
+namespace
+{
+
+void
+anovaFor(workload::WorkloadKind kind, std::uint64_t step,
+         std::uint64_t measure)
+{
+    workload::WorkloadParams wl;
+    wl.kind = kind;
+    const core::SystemConfig sys = bench::paperSystem();
+    const std::size_t numGroups = bench::quick() ? 4 : 6;
+    const std::size_t runsPerGroup = bench::scaleRuns(8);
+
+    core::Simulation warmer(sys, wl);
+    warmer.seedPerturbation(777);
+
+    std::vector<std::vector<double>> groups;
+    for (std::size_t g = 0; g < numGroups; ++g) {
+        warmer.runTransactions(step);
+        const core::Checkpoint cp = warmer.checkpoint();
+        core::RunConfig rc;
+        rc.measureTxns = measure;
+        core::ExperimentConfig exp;
+        exp.numRuns = runsPerGroup;
+        exp.baseSeed = 40000 + 1000 * g;
+        groups.push_back(core::metricOf(
+            core::runManyFromCheckpoint(sys, wl, cp, rc, exp)));
+    }
+
+    const auto report = core::checkpointAnova(groups, 0.05);
+    std::printf("\n%s (%zu groups x %zu runs):\n",
+                workload::kindName(kind), numGroups, runsPerGroup);
+    stats::Table t({"group (warmup txns)", "mean", "sd"});
+    for (std::size_t g = 0; g < numGroups; ++g) {
+        const auto s = stats::summarize(groups[g]);
+        t.addRow({std::to_string(step * (g + 1)),
+                  stats::fmtF(s.mean, 0),
+                  stats::fmtF(s.stddev, 0)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("%s\n", report.toString().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner(
+        "Section 5.2 ANOVA", "is time variability significant?",
+        "for both OLTP and SPECjbb, between-checkpoint variability "
+        "is significant and cannot be attributed to within-group "
+        "(space) variability");
+
+    anovaFor(workload::WorkloadKind::Oltp, bench::scaleTxns(600),
+             bench::scaleTxns(200));
+    anovaFor(workload::WorkloadKind::SpecJbb,
+             bench::scaleTxns(1600), bench::scaleTxns(800));
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 2: "OLTP time variability in a real system for different
+ * observation intervals (one run)."
+ *
+ * The paper measured cycles per transaction on a Sun E5000 over
+ * 1-second, 10-second and 60-second intervals of a single ten-minute
+ * run, finding nearly a factor of three variation at small intervals
+ * that flattens at 60 seconds. The "real machine" analog here is a
+ * long simulated run with the perturbation always on; observation
+ * intervals scale with the run (interval, 10x, 60x).
+ */
+
+#include "bench/common.hh"
+
+using namespace varsim;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 2", "OLTP time variability vs observation interval",
+        "cycles/txn varies ~3x between 1s intervals, less at 10s, "
+        "nearly flat at 60s");
+
+    core::SystemConfig sys = bench::paperSystem();
+    core::Simulation simn(sys, bench::oltpWorkload());
+    simn.seedPerturbation(2026);
+    simn.recordCompletions(true);
+
+    const std::uint64_t total = bench::scaleTxns(6000);
+    simn.runTransactions(200); // warm up
+    const sim::Tick start = simn.now();
+    const std::size_t skip = simn.completions().size();
+    simn.runTransactions(total);
+    const sim::Tick elapsed = simn.now() - start;
+
+    const auto &recs = simn.completions();
+    const double ncpus = static_cast<double>(sys.numCpus());
+
+    // Interval sizes in simulated time: base = elapsed/120 so the
+    // base series has ~120 points, then 10x and 60x (mirroring the
+    // paper's 1s : 10s : 60s ratio over a 600s run).
+    for (const std::uint64_t mult : {1ull, 10ull, 60ull}) {
+        const sim::Tick interval = (elapsed / 120) * mult;
+        stats::RunningStat perInterval;
+        std::vector<double> series;
+        sim::Tick winStart = start;
+        std::uint64_t count = 0;
+        for (std::size_t i = skip; i < recs.size(); ++i) {
+            while (recs[i].when >= winStart + interval) {
+                if (count > 0) {
+                    series.push_back(
+                        static_cast<double>(interval) * ncpus /
+                        static_cast<double>(count));
+                }
+                winStart += interval;
+                count = 0;
+            }
+            ++count;
+        }
+        for (double v : series)
+            perInterval.add(v);
+
+        std::printf("\ninterval = %4llux base (%llu ns): "
+                    "%zu intervals, cycles/txn min=%.0f avg=%.0f "
+                    "max=%.0f  max/min=%.2f\n",
+                    static_cast<unsigned long long>(mult),
+                    static_cast<unsigned long long>(interval),
+                    series.size(), perInterval.min(),
+                    perInterval.mean(), perInterval.max(),
+                    perInterval.min() > 0
+                        ? perInterval.max() / perInterval.min()
+                        : 0.0);
+        // Print the series as a compact sparkline-style table.
+        if (mult == 1) {
+            std::printf("  series (every 8th interval): ");
+            for (std::size_t i = 0; i < series.size(); i += 8)
+                std::printf("%.0fk ", series[i] / 1000.0);
+            std::printf("\n");
+        }
+    }
+
+    std::printf("\nexpected shape: the max/min ratio shrinks "
+                "monotonically as the interval grows\n");
+    return 0;
+}

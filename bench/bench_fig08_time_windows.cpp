@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 8: "Time variability for different phases of long OLTP
+ * runs."
+ *
+ * The paper ran ten 40,000-transaction OLTP simulations (a month of
+ * simulation time each!) and plotted the mean and standard deviation
+ * of cycles per transaction for every 200-transaction window,
+ * finding swings of up to 27% across the workload's lifetime. Here
+ * the run length is scaled down but the windowed series, the
+ * across-run error bars and the swing metric are reproduced.
+ */
+
+#include "bench/common.hh"
+
+using namespace varsim;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 8", "windowed cycles/txn across long OLTP runs",
+        "cycles/txn per 200-txn window varies by up to ~27% across "
+        "phases; error bars (across 10 runs) are much smaller than "
+        "the phase swings");
+
+    const std::size_t numRuns = bench::scaleRuns(10);
+    const std::uint64_t total = bench::scaleTxns(6000);
+    const std::uint64_t window = 200;
+
+    core::RunConfig rc;
+    rc.warmupTxns = 400; // past the cold start; the paper measures
+                         // a warmed database
+    rc.measureTxns = total;
+    rc.windowTxns = window;
+    core::ExperimentConfig exp;
+    exp.numRuns = numRuns;
+
+    const auto results = core::runMany(bench::paperSystem(),
+                                       bench::oltpWorkload(), rc,
+                                       exp);
+
+    std::size_t windows = results[0].windows.size();
+    for (const auto &r : results)
+        windows = std::min(windows, r.windows.size());
+
+    stats::RunningStat means;
+    std::vector<double> windowMean(windows), windowSd(windows);
+    for (std::size_t w = 0; w < windows; ++w) {
+        stats::RunningStat at;
+        for (const auto &r : results)
+            at.add(r.windows[w]);
+        windowMean[w] = at.mean();
+        windowSd[w] = at.stddev();
+        means.add(at.mean());
+    }
+
+    std::printf("%zu windows of %llu txns, %zu runs\n\n", windows,
+                static_cast<unsigned long long>(window), numRuns);
+    std::printf("%-8s %-12s %-8s %s\n", "window", "mean cpt", "sd",
+                "profile");
+    for (std::size_t w = 0; w < windows; ++w) {
+        std::printf("%-8zu %-12.0f %-8.0f %s\n", w, windowMean[w],
+                    windowSd[w],
+                    bench::strip(windowMean[w] - windowSd[w],
+                                 windowMean[w],
+                                 windowMean[w] + windowSd[w],
+                                 means.min() * 0.97,
+                                 means.max() * 1.03, 44)
+                        .c_str());
+    }
+
+    const double swing =
+        100.0 * (means.max() - means.min()) / means.mean();
+    stats::RunningStat sdStat;
+    for (double sd : windowSd)
+        sdStat.add(sd);
+    std::printf("\nphase swing across windows: %.1f%% of the mean "
+                "(paper: up to ~27%%)\n", swing);
+    std::printf("average across-run sd within a window: %.0f "
+                "(%.1f%% of mean) — time variability dominates "
+                "space variability at this granularity\n",
+                sdStat.mean(), 100.0 * sdStat.mean() / means.mean());
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 11 + Table 5 + the Section 5.1.1 worked example: the
+ * hypothesis-testing machinery.
+ *
+ *  - Figure 11 illustrates the one-sided t-test's acceptance and
+ *    rejection regions; here the critical values and the measured
+ *    test statistic are printed for the ROB experiment.
+ *  - Table 5 gives the runs needed per significance level for that
+ *    experiment: 10% -> 6, 5% -> 9, 2.5% -> 11, 1% -> 13,
+ *    0.5% -> 16 runs.
+ *  - The worked example: relative error 4%, confidence 95%,
+ *    CoV 9% -> ~20 runs by the mean-precision formula.
+ */
+
+#include "bench/common.hh"
+
+using namespace varsim;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 11 + Table 5",
+        "hypothesis testing and sample-size estimation (ROB 32 vs "
+        "64)",
+        "t-test rejects H0 at progressively tighter alphas with "
+        "more runs; Table 5: 6/9/11/13/16 runs for "
+        "10/5/2.5/1/0.5% significance");
+
+    const std::size_t numRuns = bench::scaleRuns(20);
+    core::RunConfig rc;
+    rc.warmupTxns = 50;
+    rc.measureTxns = bench::scaleTxns(50);
+    core::ExperimentConfig exp;
+    exp.numRuns = numRuns;
+
+    std::vector<std::vector<double>> metric;
+    for (std::uint32_t rob : {32u, 64u}) {
+        core::SystemConfig sys = bench::paperSystem();
+        sys.cpu.model = cpu::CpuConfig::Model::OutOfOrder;
+        sys.cpu.robEntries = rob;
+        exp.baseSeed = 2000 + rob;
+        metric.push_back(core::metricOf(core::runMany(
+            sys, bench::oltpWorkload(), rc, exp)));
+    }
+
+    // ---- Figure 11: the test statistic vs critical values ----
+    const auto test = stats::pooledTTest(metric[0], metric[1]);
+    std::printf("H0: mean(32-entry) == mean(64-entry); H1: "
+                "mean(32) > mean(64)\n");
+    std::printf("pooled t statistic = %.3f with %g degrees of "
+                "freedom (one-sided p = %.4g)\n\n",
+                test.statistic, test.degreesOfFreedom,
+                test.pValueOneSided);
+
+    stats::Table f({"significance level", "critical t",
+                    "test statistic", "verdict"});
+    for (double alpha : {0.10, 0.05, 0.025, 0.01, 0.005}) {
+        const double crit =
+            stats::tCriticalOneSided(alpha, test.degreesOfFreedom);
+        f.addRow({stats::fmtF(100.0 * alpha, 1) + "%",
+                  stats::fmtF(crit, 3),
+                  stats::fmtF(test.statistic, 3),
+                  test.statistic >= crit
+                      ? "reject H0 (accept H1)"
+                      : "cannot reject H0"});
+    }
+    std::printf("%s", f.render().c_str());
+
+    // ---- Table 5: runs needed per significance level ----
+    const auto s32 = stats::summarize(metric[0]);
+    const auto s64 = stats::summarize(metric[1]);
+    const double diff = s32.mean - s64.mean;
+    std::printf("\nTable 5 (runs needed, from pilot estimates "
+                "diff=%.0f, sd32=%.0f, sd64=%.0f):\n", diff,
+                s32.stddev, s64.stddev);
+    stats::Table t5({"Significance Level", "#Runs measured",
+                     "#Runs paper"});
+    const double alphas[] = {0.10, 0.05, 0.025, 0.01, 0.005};
+    const int paperRuns[] = {6, 9, 11, 13, 16};
+    for (int i = 0; i < 5; ++i) {
+        const std::size_t n =
+            diff > 0 ? stats::runsNeededForSignificance(
+                           diff, s32.stddev * s32.stddev,
+                           s64.stddev * s64.stddev, alphas[i])
+                     : 9999;
+        t5.addRow({stats::fmtF(100.0 * alphas[i], 1) + "%",
+                   std::to_string(n),
+                   std::to_string(paperRuns[i])});
+    }
+    std::printf("%s", t5.render().c_str());
+
+    // ---- Section 5.1.1 worked example ----
+    std::printf("\nmean-precision sample size (Section 5.1.1):\n");
+    std::printf("  paper's example: CoV=9%%, error 4%%, 95%% "
+                "confidence -> n = %zu (paper: ~20)\n",
+                stats::meanPrecisionSampleSize(0.09, 0.04, 0.95));
+    const double measuredCov =
+        s32.coefficientOfVariation() / 100.0;
+    std::printf("  with our measured 50-txn CoV of %.1f%%: "
+                "n = %zu runs for a 4%% error bound\n",
+                100.0 * measuredCov,
+                stats::meanPrecisionSampleSize(measuredCov, 0.04,
+                                               0.95));
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Table 4: "OLTP space variability for different run lengths."
+ *
+ * Twenty runs at 200/400/600/800/1000 measured transactions. The
+ * paper: CoV falls 3.27 -> 0.98% and range 12.72 -> 3.86% as the
+ * run grows from 200 to 1000 transactions — variability can be
+ * reduced by simulating longer, but at a proportional cost in
+ * simulation time (their table also reports the runtime growing
+ * from 1.79 to 9.26 hours per run; we report host seconds).
+ */
+
+#include "bench/common.hh"
+
+using namespace varsim;
+
+int
+main()
+{
+    bench::banner(
+        "Table 4", "OLTP space variability vs run length, 20 runs",
+        "CoV: 3.27/2.87/2.16/1.53/0.98%; range: "
+        "12.72/10.40/7.65/5.47/3.86%; runtime grows linearly");
+
+    const std::size_t numRuns = bench::scaleRuns(20);
+    const std::uint64_t lengths[] = {200, 400, 600, 800, 1000};
+    const double paperCov[] = {3.27, 2.87, 2.16, 1.53, 0.98};
+    const double paperRange[] = {12.72, 10.40, 7.65, 5.47, 3.86};
+
+    stats::Table t({"#txns", "CoV %", "paper", "Range %", "paper",
+                    "avg sim ns/run", "host s (all runs)"});
+    std::size_t i = 0;
+    for (std::uint64_t len : lengths) {
+        core::RunConfig rc;
+        rc.warmupTxns = 100;
+        rc.measureTxns = bench::scaleTxns(len);
+        core::ExperimentConfig exp;
+        exp.numRuns = numRuns;
+
+        bench::Stopwatch sw;
+        const auto results = core::runMany(
+            bench::paperSystem(), bench::oltpWorkload(), rc, exp);
+        const double host = sw.seconds();
+
+        const auto rep = core::analyze(results);
+        stats::RunningStat ticks;
+        for (const auto &r : results)
+            ticks.add(static_cast<double>(r.runtimeTicks));
+        t.addRow({std::to_string(rc.measureTxns),
+                  stats::fmtF(rep.coefficientOfVariation, 2),
+                  stats::fmtF(paperCov[i], 2),
+                  stats::fmtF(rep.rangeOfVariability, 2),
+                  stats::fmtF(paperRange[i], 2),
+                  stats::fmtF(ticks.mean(), 0),
+                  stats::fmtF(host, 2)});
+        ++i;
+        std::fflush(stdout);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nexpected shape: CoV and range fall "
+                "monotonically (roughly as 1/sqrt(N)) while cost "
+                "grows linearly — the tradeoff motivating the "
+                "multiple-short-runs methodology of Section 5\n");
+    return 0;
+}

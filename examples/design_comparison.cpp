@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The paper's headline use case (Sections 4.1 and 5.1): comparing two
+ * system designs the WRONG way (one simulation each) and the RIGHT
+ * way (multiple perturbed simulations + statistics).
+ *
+ * We compare a direct-mapped against a 4-way set-associative 4MB L2
+ * on OLTP. The wrong way draws a conclusion from a single run pair —
+ * and is shown to contradict itself across seed choices. The right
+ * way runs N simulations per configuration, reports the wrong
+ * conclusion ratio, confidence intervals, and a hypothesis test, and
+ * only concludes when the statistics allow it.
+ */
+
+#include <cstdio>
+
+#include "core/varsim.hh"
+
+using namespace varsim;
+
+int
+main()
+{
+    core::SystemConfig directMapped;
+    directMapped.mem.l2Assoc = 1;
+    core::SystemConfig fourWay;
+    fourWay.mem.l2Assoc = 4;
+    workload::WorkloadParams wl;
+
+    core::RunConfig rc;
+    rc.warmupTxns = 100;
+    rc.measureTxns = 200;
+
+    // ----- The wrong way: one simulation per configuration -----
+    std::printf("== single-simulation comparisons (the wrong way) "
+                "==\n");
+    int dmWins = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        core::RunConfig r = rc;
+        r.perturbSeed = seed;
+        const double dm =
+            core::runOnce(directMapped, wl, r).cyclesPerTxn;
+        r.perturbSeed = seed + 100;
+        const double fw =
+            core::runOnce(fourWay, wl, r).cyclesPerTxn;
+        const bool dmWon = dm < fw;
+        dmWins += dmWon;
+        std::printf("  seed pair %llu: DM=%.0f  4-way=%.0f  -> "
+                    "\"%s is faster\"\n",
+                    static_cast<unsigned long long>(seed), dm, fw,
+                    dmWon ? "direct-mapped" : "4-way");
+    }
+    if (dmWins > 0 && dmWins < 6) {
+        std::printf("single runs voted %d-%d: the conclusion "
+                    "depends on which runs you happened to pick!"
+                    "\n\n", 6 - dmWins, dmWins);
+    } else {
+        std::printf("single runs voted %d-%d this time — but with "
+                    "a nonzero wrong-conclusion ratio, that "
+                    "unanimity is luck, not evidence (see "
+                    "below)\n\n", 6 - dmWins, dmWins);
+    }
+
+    // ----- The right way: the paper's methodology -----
+    std::printf("== multiple simulations + statistics (the right "
+                "way) ==\n");
+    core::ExperimentConfig exp;
+    exp.numRuns = 15;
+    const auto dmRuns = core::runMany(directMapped, wl, rc, exp);
+    exp.baseSeed = 5000;
+    const auto fwRuns = core::runMany(fourWay, wl, rc, exp);
+
+    const auto report = core::compare(dmRuns, fwRuns, 0.95);
+    std::printf("%s\n\n", report.toString().c_str());
+
+    std::printf("methodology verdict: %s\n",
+                report.verdict().c_str());
+    std::printf("single-run experiments would conclude wrongly "
+                "%.0f%% of the time\n",
+                report.wrongConclusionRatio);
+
+    const std::size_t needed =
+        core::recommendRuns(core::metricOf(dmRuns),
+                            core::metricOf(fwRuns), 0.05);
+    std::printf("runs needed to bound the wrong-conclusion "
+                "probability at 5%%: %zu per configuration\n",
+                needed);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Time-variability workflow (paper Section 5.2): checkpoint a
+ * workload at several points in its lifetime, run perturbed samples
+ * from each, and let one-way ANOVA decide whether a single starting
+ * point is representative or whether the experiment must sample from
+ * multiple checkpoints.
+ */
+
+#include <cstdio>
+
+#include "core/varsim.hh"
+
+using namespace varsim;
+
+namespace
+{
+
+void
+study(workload::WorkloadKind kind, std::uint64_t step,
+      std::uint64_t measure)
+{
+    const core::SystemConfig sys;
+    workload::WorkloadParams wl;
+    wl.kind = kind;
+
+    std::printf("\n--- %s ---\n", workload::kindName(kind));
+
+    // Warm one simulation, snapshotting as it ages.
+    core::Simulation warmer(sys, wl);
+    warmer.seedPerturbation(42);
+    std::vector<core::Checkpoint> checkpoints;
+    for (int c = 0; c < 4; ++c) {
+        warmer.runTransactions(step);
+        checkpoints.push_back(warmer.checkpoint());
+        std::printf("  checkpoint %d at %llu transactions "
+                    "(%zu bytes)\n",
+                    c,
+                    static_cast<unsigned long long>(
+                        warmer.totalTxns()),
+                    checkpoints.back().size());
+    }
+
+    // Sample each starting point with distinct perturbation seeds.
+    std::vector<std::vector<double>> groups;
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+        core::RunConfig rc;
+        rc.measureTxns = measure;
+        core::ExperimentConfig exp;
+        exp.numRuns = 6;
+        exp.baseSeed = 900 + 50 * c;
+        const auto runs = core::runManyFromCheckpoint(
+            sys, wl, checkpoints[c], rc, exp);
+        groups.push_back(core::metricOf(runs));
+        const auto s = stats::summarize(groups.back());
+        std::printf("  from checkpoint %zu: mean=%.0f sd=%.0f\n", c,
+                    s.mean, s.stddev);
+    }
+
+    const auto verdict = core::checkpointAnova(groups, 0.05);
+    std::printf("  %s\n", verdict.toString().c_str());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("Should this experiment sample from multiple "
+                "starting points?\n");
+    study(workload::WorkloadKind::Oltp, 500, 150);
+    study(workload::WorkloadKind::SpecJbb, 1200, 600);
+    return 0;
+}

@@ -1,0 +1,158 @@
+#include "core/analysis.hh"
+
+#include <array>
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace core
+{
+
+std::string
+VariabilityReport::toString() const
+{
+    return sim::format(
+        "n=%zu mean=%.4g sd=%.3g CoV=%.2f%% range=%.2f%% "
+        "[min=%.4g max=%.4g]",
+        summary.n, summary.mean, summary.stddev,
+        coefficientOfVariation, rangeOfVariability, summary.min,
+        summary.max);
+}
+
+VariabilityReport
+analyze(const std::vector<double> &metric)
+{
+    VariabilityReport r;
+    r.summary = stats::summarize(metric);
+    r.coefficientOfVariation = r.summary.coefficientOfVariation();
+    r.rangeOfVariability = r.summary.rangeOfVariability();
+    return r;
+}
+
+VariabilityReport
+analyze(const std::vector<RunResult> &runs)
+{
+    return analyze(metricOf(runs));
+}
+
+std::string
+ComparisonReport::verdict() const
+{
+    const char *winner = bIsBetter ? "B" : "A";
+    if (!ciOverlap) {
+        return sim::format(
+            "%s is better; confidence intervals do not overlap "
+            "(wrong-conclusion probability < %.1f%%, t-test bound "
+            "%.3g)",
+            winner, 100.0 * (1.0 - ciA.confidence),
+            smallestRejectedAlpha);
+    }
+    if (smallestRejectedAlpha < 1.0) {
+        return sim::format(
+            "%s is likely better; intervals overlap but the t-test "
+            "rejects equality at alpha=%.3g",
+            winner, smallestRejectedAlpha);
+    }
+    return "no statistically significant difference - do not draw a "
+           "conclusion from these runs";
+}
+
+std::string
+ComparisonReport::toString() const
+{
+    return sim::format(
+        "A: mean=%.4g sd=%.3g  B: mean=%.4g sd=%.3g  WCR=%.1f%%  "
+        "CI(A)=[%.4g,%.4g] CI(B)=[%.4g,%.4g] overlap=%s  t=%.3f "
+        "(df=%.0f, p1=%.4g)\n  -> %s",
+        a.mean, a.stddev, b.mean, b.stddev, wrongConclusionRatio,
+        ciA.lo, ciA.hi, ciB.lo, ciB.hi, ciOverlap ? "yes" : "no",
+        ttest.statistic, ttest.degreesOfFreedom,
+        ttest.pValueOneSided, verdict().c_str());
+}
+
+ComparisonReport
+compare(const std::vector<double> &a, const std::vector<double> &b,
+        double confidence)
+{
+    VARSIM_ASSERT(a.size() >= 2 && b.size() >= 2,
+                  "compare needs >= 2 runs per configuration");
+    ComparisonReport r;
+    r.a = stats::summarize(a);
+    r.b = stats::summarize(b);
+    r.bIsBetter = r.b.mean <= r.a.mean;
+
+    r.wrongConclusionRatio =
+        100.0 * stats::wrongConclusionRatioAuto(a, b);
+
+    r.ciA = stats::meanConfidenceInterval(a, confidence);
+    r.ciB = stats::meanConfidenceInterval(b, confidence);
+    r.ciOverlap = r.ciA.overlaps(r.ciB);
+
+    // One-sided test that the worse configuration's true mean
+    // exceeds the better one's.
+    const std::vector<double> &worse = r.bIsBetter ? a : b;
+    const std::vector<double> &better = r.bIsBetter ? b : a;
+    r.ttest = worse.size() == better.size()
+                  ? stats::pooledTTest(worse, better)
+                  : stats::welchTTest(worse, better);
+
+    const std::array<double, 5> levels = {0.10, 0.05, 0.025, 0.01,
+                                          0.005};
+    r.smallestRejectedAlpha = 1.0;
+    for (double alpha : levels) {
+        if (r.ttest.rejectsAtLevel(alpha))
+            r.smallestRejectedAlpha = alpha;
+    }
+    return r;
+}
+
+ComparisonReport
+compare(const std::vector<RunResult> &a,
+        const std::vector<RunResult> &b, double confidence)
+{
+    return compare(metricOf(a), metricOf(b), confidence);
+}
+
+std::size_t
+recommendRuns(const std::vector<double> &pilot_a,
+              const std::vector<double> &pilot_b, double alpha)
+{
+    const stats::Summary sa = stats::summarize(pilot_a);
+    const stats::Summary sb = stats::summarize(pilot_b);
+    const double diff = sa.mean > sb.mean ? sa.mean - sb.mean
+                                          : sb.mean - sa.mean;
+    if (diff <= 0.0)
+        return 10000; // indistinguishable configurations
+    return stats::runsNeededForSignificance(
+        diff, sa.stddev * sa.stddev, sb.stddev * sb.stddev, alpha);
+}
+
+std::string
+TimeVariabilityReport::toString() const
+{
+    return sim::format(
+        "ANOVA: F=%.3f (df %g/%g), p=%.4g, MSbetween=%.4g, "
+        "MSwithin=%.4g -> %s",
+        anova.fStatistic, anova.dfBetween, anova.dfWithin,
+        anova.pValue, anova.meanSquareBetween,
+        anova.meanSquareWithin,
+        needMultipleCheckpoints
+            ? "time variability is significant; sample from "
+              "multiple starting points"
+            : "between-checkpoint variability is explained by "
+              "space variability; a single starting point suffices");
+}
+
+TimeVariabilityReport
+checkpointAnova(const std::vector<std::vector<double>> &groups,
+                double alpha)
+{
+    TimeVariabilityReport r;
+    r.anova = stats::oneWayAnova(groups);
+    r.needMultipleCheckpoints = r.anova.significantAt(alpha);
+    return r;
+}
+
+} // namespace core
+} // namespace varsim

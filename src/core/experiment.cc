@@ -1,0 +1,93 @@
+#include "core/experiment.hh"
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace varsim
+{
+namespace core
+{
+
+namespace
+{
+
+/**
+ * Run @p jobs(i) for i in [0, n) on a pool of host threads, results
+ * keyed by index so the outcome is independent of host scheduling.
+ */
+void
+parallelFor(std::size_t n, std::size_t host_threads,
+            const std::function<void(std::size_t)> &job)
+{
+    std::size_t workers = host_threads != 0
+                              ? host_threads
+                              : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    workers = std::min(workers, n);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            job(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+            while (true) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                job(i);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+}
+
+} // anonymous namespace
+
+std::vector<RunResult>
+runMany(const SystemConfig &sys, const workload::WorkloadParams &wl,
+        const RunConfig &run, const ExperimentConfig &exp)
+{
+    std::vector<RunResult> results(exp.numRuns);
+    parallelFor(exp.numRuns, exp.hostThreads, [&](std::size_t i) {
+        RunConfig r = run;
+        r.perturbSeed = exp.baseSeed + i;
+        results[i] = runOnce(sys, wl, r);
+    });
+    return results;
+}
+
+std::vector<RunResult>
+runManyFromCheckpoint(const SystemConfig &sys,
+                      const workload::WorkloadParams &wl,
+                      const Checkpoint &cp, const RunConfig &run,
+                      const ExperimentConfig &exp)
+{
+    std::vector<RunResult> results(exp.numRuns);
+    parallelFor(exp.numRuns, exp.hostThreads, [&](std::size_t i) {
+        RunConfig r = run;
+        r.perturbSeed = exp.baseSeed + i;
+        results[i] = runFromCheckpoint(sys, wl, cp, r);
+    });
+    return results;
+}
+
+std::vector<double>
+metricOf(const std::vector<RunResult> &results)
+{
+    std::vector<double> xs;
+    xs.reserve(results.size());
+    for (const auto &r : results)
+        xs.push_back(r.cyclesPerTxn);
+    return xs;
+}
+
+} // namespace core
+} // namespace varsim

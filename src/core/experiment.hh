@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Multiple-simulation experiments (paper Section 5): N runs of the
+ * same (configuration, workload) pair with distinct perturbation
+ * seeds, executed concurrently on host threads — the paper's
+ * "reasonable simulation time using coarse-grain parallelism,
+ * provided that multiple simulation hosts are available".
+ */
+
+#ifndef VARSIM_CORE_EXPERIMENT_HH
+#define VARSIM_CORE_EXPERIMENT_HH
+
+#include <vector>
+
+#include "core/runner.hh"
+
+namespace varsim
+{
+namespace core
+{
+
+/** Parameters of a multi-run experiment. */
+struct ExperimentConfig
+{
+    /** Runs per configuration (the paper typically uses 20). */
+    std::size_t numRuns = 20;
+
+    /** Perturbation seed of run i is baseSeed + i. */
+    std::uint64_t baseSeed = 1000;
+
+    /** Host threads (0 = hardware concurrency). */
+    std::size_t hostThreads = 0;
+};
+
+/**
+ * Run @p exp.numRuns independent simulations of (sys, wl) under
+ * @p run, with per-run seeds baseSeed+i. Results are ordered by run
+ * index regardless of host-thread scheduling.
+ */
+std::vector<RunResult> runMany(const SystemConfig &sys,
+                               const workload::WorkloadParams &wl,
+                               const RunConfig &run,
+                               const ExperimentConfig &exp);
+
+/**
+ * As runMany, but every run restores from @p cp first — the
+ * space-variability experiment design: identical initial conditions,
+ * different perturbation seeds.
+ */
+std::vector<RunResult>
+runManyFromCheckpoint(const SystemConfig &sys,
+                      const workload::WorkloadParams &wl,
+                      const Checkpoint &cp, const RunConfig &run,
+                      const ExperimentConfig &exp);
+
+/** Extract the cycles-per-transaction metric from results. */
+std::vector<double> metricOf(const std::vector<RunResult> &results);
+
+} // namespace core
+} // namespace varsim
+
+#endif // VARSIM_CORE_EXPERIMENT_HH

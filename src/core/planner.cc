@@ -1,0 +1,131 @@
+#include "core/planner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "stats/distributions.hh"
+
+namespace varsim
+{
+namespace core
+{
+
+std::vector<std::uint64_t>
+planCheckpoints(SamplingStrategy strategy,
+                std::uint64_t lifetime_txns, std::size_t samples,
+                std::uint64_t seed)
+{
+    VARSIM_ASSERT(samples >= 1, "need at least one sample");
+    VARSIM_ASSERT(lifetime_txns >= samples,
+                  "lifetime (%llu txns) shorter than the sample "
+                  "count (%zu)",
+                  static_cast<unsigned long long>(lifetime_txns),
+                  samples);
+
+    std::vector<std::uint64_t> points;
+    points.reserve(samples);
+    const std::uint64_t stratum = lifetime_txns / samples;
+    sim::Random rng(seed);
+
+    switch (strategy) {
+      case SamplingStrategy::Systematic:
+        for (std::size_t i = 1; i <= samples; ++i)
+            points.push_back(stratum * i);
+        break;
+      case SamplingStrategy::Random:
+        for (std::size_t i = 0; i < samples; ++i)
+            points.push_back(rng.uniformInt(1, lifetime_txns));
+        std::sort(points.begin(), points.end());
+        // De-duplicate by nudging forward (keeps strict order).
+        for (std::size_t i = 1; i < points.size(); ++i)
+            if (points[i] <= points[i - 1])
+                points[i] = points[i - 1] + 1;
+        break;
+      case SamplingStrategy::Stratified:
+        for (std::size_t i = 0; i < samples; ++i) {
+            const std::uint64_t lo = stratum * i + 1;
+            const std::uint64_t hi = stratum * (i + 1);
+            points.push_back(rng.uniformInt(lo, std::max(lo, hi)));
+        }
+        break;
+    }
+    return points;
+}
+
+std::string
+BudgetPlan::toString() const
+{
+    return sim::format(
+        "run %zu simulations of %llu transactions each "
+        "(predicted per-run CoV %.2f%%, CI half-width %.2f%% of "
+        "the mean)",
+        numRuns, static_cast<unsigned long long>(runLength),
+        predictedCov, predictedHalfWidth);
+}
+
+BudgetPlan
+planBudget(std::span<const std::pair<std::uint64_t, double>> pilots,
+           std::uint64_t budget_txns, std::size_t min_runs,
+           double confidence)
+{
+    VARSIM_ASSERT(pilots.size() >= 2,
+                  "budget planning needs >= 2 pilot points");
+    VARSIM_ASSERT(min_runs >= 2, "min_runs must be >= 2");
+    VARSIM_ASSERT(budget_txns >= min_runs,
+                  "budget cannot afford %zu runs", min_runs);
+
+    // Least-squares fit of cov = a / sqrt(N) + b over the pilots.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (const auto &[len, cov] : pilots) {
+        VARSIM_ASSERT(len > 0, "pilot with zero length");
+        const double x = 1.0 / std::sqrt(static_cast<double>(len));
+        sx += x;
+        sy += cov;
+        sxx += x * x;
+        sxy += x * cov;
+    }
+    const double m = static_cast<double>(pilots.size());
+    const double denom = m * sxx - sx * sx;
+    double a = denom != 0.0 ? (m * sxy - sx * sy) / denom : 0.0;
+    double b = (sy - a * sx) / m;
+    a = std::max(a, 0.0);
+    b = std::max(b, 0.0);
+
+    auto covAt = [&](std::uint64_t len) {
+        return a / std::sqrt(static_cast<double>(len)) + b;
+    };
+
+    // Evaluate every feasible (length, runs) split of the budget
+    // with runs >= min_runs, minimizing the predicted CI half-width.
+    BudgetPlan best;
+    double bestHalf = 1e300;
+    const std::uint64_t maxLen = budget_txns / min_runs;
+    for (std::uint64_t len = std::max<std::uint64_t>(1, maxLen / 64);
+         len <= maxLen;
+         len = std::max(len + 1, len + maxLen / 256)) {
+        const std::size_t runs =
+            static_cast<std::size_t>(budget_txns / len);
+        if (runs < min_runs)
+            break;
+        const double cov = covAt(len);
+        const double t = stats::tCriticalTwoSided(
+            confidence, static_cast<double>(runs - 1));
+        const double half =
+            t * cov / std::sqrt(static_cast<double>(runs));
+        if (half < bestHalf) {
+            bestHalf = half;
+            best.runLength = len;
+            best.numRuns = runs;
+            best.predictedCov = cov;
+            best.predictedHalfWidth = half;
+        }
+    }
+    VARSIM_ASSERT(best.numRuns >= min_runs,
+                  "no feasible plan under the budget");
+    return best;
+}
+
+} // namespace core
+} // namespace varsim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Experiment-planning extensions from the paper's future-work list
+ * (Section 5.2):
+ *
+ *  - checkpoint sampling strategies beyond systematic sampling
+ *    ("Sampling techniques other than systematic sampling can be
+ *    used to select representative time samples");
+ *  - the fixed-budget tradeoff between run length and run count
+ *    ("Given a fixed simulation budget ... a tradeoff must be made
+ *    between the length of each simulation and the number of
+ *    simulations required to maximize the confidence probability").
+ */
+
+#ifndef VARSIM_CORE_PLANNER_HH
+#define VARSIM_CORE_PLANNER_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace varsim
+{
+namespace core
+{
+
+/** How to place measurement starting points in a workload's life. */
+enum class SamplingStrategy
+{
+    /** Fixed intervals (the paper's baseline, Section 5.2). */
+    Systematic,
+    /** Uniform pseudo-random positions (deterministic by seed). */
+    Random,
+    /**
+     * One uniform draw inside each of `samples` equal strata:
+     * random like Random, but guaranteed lifetime coverage.
+     */
+    Stratified,
+};
+
+/**
+ * Plan @p samples checkpoint positions (warmup transaction counts)
+ * over a workload lifetime of @p lifetime_txns transactions.
+ * Positions are strictly increasing and > 0.
+ */
+std::vector<std::uint64_t>
+planCheckpoints(SamplingStrategy strategy,
+                std::uint64_t lifetime_txns, std::size_t samples,
+                std::uint64_t seed = 1);
+
+/** The advisor's recommendation for a fixed simulation budget. */
+struct BudgetPlan
+{
+    std::uint64_t runLength = 0;  ///< measured txns per run
+    std::size_t numRuns = 0;      ///< runs (seeds) to simulate
+    double predictedCov = 0.0;    ///< per-run CoV at that length, %
+    double predictedHalfWidth = 0.0; ///< CI half-width, % of mean
+
+    std::string toString() const;
+};
+
+/**
+ * Choose (run length, run count) under a budget of
+ * @p budget_txns total measured transactions.
+ *
+ * Pilot observations supply (run length, CoV%) pairs; the planner
+ * fits the paper's empirical law CoV(N) ~ a/sqrt(N) + b (Table 4)
+ * and minimizes the predicted confidence-interval half-width
+ * t_{k-1} * CoV(N) / sqrt(k) subject to k*N <= budget and
+ * k >= @p min_runs (you cannot form an interval from one run).
+ *
+ * @param pilots      (length, CoV in percent) measurements
+ * @param budget_txns total transactions the budget affords
+ * @param min_runs    smallest acceptable sample size (>= 2)
+ * @param confidence  CI confidence level used in the objective
+ */
+BudgetPlan
+planBudget(std::span<const std::pair<std::uint64_t, double>> pilots,
+           std::uint64_t budget_txns, std::size_t min_runs = 3,
+           double confidence = 0.95);
+
+} // namespace core
+} // namespace varsim
+
+#endif // VARSIM_CORE_PLANNER_HH

@@ -1,0 +1,97 @@
+#include "core/runner.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace core
+{
+
+namespace
+{
+
+std::uint64_t
+resolveMeasureTxns(const Simulation &simn, const RunConfig &run)
+{
+    if (run.measureTxns != 0)
+        return run.measureTxns;
+    return const_cast<Simulation &>(simn)
+        .workloadInstance()
+        .defaultTxnCount();
+}
+
+} // anonymous namespace
+
+RunResult
+measure(Simulation &simn, const RunConfig &run, std::size_t num_cpus)
+{
+    const std::uint64_t n = resolveMeasureTxns(simn, run);
+
+    if (run.warmupTxns > 0)
+        simn.runTransactions(run.warmupTxns);
+
+    const bool wantWindows = run.windowTxns != 0;
+    simn.recordCompletions(wantWindows);
+
+    const sim::Tick start = simn.now();
+    const std::uint64_t startTxns = simn.totalTxns();
+    const Simulation::Progress p = simn.runTransactions(n);
+
+    RunResult r;
+    r.txns = p.txns;
+    r.runtimeTicks = p.elapsed;
+    r.workloadEnded = p.workloadEnded;
+    VARSIM_ASSERT(p.txns > 0 || p.workloadEnded,
+                  "measured zero transactions");
+    if (p.txns > 0) {
+        r.cyclesPerTxn = static_cast<double>(p.elapsed) *
+                         static_cast<double>(num_cpus) /
+                         static_cast<double>(p.txns);
+    }
+    r.mem = simn.memSystem().totalStats();
+    r.os = simn.kernel().stats();
+    r.cpu = simn.totalCpuStats();
+
+    if (wantWindows) {
+        const auto &recs = simn.completions();
+        sim::Tick winStart = start;
+        std::uint64_t inWin = 0;
+        for (const auto &rec : recs) {
+            if (rec.when < start)
+                continue;
+            ++inWin;
+            if (inWin == run.windowTxns) {
+                r.windows.push_back(
+                    static_cast<double>(rec.when - winStart) *
+                    static_cast<double>(num_cpus) /
+                    static_cast<double>(inWin));
+                winStart = rec.when;
+                inWin = 0;
+            }
+        }
+        (void)startTxns;
+    }
+    return r;
+}
+
+RunResult
+runOnce(const SystemConfig &sys, const workload::WorkloadParams &wl,
+        const RunConfig &run)
+{
+    Simulation simn(sys, wl);
+    simn.seedPerturbation(run.perturbSeed);
+    return measure(simn, run, sys.numCpus());
+}
+
+RunResult
+runFromCheckpoint(const SystemConfig &sys,
+                  const workload::WorkloadParams &wl,
+                  const Checkpoint &cp, const RunConfig &run)
+{
+    auto simn = Simulation::restore(sys, wl, cp);
+    simn->seedPerturbation(run.perturbSeed);
+    return measure(*simn, run, sys.numCpus());
+}
+
+} // namespace core
+} // namespace varsim

@@ -1,0 +1,172 @@
+#include "core/simulation.hh"
+
+#include "cpu/ooo_cpu.hh"
+#include "cpu/simple_cpu.hh"
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace core
+{
+
+Simulation::Simulation(const SystemConfig &sys,
+                       const workload::WorkloadParams &wl)
+    : sys_(sys), wlParams(wl)
+{
+    mem_ = std::make_unique<mem::MemSystem>("system.mem", eq,
+                                            sys_.mem);
+    std::vector<cpu::BaseCpu *> cpuPtrs;
+    for (std::size_t n = 0; n < sys_.numCpus(); ++n) {
+        const std::string cname = sim::format("system.cpu%zu", n);
+        std::unique_ptr<cpu::BaseCpu> c;
+        if (sys_.cpu.model == cpu::CpuConfig::Model::OutOfOrder) {
+            c = std::make_unique<cpu::OoOCpu>(
+                cname, eq, sys_.cpu, mem_->icache(n),
+                mem_->dcache(n), static_cast<sim::CpuId>(n));
+        } else {
+            c = std::make_unique<cpu::SimpleCpu>(
+                cname, eq, sys_.cpu, mem_->icache(n),
+                mem_->dcache(n), static_cast<sim::CpuId>(n));
+        }
+        cpuPtrs.push_back(c.get());
+        cpus_.push_back(std::move(c));
+    }
+    kernel_ = std::make_unique<os::Kernel>("system.kernel", eq,
+                                           sys_.os, cpuPtrs);
+    kernel_->setTxnSink(this);
+    wl_ = workload::Workload::build(wlParams, *kernel_,
+                                    sys_.numCpus(),
+                                    sys_.mem.blockBytes);
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::seedPerturbation(std::uint64_t seed)
+{
+    mem_->seedPerturbation(seed);
+}
+
+void
+Simulation::bootIfNeeded()
+{
+    if (booted)
+        return;
+    booted = true;
+    kernel_->start();
+}
+
+void
+Simulation::transactionCompleted(sim::ThreadId tid, int type,
+                                 sim::Tick when)
+{
+    ++txnCount;
+    if (recording)
+        txns.push_back({when, type, tid});
+    if (txnTarget != 0 && txnCount >= txnTarget)
+        eq.requestStop();
+}
+
+Simulation::Progress
+Simulation::runTransactions(std::uint64_t n)
+{
+    bootIfNeeded();
+    const std::uint64_t startTxns = txnCount;
+    const sim::Tick startTick = eq.curTick();
+    txnTarget = txnCount + n;
+    eq.clearStop();
+    eq.run();
+    txnTarget = 0;
+    eq.clearStop();
+
+    Progress p;
+    p.txns = txnCount - startTxns;
+    p.elapsed = eq.curTick() - startTick;
+    p.workloadEnded = eq.empty();
+    return p;
+}
+
+void
+Simulation::quiesce()
+{
+    kernel_->beginDrain();
+    eq.clearStop();
+    eq.run();
+    VARSIM_ASSERT(eq.empty(),
+                  "quiesce: event queue still has %zu events",
+                  eq.size());
+    VARSIM_ASSERT(kernel_->fullyDrained(),
+                  "quiesce: kernel not drained");
+    VARSIM_ASSERT(mem_->pendingTransactions() == 0,
+                  "quiesce: %zu memory transactions in flight",
+                  mem_->pendingTransactions());
+    mem_->drain();
+}
+
+Checkpoint
+Simulation::checkpoint()
+{
+    bootIfNeeded();
+    quiesce();
+
+    sim::CheckpointOut cp;
+    cp.put(eq.curTick());
+    cp.put(txnCount);
+    mem_->serialize(cp);
+    for (const auto &c : cpus_)
+        c->serialize(cp);
+    kernel_->serialize(cp);
+    wl_->serialize(cp);
+
+    // Resume execution; checkpointing is non-destructive.
+    kernel_->endDrain();
+
+    Checkpoint out;
+    out.bytes = cp.bytes();
+    return out;
+}
+
+std::unique_ptr<Simulation>
+Simulation::restore(const SystemConfig &sys,
+                    const workload::WorkloadParams &wl,
+                    const Checkpoint &cp)
+{
+    VARSIM_ASSERT(!cp.empty(), "restore from an empty checkpoint");
+    auto simn = std::make_unique<Simulation>(sys, wl);
+    sim::CheckpointIn in(cp.bytes);
+
+    sim::Tick when = 0;
+    in.get(when);
+    simn->eq.restoreTick(when);
+    in.get(simn->txnCount);
+    simn->mem_->unserialize(in);
+    for (const auto &c : simn->cpus_)
+        c->unserialize(in);
+    simn->kernel_->unserialize(in);
+    simn->wl_->unserialize(in);
+    VARSIM_ASSERT(in.exhausted(),
+                  "checkpoint has trailing bytes: config mismatch?");
+
+    simn->booted = true;
+    simn->kernel_->endDrain();
+    return simn;
+}
+
+cpu::CpuStats
+Simulation::totalCpuStats() const
+{
+    cpu::CpuStats total;
+    for (const auto &c : cpus_) {
+        const cpu::CpuStats &s = c->stats();
+        total.instructions += s.instructions;
+        total.memOps += s.memOps;
+        total.branches += s.branches;
+        total.mispredicts += s.mispredicts;
+        total.contextSwitches += s.contextSwitches;
+        total.idleTicks += s.idleTicks;
+    }
+    return total;
+}
+
+} // namespace core
+} // namespace varsim

@@ -1,0 +1,112 @@
+#include "cpu/base_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace cpu
+{
+
+BaseCpu::BaseCpu(std::string name, sim::EventQueue &eq,
+                 const CpuConfig &config, mem::L1Cache &ic,
+                 mem::L1Cache &dc, sim::CpuId id)
+    : SimObject(std::move(name), eq), cfg(config), icache(ic),
+      dcache(dc),
+      resumeEvent([this] { resume(); }, this->name() + ".resume",
+                  sim::Event::cpuTickPri),
+      id_(id)
+{
+    icache.setClient(this);
+    dcache.setClient(this);
+}
+
+CpuHost &
+BaseCpu::host()
+{
+    VARSIM_ASSERT(host_ != nullptr, "%s has no host attached",
+                  name().c_str());
+    return *host_;
+}
+
+void
+BaseCpu::runThread(ThreadContext *tc, sim::Tick delay)
+{
+    VARSIM_ASSERT(tc != nullptr, "runThread(null)");
+    VARSIM_ASSERT(!resumeEvent.scheduled(),
+                  "%s: dispatch while still active", name().c_str());
+    if (idle_)
+        stats_.idleTicks += curTick() - idleSince;
+    tc_ = tc;
+    idle_ = false;
+    ++stats_.contextSwitches;
+    resetPipeline();
+    scheduleIn(resumeEvent, delay);
+}
+
+void
+BaseCpu::continueThread(sim::Tick delay)
+{
+    VARSIM_ASSERT(tc_ != nullptr, "%s: continue with no thread",
+                  name().c_str());
+    VARSIM_ASSERT(!resumeEvent.scheduled(),
+                  "%s: continue while still active", name().c_str());
+    scheduleIn(resumeEvent, delay);
+}
+
+void
+BaseCpu::setIdle()
+{
+    if (resumeEvent.scheduled())
+        deschedule(resumeEvent);
+    tc_ = nullptr;
+    if (!idle_)
+        idleSince = curTick();
+    idle_ = true;
+    resetPipeline();
+}
+
+void
+BaseCpu::resumeFromDrain()
+{
+    if (idle_ || tc_ == nullptr)
+        return;
+    if (!resumeEvent.scheduled())
+        scheduleIn(resumeEvent, 0);
+}
+
+std::uint64_t
+BaseCpu::instrCost(const Op &op)
+{
+    switch (op.kind) {
+      case OpKind::Compute:
+        return op.count;
+      case OpKind::Load:
+      case OpKind::Store:
+      case OpKind::Branch:
+      case OpKind::Call:
+      case OpKind::Return:
+      case OpKind::IndirectBranch:
+      case OpKind::Lock:
+      case OpKind::Unlock:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+void
+BaseCpu::serialize(sim::CheckpointOut &cp) const
+{
+    cp.put(stats_);
+    cp.put(nextTag);
+}
+
+void
+BaseCpu::unserialize(sim::CheckpointIn &cp)
+{
+    cp.get(stats_);
+    cp.get(nextTag);
+}
+
+} // namespace cpu
+} // namespace varsim

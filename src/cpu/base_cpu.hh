@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Common machinery for the two processor models the paper uses
+ * (Section 3.2.4): a fast blocking model with an IPC of 1 given
+ * perfect L1s (SimpleCpu), and a 4-wide out-of-order model with a
+ * parameterizable reorder buffer in the spirit of TFsim (OoOCpu).
+ *
+ * A CPU executes the op stream of the thread the simulated OS has
+ * dispatched onto it, converting ops into timing against the memory
+ * hierarchy. Scheduling policy lives entirely in the OS model; the
+ * CPU reports back through the CpuHost interface at op boundaries
+ * (syscalls, preemption points, drain points).
+ */
+
+#ifndef VARSIM_CPU_BASE_CPU_HH
+#define VARSIM_CPU_BASE_CPU_HH
+
+#include <cstdint>
+
+#include "cpu/op.hh"
+#include "mem/iface.hh"
+#include "mem/l1_cache.hh"
+#include "sim/sim_object.hh"
+
+namespace varsim
+{
+namespace cpu
+{
+
+class BaseCpu;
+
+/**
+ * What a CPU needs to know about the software thread it is running.
+ * Implemented by os::Thread.
+ */
+class ThreadContext
+{
+  public:
+    virtual ~ThreadContext() = default;
+
+    /** The thread's deterministic op stream. */
+    virtual OpStream &stream() = 0;
+
+    /** The thread's instruction-fetch walker. */
+    virtual FetchState &fetchState() = 0;
+
+    /** Thread id (for tracing). */
+    virtual sim::ThreadId tid() const = 0;
+};
+
+/**
+ * The CPU-to-OS upcall interface. Implemented by os::Scheduler.
+ *
+ * Contract: after any of these calls the CPU does nothing further
+ * until the host invokes runThread(), continueThread(), or
+ * setIdle() on it (except drained(), after which resumeFromDrain()
+ * restarts execution).
+ */
+class CpuHost
+{
+  public:
+    virtual ~CpuHost() = default;
+
+    /**
+     * The running thread reached an OS-visible op (Lock, Unlock,
+     * Barrier, TxnEnd, Sleep, Yield, End). The host advances the
+     * stream as appropriate and redispatches the CPU.
+     */
+    virtual void syscall(BaseCpu &cpu, ThreadContext &tc,
+                         const Op &op) = 0;
+
+    /** A requested preemption was honoured at an op boundary. */
+    virtual void preempted(BaseCpu &cpu) = 0;
+
+    /** The CPU reached a quiescent op boundary while draining. */
+    virtual void drained(BaseCpu &cpu) = 0;
+
+    /** True while the system is draining toward a checkpoint. */
+    virtual bool draining() const = 0;
+};
+
+/** Configuration shared by the processor models. */
+struct CpuConfig
+{
+    enum class Model
+    {
+        Simple,    ///< blocking, IPC 1 with perfect L1s
+        OutOfOrder ///< 4-wide, ROB-windowed, multiple misses in flight
+    };
+
+    Model model = Model::Simple;
+
+    /** Reorder buffer entries (Experiment 2 varies 16/32/64). */
+    std::uint32_t robEntries = 64;
+
+    /** Sustainable compute issue rate, instructions per cycle. */
+    std::uint32_t issueIpc = 2;
+
+    /** Maximum outstanding data misses (MSHRs). */
+    std::uint32_t mshrEntries = 8;
+
+    /** Pipeline refill penalty on a branch misprediction. */
+    sim::Tick mispredictPenalty = 12;
+
+    /**
+     * Maximum accumulated "time debt" before the model synchronizes
+     * with the event queue. Hitting ops cost no events; their cycles
+     * accumulate as debt paid at interaction points (misses,
+     * syscalls) or when this threshold is reached.
+     */
+    sim::Tick debtThreshold = 256;
+};
+
+/** Per-CPU execution statistics. */
+struct CpuStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t contextSwitches = 0;
+    sim::Tick idleTicks = 0;
+};
+
+/**
+ * Base class: thread attachment protocol, drain/preempt flags, and
+ * bookkeeping. The execution engine lives in subclasses' resume().
+ */
+class BaseCpu : public sim::SimObject, public mem::MemClient
+{
+  public:
+    BaseCpu(std::string name, sim::EventQueue &eq,
+            const CpuConfig &cfg, mem::L1Cache &icache,
+            mem::L1Cache &dcache, sim::CpuId id);
+
+    ~BaseCpu() override = default;
+
+    /** Attach the OS. Must happen before any thread runs. */
+    void setHost(CpuHost *host) { host_ = host; }
+
+    sim::CpuId cpuId() const { return id_; }
+
+    /**
+     * Dispatch @p tc onto this CPU; execution begins @p delay ticks
+     * from now (the context-switch cost, charged by the OS).
+     */
+    void runThread(ThreadContext *tc, sim::Tick delay);
+
+    /**
+     * Resume the currently attached thread after @p delay ticks
+     * (e.g. following a successful syscall).
+     */
+    void continueThread(sim::Tick delay);
+
+    /** Detach any thread; the CPU idles until runThread(). */
+    void setIdle();
+
+    /** Ask the CPU to stop at the next op boundary. */
+    void requestPreempt() { preemptPending = true; }
+
+    /** Restart execution after a drain period ends. */
+    void resumeFromDrain();
+
+    /**
+     * Re-attach a thread without dispatch accounting or a kick; used
+     * when restoring a checkpoint. Follow with resumeFromDrain().
+     */
+    void
+    attachThread(ThreadContext *tc)
+    {
+        tc_ = tc;
+        idle_ = tc == nullptr;
+        resetPipeline();
+    }
+
+    /** The attached thread (may be non-null while idle is false). */
+    ThreadContext *currentThread() const { return tc_; }
+
+    /** True if no thread is attached. */
+    bool isIdle() const { return idle_; }
+
+    /** Execution statistics. */
+    const CpuStats &stats() const { return stats_; }
+    CpuStats &stats() { return stats_; }
+
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(sim::CheckpointIn &cp) override;
+
+  protected:
+    /** Subclass engine: (re)enter the dispatch loop. */
+    virtual void resume() = 0;
+
+    /** Subclass hook: clear per-dispatch scratch state. */
+    virtual void resetPipeline() = 0;
+
+    /** Instruction footprint of an op. */
+    static std::uint64_t instrCost(const Op &op);
+
+    CpuHost &host();
+
+    const CpuConfig &cfg;
+    mem::L1Cache &icache;
+    mem::L1Cache &dcache;
+    ThreadContext *tc_ = nullptr;
+    bool idle_ = true;
+    bool preemptPending = false;
+    std::uint64_t nextTag = 1;
+    CpuStats stats_;
+    sim::EventFunctionWrapper resumeEvent;
+
+  private:
+    CpuHost *host_ = nullptr;
+    sim::CpuId id_;
+    sim::Tick idleSince = 0;
+};
+
+} // namespace cpu
+} // namespace varsim
+
+#endif // VARSIM_CPU_BASE_CPU_HH

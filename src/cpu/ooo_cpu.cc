@@ -1,0 +1,332 @@
+#include "cpu/ooo_cpu.hh"
+
+#include <limits>
+
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace cpu
+{
+
+OoOCpu::OoOCpu(std::string name, sim::EventQueue &eq,
+               const CpuConfig &config, mem::L1Cache &ic,
+               mem::L1Cache &dc, sim::CpuId id)
+    : BaseCpu(std::move(name), eq, config, ic, dc, id)
+{}
+
+void
+OoOCpu::resetPipeline()
+{
+    VARSIM_ASSERT(missQueue.empty(),
+                  "%s: pipeline reset with misses in flight",
+                  name().c_str());
+    phase = Phase::Start;
+    remaining = 0;
+    owed = 0;
+    ipcCarry = 0;
+    instrIdx = 0;
+    awaitingIFetch = false;
+    awaitingRetire = false;
+    blockingData = false;
+}
+
+bool
+OoOCpu::payDebt()
+{
+    if (owed == 0)
+        return true;
+    const sim::Tick d = owed;
+    owed = 0;
+    scheduleIn(resumeEvent, d);
+    return false;
+}
+
+void
+OoOCpu::retireCompleted()
+{
+    while (!missQueue.empty() && missQueue.front().done)
+        missQueue.pop_front();
+}
+
+void
+OoOCpu::addDispatch(std::uint64_t n)
+{
+    const std::uint64_t total = ipcCarry + n;
+    owed += total / cfg.issueIpc;
+    ipcCarry = static_cast<std::uint32_t>(total % cfg.issueIpc);
+}
+
+void
+OoOCpu::memResponse(std::uint64_t tag)
+{
+    if (awaitingIFetch && tag == ifetchTag) {
+        awaitingIFetch = false;
+        resume();
+        return;
+    }
+    if (blockingData) {
+        blockingData = false;
+        resume();
+        return;
+    }
+    for (MissEntry &e : missQueue) {
+        if (e.tag == tag) {
+            e.done = true;
+            if (awaitingRetire) {
+                awaitingRetire = false;
+                resume();
+            }
+            return;
+        }
+    }
+    sim::panic("%s: memory response with unknown tag %llu",
+               name().c_str(), static_cast<unsigned long long>(tag));
+}
+
+void
+OoOCpu::resume()
+{
+    if (idle_ || tc_ == nullptr || awaitingIFetch || blockingData ||
+        awaitingRetire || resumeEvent.scheduled()) {
+        return;
+    }
+
+    retireCompleted();
+
+    while (true) {
+        switch (phase) {
+          case Phase::Start: {
+            if (host().draining() || preemptPending) {
+                if (!payDebt())
+                    return;
+                retireCompleted();
+                if (!missQueue.empty()) {
+                    awaitingRetire = true;
+                    return;
+                }
+                if (host().draining()) {
+                    host().drained(*this);
+                    return;
+                }
+                preemptPending = false;
+                host().preempted(*this);
+                return;
+            }
+            remaining = instrCost(tc_->stream().current());
+            phase = Phase::Instr;
+            break;
+          }
+          case Phase::Instr: {
+            FetchState &f = tc_->fetchState();
+            while (remaining > 0) {
+                if (f.sinceBoundary == 0) {
+                    const sim::Addr ba =
+                        f.blockAddr(icache.blockSize());
+                    if (!icache.tryAccess(ba, false)) {
+                        // Fetch misses serialize the front end.
+                        if (!payDebt())
+                            return;
+                        awaitingIFetch = true;
+                        ifetchTag = nextTag;
+                        icache.access({ba, false, true, nextTag++});
+                        return;
+                    }
+                }
+                std::uint64_t room =
+                    std::numeric_limits<std::uint64_t>::max();
+                if (!missQueue.empty()) {
+                    retireCompleted();
+                    if (!missQueue.empty()) {
+                        const std::uint64_t limit =
+                            missQueue.front().instrIdx +
+                            cfg.robEntries;
+                        room = limit > instrIdx ? limit - instrIdx
+                                                : 0;
+                        if (room == 0) {
+                            // ROB full: stall until the oldest miss
+                            // retires.
+                            if (!payDebt())
+                                return;
+                            awaitingRetire = true;
+                            return;
+                        }
+                    }
+                }
+                const std::uint64_t step = f.advanceWithinBlock(
+                    remaining < room ? remaining : room);
+                remaining -= step;
+                instrIdx += step;
+                addDispatch(step);
+                stats_.instructions += step;
+                if (owed >= cfg.debtThreshold) {
+                    if (!payDebt())
+                        return;
+                }
+            }
+            phase = Phase::Data;
+            break;
+          }
+          case Phase::Data: {
+            const Op &op = tc_->stream().current();
+            if (op.kind == OpKind::Load ||
+                op.kind == OpKind::Store) {
+                const bool write = op.kind == OpKind::Store;
+                if (dcache.tryAccess(op.addr, write)) {
+                    ++stats_.memOps;
+                    phase = Phase::Finish;
+                    break;
+                }
+                // Dependent loads (pointer chases) cannot overlap
+                // earlier misses: the address is not known until
+                // they complete.
+                if (op.kind == OpKind::Load && op.id == 1 &&
+                    !missQueue.empty()) {
+                    if (!payDebt())
+                        return;
+                    retireCompleted();
+                    if (!missQueue.empty()) {
+                        awaitingRetire = true;
+                        return;
+                    }
+                }
+                // Miss: claim an MSHR; overlap with later work.
+                if (missQueue.size() >= cfg.mshrEntries) {
+                    if (!payDebt())
+                        return;
+                    retireCompleted();
+                    if (missQueue.size() >= cfg.mshrEntries) {
+                        awaitingRetire = true;
+                        return;
+                    }
+                }
+                if (!payDebt())
+                    return;
+                ++stats_.memOps;
+                missQueue.push_back({instrIdx, nextTag, false});
+                dcache.access({op.addr, write, false, nextTag++});
+                phase = Phase::Finish;
+                break;
+            }
+            if (op.kind == OpKind::Lock ||
+                op.kind == OpKind::Unlock) {
+                // Synchronizing RMW: drain the pipeline, then block
+                // on the store (acquire/release semantics).
+                if (!payDebt())
+                    return;
+                retireCompleted();
+                if (!missQueue.empty()) {
+                    awaitingRetire = true;
+                    return;
+                }
+                if (!dcache.tryAccess(op.addr, true)) {
+                    ++stats_.memOps;
+                    blockingData = true;
+                    dcache.access({op.addr, true, false, nextTag++});
+                    phase = Phase::Finish;
+                    return;
+                }
+                ++stats_.memOps;
+            }
+            phase = Phase::Finish;
+            break;
+          }
+          case Phase::Finish: {
+            const Op op = tc_->stream().current();
+            switch (op.kind) {
+              case OpKind::Compute:
+              case OpKind::Load:
+              case OpKind::Store:
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              case OpKind::Branch: {
+                ++stats_.branches;
+                const bool taken = op.id != 0;
+                const bool pred = yags.predict(op.addr);
+                yags.recordOutcome(pred == taken);
+                yags.update(op.addr, taken);
+                if (pred != taken) {
+                    ++stats_.mispredicts;
+                    owed += cfg.mispredictPenalty;
+                }
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              }
+              case OpKind::Call:
+                ras.push(op.count);
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              case OpKind::Return: {
+                ++stats_.branches;
+                const sim::Addr predicted = ras.pop();
+                if (predicted != op.count) {
+                    ++stats_.mispredicts;
+                    owed += cfg.mispredictPenalty;
+                }
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              }
+              case OpKind::IndirectBranch: {
+                ++stats_.branches;
+                const sim::Addr predicted = indirect.predict(op.addr);
+                indirect.update(op.addr, op.count);
+                if (predicted != op.count) {
+                    ++stats_.mispredicts;
+                    owed += cfg.mispredictPenalty;
+                }
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              }
+              default:
+                // OS-visible op: drain, then trap to the host.
+                if (!payDebt())
+                    return;
+                retireCompleted();
+                if (!missQueue.empty()) {
+                    awaitingRetire = true;
+                    return;
+                }
+                phase = Phase::Start;
+                host().syscall(*this, *tc_, op);
+                return;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+OoOCpu::serialize(sim::CheckpointOut &cp) const
+{
+    VARSIM_ASSERT(missQueue.empty() && !awaitingIFetch &&
+                      !blockingData && owed == 0,
+                  "%s: checkpoint while not quiescent",
+                  name().c_str());
+    BaseCpu::serialize(cp);
+    yags.serialize(cp);
+    ras.serialize(cp);
+    indirect.serialize(cp);
+    cp.put(ipcCarry);
+}
+
+void
+OoOCpu::unserialize(sim::CheckpointIn &cp)
+{
+    BaseCpu::unserialize(cp);
+    yags.unserialize(cp);
+    ras.unserialize(cp);
+    indirect.unserialize(cp);
+    cp.get(ipcCarry);
+    const std::uint32_t carry = ipcCarry;
+    resetPipeline();
+    ipcCarry = carry;
+}
+
+} // namespace cpu
+} // namespace varsim

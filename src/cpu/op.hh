@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The abstract instruction-stream interface between workloads and
+ * processor models.
+ *
+ * Workload threads are deterministic generators of *ops*: coarse
+ * units (compute bursts, individual memory references, branches,
+ * synchronization calls, transaction boundaries) that the CPU models
+ * convert into timing. A thread's op sequence is a pure function of
+ * the workload seed and the thread id — never of timing — so the
+ * injected memory-latency perturbation remains the only source of
+ * divergence between runs, exactly as in the paper's methodology
+ * (Section 3.3). Timing determines only *when* each op executes and
+ * how the OS interleaves threads.
+ */
+
+#ifndef VARSIM_CPU_OP_HH
+#define VARSIM_CPU_OP_HH
+
+#include <cstdint>
+
+#include "sim/serialize.hh"
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace cpu
+{
+
+/** Kinds of ops a thread program can emit. */
+enum class OpKind : std::uint8_t
+{
+    /** Execute `count` ALU instructions (no data memory traffic). */
+    Compute,
+    /**
+     * One load from `addr`. `id` == 1 marks a dependent load (e.g.
+     * a pointer-chase step): it cannot issue until earlier memory
+     * operations complete, limiting memory-level parallelism the
+     * way real B-tree descents do.
+     */
+    Load,
+    /** One store to `addr`. */
+    Store,
+    /**
+     * One conditional branch; `id` holds the actual outcome (0/1) and
+     * `addr` the branch's PC. Out-of-order models consult their
+     * predictor and charge a penalty on mispredictions.
+     */
+    Branch,
+    /**
+     * A call; `count` carries the return address pushed on the RAS.
+     */
+    Call,
+    /**
+     * A return; `count` carries the actual return address, checked
+     * against the return-address-stack prediction.
+     */
+    Return,
+    /**
+     * An indirect branch at PC `addr`; `count` carries the actual
+     * target, checked against the indirect-target predictor.
+     */
+    IndirectBranch,
+    /** Acquire the mutex `id` whose lock word lives at `addr`. */
+    Lock,
+    /** Release the mutex `id` whose lock word lives at `addr`. */
+    Unlock,
+    /** Wait at barrier `id`. */
+    Barrier,
+    /** A transaction of type `id` just completed. */
+    TxnEnd,
+    /** Sleep for `count` ticks (think time / timed waits). */
+    Sleep,
+    /** Voluntarily yield the processor. */
+    Yield,
+    /** Thread is finished; it never runs again. */
+    End,
+};
+
+/** One op. A plain value type; streams return them by reference. */
+struct Op
+{
+    OpKind kind = OpKind::End;
+    std::uint64_t count = 0; ///< instructions (Compute) / ticks (Sleep)
+    sim::Addr addr = 0;      ///< data address / lock word / branch PC
+    std::int32_t id = 0;     ///< lock/barrier/txn-type id, branch outcome
+};
+
+/**
+ * A resumable, serializable op generator. current() is stable until
+ * advance() is called; after an End op, advance() must not be called.
+ */
+class OpStream : public sim::Serializable
+{
+  public:
+    ~OpStream() override = default;
+
+    /** The op at the stream head. */
+    virtual const Op &current() = 0;
+
+    /** Consume the head op. */
+    virtual void advance() = 0;
+};
+
+/**
+ * Per-thread instruction-fetch state: a cyclic walk over the thread's
+ * code footprint, one icache block per `instrPerBlock` instructions.
+ * Context switches and migrations naturally cause refill misses —
+ * one of the mechanisms through which different OS schedules yield
+ * different performance (Section 2.1).
+ */
+struct FetchState
+{
+    sim::Addr codeBase = 0;      ///< start of the code region
+    std::uint32_t codeBlocks = 1;///< loop length, in cache blocks
+    std::uint32_t pos = 0;       ///< current block within the loop
+    std::uint32_t sinceBoundary = 0; ///< instructions into the block
+    std::uint32_t instrPerBlock = 16;///< 64B block / 4B instruction
+
+    /** Address of the current code block (given block size). */
+    sim::Addr
+    blockAddr(std::size_t block_bytes) const
+    {
+        return codeBase + static_cast<sim::Addr>(pos) * block_bytes;
+    }
+
+    /**
+     * Advance by up to @p n instructions without crossing a block
+     * boundary.
+     * @return instructions actually advanced (>=1 unless n==0).
+     */
+    std::uint64_t
+    advanceWithinBlock(std::uint64_t n)
+    {
+        const std::uint64_t room = instrPerBlock - sinceBoundary;
+        const std::uint64_t step = n < room ? n : room;
+        sinceBoundary += static_cast<std::uint32_t>(step);
+        if (sinceBoundary == instrPerBlock) {
+            sinceBoundary = 0;
+            pos = (pos + 1) % codeBlocks;
+        }
+        return step;
+    }
+};
+
+} // namespace cpu
+} // namespace varsim
+
+#endif // VARSIM_CPU_OP_HH

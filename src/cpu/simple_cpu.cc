@@ -1,0 +1,169 @@
+#include "cpu/simple_cpu.hh"
+
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace cpu
+{
+
+SimpleCpu::SimpleCpu(std::string name, sim::EventQueue &eq,
+                     const CpuConfig &config, mem::L1Cache &ic,
+                     mem::L1Cache &dc, sim::CpuId id)
+    : BaseCpu(std::move(name), eq, config, ic, dc, id)
+{}
+
+void
+SimpleCpu::resetPipeline()
+{
+    phase = Phase::Start;
+    remaining = 0;
+    owed = 0;
+    awaitingMem = false;
+}
+
+bool
+SimpleCpu::payDebt()
+{
+    if (owed == 0)
+        return true;
+    const sim::Tick d = owed;
+    owed = 0;
+    scheduleIn(resumeEvent, d);
+    return false;
+}
+
+void
+SimpleCpu::memResponse(std::uint64_t tag)
+{
+    (void)tag;
+    VARSIM_ASSERT(awaitingMem, "%s: unexpected memory response",
+                  name().c_str());
+    awaitingMem = false;
+    resume();
+}
+
+void
+SimpleCpu::resume()
+{
+    if (idle_ || tc_ == nullptr || awaitingMem ||
+        resumeEvent.scheduled()) {
+        return;
+    }
+
+    while (true) {
+        switch (phase) {
+          case Phase::Start: {
+            if (host().draining() || preemptPending) {
+                if (!payDebt())
+                    return;
+                if (host().draining()) {
+                    host().drained(*this);
+                    return;
+                }
+                preemptPending = false;
+                host().preempted(*this);
+                return;
+            }
+            remaining = instrCost(tc_->stream().current());
+            phase = Phase::Instr;
+            break;
+          }
+          case Phase::Instr: {
+            FetchState &f = tc_->fetchState();
+            while (remaining > 0) {
+                if (f.sinceBoundary == 0) {
+                    const sim::Addr ba =
+                        f.blockAddr(icache.blockSize());
+                    if (!icache.tryAccess(ba, false)) {
+                        if (!payDebt())
+                            return;
+                        awaitingMem = true;
+                        icache.access({ba, false, true, nextTag++});
+                        return;
+                    }
+                }
+                const std::uint64_t step =
+                    f.advanceWithinBlock(remaining);
+                remaining -= step;
+                owed += step;
+                stats_.instructions += step;
+                if (owed >= cfg.debtThreshold) {
+                    if (!payDebt())
+                        return;
+                }
+            }
+            phase = Phase::Data;
+            break;
+          }
+          case Phase::Data: {
+            const Op &op = tc_->stream().current();
+            if (op.kind == OpKind::Load || op.kind == OpKind::Store ||
+                op.kind == OpKind::Lock ||
+                op.kind == OpKind::Unlock) {
+                const bool write = op.kind != OpKind::Load;
+                if (!dcache.tryAccess(op.addr, write)) {
+                    if (!payDebt())
+                        return;
+                    ++stats_.memOps;
+                    awaitingMem = true;
+                    dcache.access({op.addr, write, false, nextTag++});
+                    phase = Phase::Finish;
+                    return;
+                }
+                ++stats_.memOps;
+            }
+            phase = Phase::Finish;
+            break;
+          }
+          case Phase::Finish: {
+            const Op op = tc_->stream().current();
+            switch (op.kind) {
+              case OpKind::Compute:
+              case OpKind::Load:
+              case OpKind::Store:
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              case OpKind::Branch:
+              case OpKind::Call:
+              case OpKind::Return:
+              case OpKind::IndirectBranch:
+                // The blocking model spends one cycle per control
+                // instruction and models no speculation.
+                ++stats_.branches;
+                tc_->stream().advance();
+                phase = Phase::Start;
+                break;
+              default:
+                if (!payDebt())
+                    return;
+                phase = Phase::Start;
+                host().syscall(*this, *tc_, op);
+                return;
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+SimpleCpu::serialize(sim::CheckpointOut &cp) const
+{
+    VARSIM_ASSERT(!awaitingMem && owed == 0 &&
+                      phase == Phase::Start,
+                  "%s: checkpoint while not quiescent",
+                  name().c_str());
+    BaseCpu::serialize(cp);
+}
+
+void
+SimpleCpu::unserialize(sim::CheckpointIn &cp)
+{
+    BaseCpu::unserialize(cp);
+    resetPipeline();
+}
+
+} // namespace cpu
+} // namespace varsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The fast blocking processor model (paper Section 3.2.4): completes
+ * one instruction per cycle at 1 GHz if the L1 caches are perfect,
+ * and stalls completely on every miss. This is the model behind most
+ * of the paper's results (Experiments in Sections 4.1.1, 4.2, 4.3).
+ *
+ * Implementation note: instruction cycles accumulate as "time debt"
+ * that is settled whenever the CPU interacts with the outside world
+ * (a cache miss, a syscall, a preemption, or when the debt crosses a
+ * threshold). L1 hits therefore cost no event-queue traffic, which
+ * keeps multi-run experiments cheap.
+ */
+
+#ifndef VARSIM_CPU_SIMPLE_CPU_HH
+#define VARSIM_CPU_SIMPLE_CPU_HH
+
+#include "cpu/base_cpu.hh"
+
+namespace varsim
+{
+namespace cpu
+{
+
+class SimpleCpu : public BaseCpu
+{
+  public:
+    SimpleCpu(std::string name, sim::EventQueue &eq,
+              const CpuConfig &cfg, mem::L1Cache &icache,
+              mem::L1Cache &dcache, sim::CpuId id);
+
+    void memResponse(std::uint64_t tag) override;
+
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(sim::CheckpointIn &cp) override;
+
+  protected:
+    void resume() override;
+    void resetPipeline() override;
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        Start,  ///< op boundary: drain/preempt checks, fetch next op
+        Instr,  ///< charge the op's instruction cycles (with ifetch)
+        Data,   ///< perform the op's data access, if any
+        Finish, ///< retire the op or hand it to the OS
+    };
+
+    /**
+     * Settle accumulated cycles by scheduling a resume.
+     * @return true if there was no debt (continue immediately).
+     */
+    bool payDebt();
+
+    Phase phase = Phase::Start;
+    std::uint64_t remaining = 0; ///< instructions left in this op
+    sim::Tick owed = 0;          ///< unsettled cycles
+    bool awaitingMem = false;
+};
+
+} // namespace cpu
+} // namespace varsim
+
+#endif // VARSIM_CPU_SIMPLE_CPU_HH

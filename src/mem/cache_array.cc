@@ -1,0 +1,168 @@
+#include "mem/cache_array.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+namespace
+{
+
+bool
+isPow2(std::size_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // anonymous namespace
+
+CacheArray::CacheArray(std::size_t size_bytes, std::size_t assoc,
+                       std::size_t block_bytes)
+    : ways(assoc), blockBytes(block_bytes)
+{
+    VARSIM_ASSERT(isPow2(block_bytes), "block size must be a power "
+                  "of two, got %zu", block_bytes);
+    VARSIM_ASSERT(assoc >= 1, "associativity must be >= 1");
+    VARSIM_ASSERT(size_bytes % (assoc * block_bytes) == 0,
+                  "cache size %zu not divisible by way size",
+                  size_bytes);
+    sets = size_bytes / (assoc * block_bytes);
+    VARSIM_ASSERT(isPow2(sets), "number of sets (%zu) must be a power "
+                  "of two", sets);
+    lines.resize(sets * ways);
+}
+
+std::size_t
+CacheArray::setIndex(sim::Addr block_addr) const
+{
+    return static_cast<std::size_t>(
+        (block_addr / blockBytes) & (sets - 1));
+}
+
+CacheLine *
+CacheArray::find(sim::Addr block_addr)
+{
+    const std::size_t base = setIndex(block_addr) * ways;
+    for (std::size_t w = 0; w < ways; ++w) {
+        CacheLine &line = lines[base + w];
+        if (line.valid() && line.blockAddr == block_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::find(sim::Addr block_addr) const
+{
+    return const_cast<CacheArray *>(this)->find(block_addr);
+}
+
+CacheLine *
+CacheArray::findAndTouch(sim::Addr block_addr)
+{
+    CacheLine *line = find(block_addr);
+    if (line != nullptr)
+        touch(*line);
+    return line;
+}
+
+void
+CacheArray::touch(CacheLine &line)
+{
+    line.lastUse = ++useCounter;
+}
+
+std::pair<CacheLine *, bool>
+CacheArray::allocate(sim::Addr block_addr, CacheLine &victim)
+{
+    VARSIM_ASSERT(find(block_addr) == nullptr,
+                  "allocate: block %#llx already present",
+                  static_cast<unsigned long long>(block_addr));
+    const std::size_t base = setIndex(block_addr) * ways;
+    CacheLine *target = nullptr;
+    for (std::size_t w = 0; w < ways; ++w) {
+        CacheLine &line = lines[base + w];
+        if (!line.valid()) {
+            target = &line;
+            break;
+        }
+    }
+    bool hadVictim = false;
+    if (target == nullptr) {
+        // Evict true-LRU among valid lines.
+        target = &lines[base];
+        for (std::size_t w = 1; w < ways; ++w) {
+            if (lines[base + w].lastUse < target->lastUse)
+                target = &lines[base + w];
+        }
+        victim = *target;
+        hadVictim = true;
+    }
+    target->blockAddr = block_addr;
+    target->state = LineState::Invalid; // caller sets the real state
+    target->aux = 0;
+    touch(*target);
+    return {target, hadVictim};
+}
+
+void
+CacheArray::invalidate(CacheLine &line)
+{
+    line.state = LineState::Invalid;
+    line.blockAddr = sim::invalidAddr;
+    line.aux = 0;
+}
+
+std::size_t
+CacheArray::countValid() const
+{
+    std::size_t n = 0;
+    for (const auto &line : lines)
+        if (line.valid())
+            ++n;
+    return n;
+}
+
+void
+CacheArray::serialize(sim::CheckpointOut &cp) const
+{
+    cp.put<std::uint64_t>(sets);
+    cp.put<std::uint64_t>(ways);
+    cp.put<std::uint64_t>(blockBytes);
+    cp.put(useCounter);
+    cp.put(lines);
+}
+
+void
+CacheArray::unserialize(sim::CheckpointIn &cp)
+{
+    std::uint64_t ck_sets = 0, ck_ways = 0, ck_block = 0;
+    cp.get(ck_sets);
+    cp.get(ck_ways);
+    cp.get(ck_block);
+    std::uint64_t ck_use = 0;
+    cp.get(ck_use);
+    std::vector<CacheLine> restored;
+    cp.get(restored);
+
+    if (ck_sets != sets || ck_ways != ways ||
+        ck_block != blockBytes) {
+        // The checkpoint was taken under a different cache
+        // geometry (e.g. restoring a warmed run into a different
+        // associativity, as in the paper's Experiment 1 design).
+        // Cached contents are meaningless under the new index
+        // function, so start cold; memory is then the owner of
+        // every block, which keeps the coherence invariants intact.
+        for (auto &line : lines)
+            line = CacheLine{};
+        useCounter = 0;
+        return;
+    }
+    useCounter = ck_use;
+    lines = std::move(restored);
+}
+
+} // namespace mem
+} // namespace varsim

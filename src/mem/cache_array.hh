@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Generic set-associative tag array with true-LRU replacement.
+ *
+ * Used for both L1 and L2 caches. Only tags and metadata are stored;
+ * varsim never simulates data values. Replacement decisions are
+ * deterministic (LRU by a monotone use counter, ties impossible), so
+ * the array contributes no nondeterminism of its own — a requirement
+ * of the paper's methodology, where the injected latency perturbation
+ * must be the sole random input (Section 3.3).
+ */
+
+#ifndef VARSIM_MEM_CACHE_ARRAY_HH
+#define VARSIM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/serialize.hh"
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+/** MOSI stable coherence states (plus Invalid). */
+enum class LineState : std::uint8_t
+{
+    Invalid = 0,
+    Shared,    ///< clean, possibly multiple copies
+    Owned,     ///< dirty, responsible for data, sharers may exist
+    Modified,  ///< dirty, exclusive
+};
+
+/** True if the state confers ownership (must supply data on snoop). */
+constexpr bool
+isOwnerState(LineState s)
+{
+    return s == LineState::Owned || s == LineState::Modified;
+}
+
+/** True if the state permits reads. */
+constexpr bool
+isValidState(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+/** One cache line's metadata. */
+struct CacheLine
+{
+    sim::Addr blockAddr = sim::invalidAddr;
+    LineState state = LineState::Invalid;
+    /** Implementation-defined per-cache bits (e.g. L1 copy flags). */
+    std::uint8_t aux = 0;
+    /** Monotone use stamp for LRU. */
+    std::uint64_t lastUse = 0;
+
+    bool valid() const { return state != LineState::Invalid; }
+};
+
+/**
+ * Set-associative tag array.
+ */
+class CacheArray : public sim::Serializable
+{
+  public:
+    /**
+     * @param size_bytes  total capacity
+     * @param assoc       ways per set (1 = direct mapped)
+     * @param block_bytes line size (power of two)
+     */
+    CacheArray(std::size_t size_bytes, std::size_t assoc,
+               std::size_t block_bytes);
+
+    /** Block-align an address. */
+    sim::Addr
+    blockAlign(sim::Addr addr) const
+    {
+        return addr & ~static_cast<sim::Addr>(blockBytes - 1);
+    }
+
+    /**
+     * Look up @p block_addr (must be block-aligned).
+     * @return the line, or nullptr if not present (Invalid lines are
+     *         "not present").
+     */
+    CacheLine *find(sim::Addr block_addr);
+    const CacheLine *find(sim::Addr block_addr) const;
+
+    /** find() + LRU update on hit. */
+    CacheLine *findAndTouch(sim::Addr block_addr);
+
+    /** Mark @p line most recently used. */
+    void touch(CacheLine &line);
+
+    /**
+     * Allocate a line for @p block_addr, evicting the LRU valid line
+     * of the set if no way is free.
+     *
+     * @param victim  out-parameter: a copy of the evicted line, valid
+     *                only when the return's second member is true.
+     * @return pair (line pointer, hadVictim)
+     */
+    std::pair<CacheLine *, bool> allocate(sim::Addr block_addr,
+                                          CacheLine &victim);
+
+    /** Invalidate a line (leaves LRU stamp untouched). */
+    void invalidate(CacheLine &line);
+
+    /** Geometry accessors. */
+    std::size_t numSets() const { return sets; }
+    std::size_t numWays() const { return ways; }
+    std::size_t blockSize() const { return blockBytes; }
+
+    /** Count of currently valid lines (O(capacity); for tests). */
+    std::size_t countValid() const;
+
+    /** Visit every valid line (O(capacity)); used to rebuild
+     *  derived structures (e.g. directory sharer sets) on restore. */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        for (const CacheLine &line : lines)
+            if (line.valid())
+                fn(line);
+    }
+
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(sim::CheckpointIn &cp) override;
+
+  private:
+    std::size_t setIndex(sim::Addr block_addr) const;
+
+    std::size_t sets;
+    std::size_t ways;
+    std::size_t blockBytes;
+    std::uint64_t useCounter = 0;
+    std::vector<CacheLine> lines; // sets * ways, row-major by set
+};
+
+} // namespace mem
+} // namespace varsim
+
+#endif // VARSIM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,231 @@
+#include "mem/directory.hh"
+
+#include <algorithm>
+
+#include "mem/l2_controller.hh"
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+DirectoryFabric::DirectoryFabric(std::string name,
+                                 sim::EventQueue &eq,
+                                 const MemConfig &config,
+                                 sim::Random &perturb_rng)
+    : SimObject(std::move(name), eq), cfg(config),
+      pertRng(perturb_rng), dram_(config),
+      homeNextFree(config.numNodes, 0)
+{}
+
+void
+DirectoryFabric::addNode(L2Controller *l2)
+{
+    nodes.push_back(l2);
+}
+
+DirectoryFabric::Entry &
+DirectoryFabric::entry(sim::Addr block_addr)
+{
+    return dir[block_addr];
+}
+
+int
+DirectoryFabric::ownerOf(sim::Addr block_addr) const
+{
+    auto it = dir.find(block_addr);
+    return it != dir.end() ? it->second.owner : -1;
+}
+
+std::uint64_t
+DirectoryFabric::sharersOf(sim::Addr block_addr) const
+{
+    auto it = dir.find(block_addr);
+    return it != dir.end() ? it->second.sharers : 0;
+}
+
+void
+DirectoryFabric::sendRequest(const BusMsg &msg)
+{
+    // One network traversal to the home node, then per-home
+    // serialized processing (the directory is the order point).
+    const auto home = static_cast<std::size_t>(
+        dram_.homeNode(msg.blockAddr));
+    const sim::Tick arrive = curTick() + cfg.netTraversal;
+    const sim::Tick start =
+        std::max(arrive, homeNextFree[home]);
+    homeNextFree[home] = start + cfg.dirOccupancy;
+    ++stats_.busTransactions;
+    stats_.busQueueDelay += start - arrive;
+
+    callIn(start + cfg.dirLatency - curTick(),
+           [this, msg] { process(msg); });
+}
+
+void
+DirectoryFabric::process(BusMsg msg)
+{
+    const sim::Tick now = curTick();
+    Entry &e = entry(msg.blockAddr);
+    const auto srcBit = std::uint64_t{1}
+                        << static_cast<unsigned>(msg.srcNode);
+
+    if (msg.cmd == BusCmd::PutM) {
+        // Writeback: ownership returns to memory; remaining sharers
+        // (MOSI allows sharers under an O owner) keep their copies.
+        ++stats_.writebacks;
+        if (e.owner == msg.srcNode)
+            e.owner = -1;
+        e.sharers &= ~srcBit;
+        return;
+    }
+
+    auto src = static_cast<std::size_t>(msg.srcNode);
+    VARSIM_ASSERT(src < nodes.size(),
+                  "directory request from unknown node %d",
+                  msg.srcNode);
+
+    if (busy.count(msg.blockAddr)) {
+        ++stats_.nacks;
+        nodes[src]->handleNack(msg.blockAddr);
+        return;
+    }
+
+    ++stats_.l2Misses;
+    const bool writable = msg.cmd == BusCmd::GetM;
+    const sim::Tick pert =
+        cfg.perturbMaxNs > 0
+            ? pertRng.uniformInt(0, cfg.perturbMaxNs)
+            : 0;
+    stats_.perturbationTotal += pert;
+
+    // The directory's view can lag silent L1/L2 interactions only
+    // for *owner* state via in-flight PutM; validate against the
+    // actual cache to avoid forwarding to a stale owner.
+    int owner = e.owner;
+    if (owner >= 0 &&
+        !isOwnerState(nodes[static_cast<std::size_t>(owner)]
+                          ->snoopState(msg.blockAddr))) {
+        owner = -1; // PutM in flight: memory owns the data
+        e.owner = -1;
+    }
+
+    sim::Tick dataDelay;
+    if (writable) {
+        // Invalidate every other copy the directory knows about.
+        sim::Tick ackDelay = 0;
+        std::uint64_t toInvalidate =
+            (e.sharers | (owner >= 0 ? (std::uint64_t{1}
+                                        << unsigned(owner))
+                                     : 0)) &
+            ~srcBit;
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (toInvalidate & (std::uint64_t{1} << n)) {
+                nodes[n]->handleRemoteSnoop(msg);
+                // INV hop + ack hop, overlapped across sharers.
+                ackDelay = 2 * cfg.netTraversal;
+            }
+        }
+        if (owner == msg.srcNode) {
+            // Upgrade: data already local.
+            ++stats_.upgrades;
+            dataDelay = std::max(cfg.upgradeLatency, ackDelay);
+        } else if (owner >= 0) {
+            // 3-hop forward: home->owner, owner provides, ->src.
+            ++stats_.cacheToCache;
+            dataDelay = std::max(cfg.netTraversal +
+                                     cfg.ownerLatency +
+                                     cfg.netTraversal,
+                                 ackDelay);
+        } else {
+            ++stats_.memoryFetches;
+            const sim::Tick ready =
+                dram_.schedule(msg.blockAddr, now);
+            dataDelay = std::max((ready - now) + cfg.netTraversal,
+                                 ackDelay);
+        }
+        e.owner = msg.srcNode;
+        e.sharers = srcBit;
+    } else {
+        if (owner >= 0) {
+            // Forward to the owner; it downgrades M->O and supplies
+            // data directly to the requestor.
+            nodes[static_cast<std::size_t>(owner)]
+                ->handleRemoteSnoop(msg);
+            ++stats_.cacheToCache;
+            dataDelay = cfg.netTraversal + cfg.ownerLatency +
+                        cfg.netTraversal;
+        } else {
+            ++stats_.memoryFetches;
+            const sim::Tick ready =
+                dram_.schedule(msg.blockAddr, now);
+            dataDelay = (ready - now) + cfg.netTraversal;
+        }
+        e.sharers |= srcBit;
+    }
+    dataDelay += pert;
+
+    busy.emplace(msg.blockAddr, true);
+    L2Controller *requestor = nodes[src];
+    const sim::Addr block = msg.blockAddr;
+    callIn(
+        dataDelay,
+        [this, requestor, block, writable] {
+            busy.erase(block);
+            requestor->fillArrived(block, writable);
+        },
+        sim::Event::memoryResponsePri);
+}
+
+void
+DirectoryFabric::drain()
+{
+    VARSIM_ASSERT(busy.empty(),
+                  "draining directory with %zu busy blocks",
+                  busy.size());
+}
+
+void
+DirectoryFabric::serialize(sim::CheckpointOut &cp) const
+{
+    VARSIM_ASSERT(busy.empty(),
+                  "checkpoint with busy directory blocks");
+    cp.put(homeNextFree);
+    cp.put(stats_);
+    dram_.serialize(cp);
+    // `dir` is intentionally not serialized: it is derived from the
+    // cache tags and rebuilt in postRestore().
+}
+
+void
+DirectoryFabric::unserialize(sim::CheckpointIn &cp)
+{
+    cp.get(homeNextFree);
+    cp.get(stats_);
+    dram_.unserialize(cp);
+    dir.clear();
+}
+
+void
+DirectoryFabric::postRestore()
+{
+    dir.clear();
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        nodes[n]->forEachValidLine([&](const CacheLine &line) {
+            Entry &e = entry(line.blockAddr);
+            e.sharers |= std::uint64_t{1} << n;
+            if (isOwnerState(line.state)) {
+                VARSIM_ASSERT(e.owner == -1,
+                              "two owners for block %#llx on "
+                              "restore",
+                              static_cast<unsigned long long>(
+                                  line.blockAddr));
+                e.owner = static_cast<int>(n);
+            }
+        });
+    }
+}
+
+} // namespace mem
+} // namespace varsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The coherence-fabric interface: what an L2 controller needs from
+ * the interconnect + protocol engine, independent of whether
+ * coherence is kept by broadcast snooping (the paper's E10000-like
+ * target) or by a home-node directory (SGI-Origin style).
+ *
+ * The Multifacet simulator the paper builds on "supports a broad
+ * range of coherence protocols, specified using a table-driven
+ * specification methodology" (Section 3.2.3); varsim mirrors that by
+ * making the protocol a pluggable fabric (MemConfig::protocol) with
+ * identical controller-side semantics:
+ *
+ *  - sendRequest() enqueues a GetS/GetM/PutM;
+ *  - the source controller later receives exactly one of
+ *    handleNack() (conflicting in-flight transaction; retry) or
+ *    fillArrived() (data/permission granted);
+ *  - protocol state transitions on other nodes happen atomically at
+ *    the fabric's per-block order point via handleRemoteSnoop().
+ */
+
+#ifndef VARSIM_MEM_FABRIC_HH
+#define VARSIM_MEM_FABRIC_HH
+
+#include "mem/config.hh"
+#include "sim/serialize.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+class L2Controller;
+
+/** Coherence request types carried by any fabric. */
+enum class BusCmd : std::uint8_t
+{
+    GetS, ///< request a readable copy
+    GetM, ///< request an exclusive writable copy
+    PutM, ///< writeback of a dirty (M/O) block to memory
+};
+
+/** One coherence message. */
+struct BusMsg
+{
+    BusCmd cmd = BusCmd::GetS;
+    sim::Addr blockAddr = 0;
+    int srcNode = -1;
+};
+
+/**
+ * Abstract protocol engine + interconnect.
+ */
+class CoherenceFabric
+{
+  public:
+    virtual ~CoherenceFabric() = default;
+
+    /** Register a node's L2 controller. Order defines node ids. */
+    virtual void addNode(L2Controller *l2) = 0;
+
+    /** Enqueue a coherence request (see class comment). */
+    virtual void sendRequest(const BusMsg &msg) = 0;
+
+    /** Statistics counters owned by the fabric. */
+    virtual MemStats &stats() = 0;
+    virtual const MemStats &stats() const = 0;
+
+    /** True if a transaction is in flight for @p block_addr. */
+    virtual bool blockBusy(sim::Addr block_addr) const = 0;
+
+    /** Assert quiescence before a checkpoint. */
+    virtual void drain() = 0;
+
+    /** Checkpoint the fabric's own state. */
+    virtual void serialize(sim::CheckpointOut &cp) const = 0;
+    virtual void unserialize(sim::CheckpointIn &cp) = 0;
+
+    /**
+     * Re-derive any cache-dependent fabric state after the caches
+     * have been restored (e.g. the directory's sharer sets).
+     * Called by MemSystem at the end of unserialize().
+     */
+    virtual void postRestore() {}
+};
+
+} // namespace mem
+} // namespace varsim
+
+#endif // VARSIM_MEM_FABRIC_HH

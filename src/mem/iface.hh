@@ -1,0 +1,51 @@
+/**
+ * @file
+ * CPU-to-memory-system interface types.
+ */
+
+#ifndef VARSIM_MEM_IFACE_HH
+#define VARSIM_MEM_IFACE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+/**
+ * One memory access from a processor. Only addresses are simulated —
+ * the target's data values never matter for timing, so none are
+ * carried.
+ */
+struct MemRequest
+{
+    sim::Addr addr = 0;
+    bool write = false;
+    bool ifetch = false;
+    /** Client-chosen identifier echoed back in the response. */
+    std::uint64_t tag = 0;
+};
+
+/**
+ * Receiver of memory responses. CPUs implement this; the L1 caches
+ * call back into it when a miss completes.
+ */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /**
+     * The access identified by @p tag has completed. Called at the
+     * tick the data becomes available to the core.
+     */
+    virtual void memResponse(std::uint64_t tag) = 0;
+};
+
+} // namespace mem
+} // namespace varsim
+
+#endif // VARSIM_MEM_IFACE_HH

@@ -1,0 +1,137 @@
+#include "mem/l1_cache.hh"
+
+#include "mem/l2_controller.hh"
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+L1Cache::L1Cache(std::string name, sim::EventQueue &eq,
+                 const MemConfig &config, L2Controller &l2_ref,
+                 bool is_icache)
+    : SimObject(std::move(name), eq), cfg(config), l2(l2_ref),
+      isICache(is_icache),
+      array(config.l1Size, config.l1Assoc, config.blockBytes)
+{}
+
+bool
+L1Cache::tryAccess(sim::Addr addr, bool write)
+{
+    VARSIM_ASSERT(!(isICache && write), "store to the icache");
+    CacheLine *line = array.findAndTouch(array.blockAlign(addr));
+    if (line == nullptr)
+        return false;
+    if (write && line->state != LineState::Modified)
+        return false;
+    ++numHits;
+    return true;
+}
+
+void
+L1Cache::access(const MemRequest &req)
+{
+    ++numMisses;
+    const sim::Addr block = array.blockAlign(req.addr);
+    auto it = mshr.find(block);
+    if (it == mshr.end()) {
+        mshr[block].push_back(req);
+        DPRINTF(Cache, "miss blk=%#llx w=%d",
+                static_cast<unsigned long long>(block),
+                int(req.write));
+        l2.request(block, req.write, this);
+        return;
+    }
+    // Merge into the outstanding miss. If this request needs write
+    // permission and only a read was requested so far, escalate.
+    bool hadWrite = false;
+    for (const MemRequest &r : it->second)
+        hadWrite |= r.write;
+    it->second.push_back(req);
+    if (req.write && !hadWrite)
+        l2.request(block, true, this);
+}
+
+void
+L1Cache::l2Response(sim::Addr block_addr, bool writable,
+                    sim::Tick delay)
+{
+    CacheLine *line = array.find(block_addr);
+    if (line == nullptr) {
+        CacheLine victim;
+        auto [fresh, hadVictim] = array.allocate(block_addr, victim);
+        (void)hadVictim; // L1 evictions are silent: L2 is inclusive.
+        line = fresh;
+        line->state =
+            writable ? LineState::Modified : LineState::Shared;
+    } else {
+        if (writable)
+            line->state = LineState::Modified;
+        array.touch(*line);
+    }
+
+    auto it = mshr.find(block_addr);
+    if (it == mshr.end())
+        return; // back-to-back grants can outrun the waiters
+
+    std::vector<MemRequest> &reqs = it->second;
+    std::vector<MemRequest> still_waiting;
+    for (const MemRequest &r : reqs) {
+        if (!r.write || writable) {
+            const std::uint64_t tag = r.tag;
+            MemClient *client = client_;
+            VARSIM_ASSERT(client != nullptr,
+                          "%s has no client", name().c_str());
+            callIn(
+                delay, [client, tag] { client->memResponse(tag); },
+                sim::Event::memoryResponsePri);
+        } else {
+            still_waiting.push_back(r);
+        }
+    }
+    if (still_waiting.empty())
+        mshr.erase(it);
+    else
+        reqs = std::move(still_waiting);
+}
+
+void
+L1Cache::backProbe(sim::Addr block_addr, bool invalidate)
+{
+    CacheLine *line = array.find(block_addr);
+    if (line == nullptr)
+        return;
+    if (invalidate)
+        array.invalidate(*line);
+    else
+        line->state = LineState::Shared;
+}
+
+void
+L1Cache::drain()
+{
+    VARSIM_ASSERT(mshr.empty(),
+                  "draining %s with %zu pending misses",
+                  name().c_str(), mshr.size());
+}
+
+void
+L1Cache::serialize(sim::CheckpointOut &cp) const
+{
+    VARSIM_ASSERT(mshr.empty(), "checkpoint with pending L1 misses");
+    array.serialize(cp);
+    cp.put(numHits);
+    cp.put(numMisses);
+}
+
+void
+L1Cache::unserialize(sim::CheckpointIn &cp)
+{
+    array.unserialize(cp);
+    cp.get(numHits);
+    cp.get(numMisses);
+}
+
+} // namespace mem
+} // namespace varsim

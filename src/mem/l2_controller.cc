@@ -1,0 +1,223 @@
+#include "mem/l2_controller.hh"
+
+#include "mem/l1_cache.hh"
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+L2Controller::L2Controller(std::string name, sim::EventQueue &eq,
+                           const MemConfig &config,
+                           CoherenceFabric &bus_ref, int node_id)
+    : SimObject(std::move(name), eq), cfg(config), bus(bus_ref),
+      node(node_id),
+      array(config.l2Size, config.l2Assoc, config.blockBytes)
+{}
+
+void
+L2Controller::setL1s(L1Cache *ic, L1Cache *dc)
+{
+    icache = ic;
+    dcache = dc;
+}
+
+std::uint8_t
+L2Controller::l1Bit(const L1Cache *l1) const
+{
+    return l1 == icache ? l2AuxL1ICopy : l2AuxL1DCopy;
+}
+
+void
+L2Controller::request(sim::Addr block_addr, bool need_writable,
+                      L1Cache *who)
+{
+    CacheLine *line = array.findAndTouch(block_addr);
+    const bool hit =
+        line != nullptr &&
+        (need_writable ? line->state == LineState::Modified
+                       : isValidState(line->state));
+    if (hit) {
+        ++numHits;
+        line->aux |= l1Bit(who);
+        DPRINTF(Cache, "L2 hit blk=%#llx w=%d",
+                static_cast<unsigned long long>(block_addr),
+                int(need_writable));
+        who->l2Response(block_addr, need_writable, cfg.l2HitLatency);
+        return;
+    }
+
+    auto it = tbes.find(block_addr);
+    if (it == tbes.end()) {
+        ++numMisses;
+        Tbe tbe;
+        tbe.issued = need_writable ? BusCmd::GetM : BusCmd::GetS;
+        tbe.waiters.push_back({who, need_writable});
+        tbes.emplace(block_addr, std::move(tbe));
+        issue(block_addr, need_writable ? BusCmd::GetM : BusCmd::GetS);
+    } else {
+        it->second.waiters.push_back({who, need_writable});
+        // A demand request joining an in-flight prefetch makes it
+        // a demand transaction (NACKs now retry).
+        it->second.prefetch = false;
+    }
+}
+
+void
+L2Controller::issue(sim::Addr block_addr, BusCmd cmd)
+{
+    bus.sendRequest({cmd, block_addr, node});
+}
+
+void
+L2Controller::maybePrefetch(sim::Addr filled_block)
+{
+    if (!cfg.l2NextLinePrefetch)
+        return;
+    const sim::Addr next = filled_block + cfg.blockBytes;
+    if (array.find(next) != nullptr || tbes.count(next) != 0)
+        return;
+    Tbe tbe;
+    tbe.issued = BusCmd::GetS;
+    tbe.prefetch = true;
+    tbes.emplace(next, std::move(tbe));
+    ++numPrefetches;
+    issue(next, BusCmd::GetS);
+}
+
+void
+L2Controller::handleNack(sim::Addr block_addr)
+{
+    auto it = tbes.find(block_addr);
+    VARSIM_ASSERT(it != tbes.end(),
+                  "NACK for block %#llx with no TBE",
+                  static_cast<unsigned long long>(block_addr));
+    if (it->second.prefetch && it->second.waiters.empty()) {
+        // Prefetches are best-effort: drop on conflict.
+        tbes.erase(it);
+        return;
+    }
+    ++numRetries;
+    const BusCmd cmd = it->second.issued;
+    DPRINTF(Coherence, "NACK blk=%#llx, retrying",
+            static_cast<unsigned long long>(block_addr));
+    callIn(cfg.retryDelay,
+           [this, block_addr, cmd] { issue(block_addr, cmd); });
+}
+
+void
+L2Controller::fillArrived(sim::Addr block_addr, bool writable)
+{
+    CacheLine *line = array.find(block_addr);
+    if (line == nullptr) {
+        CacheLine victim;
+        auto [fresh, hadVictim] = array.allocate(block_addr, victim);
+        if (hadVictim) {
+            backProbeL1s(victim, true);
+            if (isOwnerState(victim.state)) {
+                ++numWritebacks;
+                issue(victim.blockAddr, BusCmd::PutM);
+            }
+        }
+        line = fresh;
+        line->state =
+            writable ? LineState::Modified : LineState::Shared;
+    } else {
+        // Upgrade completion: data was already local.
+        VARSIM_ASSERT(writable, "GetS fill for a resident block");
+        line->state = LineState::Modified;
+        array.touch(*line);
+    }
+
+    DPRINTF(Coherence, "fill blk=%#llx w=%d",
+            static_cast<unsigned long long>(block_addr),
+            int(writable));
+
+    auto it = tbes.find(block_addr);
+    VARSIM_ASSERT(it != tbes.end(),
+                  "fill for block %#llx with no TBE",
+                  static_cast<unsigned long long>(block_addr));
+    std::vector<Waiter> waiters = std::move(it->second.waiters);
+    const bool wasPrefetch = it->second.prefetch;
+    tbes.erase(it);
+
+    // Re-run every waiter: reads (and writes, if the fill granted M)
+    // hit and respond after the L2 access latency; writes that got
+    // only a Shared fill start a GetM round.
+    for (const Waiter &w : waiters)
+        request(block_addr, w.needWritable, w.l1);
+
+    // Demand fills trigger the next-line prefetcher (prefetch fills
+    // do not, to avoid runaway chains).
+    if (!wasPrefetch)
+        maybePrefetch(block_addr);
+}
+
+void
+L2Controller::handleRemoteSnoop(const BusMsg &msg)
+{
+    CacheLine *line = array.find(msg.blockAddr);
+    if (line == nullptr)
+        return;
+    if (msg.cmd == BusCmd::GetM) {
+        backProbeL1s(*line, true);
+        array.invalidate(*line);
+    } else if (msg.cmd == BusCmd::GetS) {
+        if (line->state == LineState::Modified) {
+            line->state = LineState::Owned;
+            backProbeL1s(*line, false);
+        }
+        // Shared/Owned copies are unaffected by a remote GetS.
+    }
+}
+
+LineState
+L2Controller::snoopState(sim::Addr block_addr) const
+{
+    const CacheLine *line = array.find(block_addr);
+    return line != nullptr ? line->state : LineState::Invalid;
+}
+
+void
+L2Controller::backProbeL1s(const CacheLine &line, bool invalidate_l1)
+{
+    if ((line.aux & l2AuxL1ICopy) && icache != nullptr)
+        icache->backProbe(line.blockAddr, invalidate_l1);
+    if ((line.aux & l2AuxL1DCopy) && dcache != nullptr)
+        dcache->backProbe(line.blockAddr, invalidate_l1);
+}
+
+void
+L2Controller::drain()
+{
+    VARSIM_ASSERT(tbes.empty(),
+                  "draining L2 %s with %zu pending TBEs",
+                  name().c_str(), tbes.size());
+}
+
+void
+L2Controller::serialize(sim::CheckpointOut &cp) const
+{
+    VARSIM_ASSERT(tbes.empty(), "checkpoint with pending L2 TBEs");
+    array.serialize(cp);
+    cp.put(numHits);
+    cp.put(numMisses);
+    cp.put(numWritebacks);
+    cp.put(numRetries);
+    cp.put(numPrefetches);
+}
+
+void
+L2Controller::unserialize(sim::CheckpointIn &cp)
+{
+    array.unserialize(cp);
+    cp.get(numHits);
+    cp.get(numMisses);
+    cp.get(numWritebacks);
+    cp.get(numRetries);
+    cp.get(numPrefetches);
+}
+
+} // namespace mem
+} // namespace varsim

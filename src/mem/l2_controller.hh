@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Per-node unified L2 cache and coherence controller.
+ *
+ * Implements the node-side half of the MOSI invalidation snooping
+ * protocol. Stable states live in the tag array; in-flight requests
+ * live in transaction buffer entries (TBEs) that record which L1s
+ * wait on the fill and whether write permission is needed. State
+ * transitions driven by remote requests happen at the bus's global
+ * order point (handleRemoteSnoop), which keeps every race
+ * timing-dependent yet well defined — the paper's "timing-dependent
+ * race conditions and lock contention events that cannot be captured
+ * using a trace-driven methodology" (Section 3.2.3).
+ */
+
+#ifndef VARSIM_MEM_L2_CONTROLLER_HH
+#define VARSIM_MEM_L2_CONTROLLER_HH
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/fabric.hh"
+#include "sim/sim_object.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+class L1Cache;
+
+/** L2 line aux bits: which local L1s hold a copy. */
+enum L2AuxBits : std::uint8_t
+{
+    l2AuxL1ICopy = 1 << 0,
+    l2AuxL1DCopy = 1 << 1,
+};
+
+class L2Controller : public sim::SimObject
+{
+  public:
+    L2Controller(std::string name, sim::EventQueue &eq,
+                 const MemConfig &cfg, CoherenceFabric &fabric,
+                 int node_id);
+
+    /** Wire up this node's L1s (for fills and back-probes). */
+    void setL1s(L1Cache *icache, L1Cache *dcache);
+
+    /** This node's id on the bus. */
+    int nodeId() const { return node; }
+
+    /**
+     * Request from a local L1: obtain @p block_addr with read
+     * (needWritable=false) or write permission. The L1 receives
+     * l2Response() when satisfied.
+     */
+    void request(sim::Addr block_addr, bool need_writable,
+                 L1Cache *who);
+
+    /** Bus: a remote node's request was ordered; apply transitions. */
+    void handleRemoteSnoop(const BusMsg &msg);
+
+    /** Bus: our request collided with a busy block; retry later. */
+    void handleNack(sim::Addr block_addr);
+
+    /**
+     * Bus: data (or upgrade permission) for our request arrives.
+     * @param writable true for GetM completions.
+     */
+    void fillArrived(sim::Addr block_addr, bool writable);
+
+    /** Stable coherence state of a block (Invalid if absent). */
+    LineState snoopState(sim::Addr block_addr) const;
+
+    /** Visit every valid L2 line (directory rebuild on restore). */
+    template <typename Fn>
+    void
+    forEachValidLine(Fn &&fn) const
+    {
+        array.forEachValid(std::forward<Fn>(fn));
+    }
+
+    /** Number of in-flight TBEs (0 when quiescent). */
+    std::size_t pendingTransactions() const { return tbes.size(); }
+
+    /** Local hit counter (reads satisfied without the bus). */
+    std::uint64_t hits() const { return numHits; }
+
+    /** Requests that went to the bus. */
+    std::uint64_t misses() const { return numMisses; }
+
+    /** Dirty evictions. */
+    std::uint64_t writebacks() const { return numWritebacks; }
+
+    /** Retries after NACK. */
+    std::uint64_t retries() const { return numRetries; }
+
+    /** Next-line prefetches issued. */
+    std::uint64_t prefetches() const { return numPrefetches; }
+
+    void drain() override;
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(sim::CheckpointIn &cp) override;
+
+  private:
+    struct Waiter
+    {
+        L1Cache *l1;
+        bool needWritable;
+    };
+
+    struct Tbe
+    {
+        BusCmd issued;
+        bool prefetch = false; ///< no waiters; dropped on NACK
+        std::vector<Waiter> waiters;
+    };
+
+    void maybePrefetch(sim::Addr filled_block);
+
+    void issue(sim::Addr block_addr, BusCmd cmd);
+    void backProbeL1s(const CacheLine &line, bool invalidate_l1);
+    std::uint8_t l1Bit(const L1Cache *l1) const;
+
+    const MemConfig &cfg;
+    CoherenceFabric &bus;
+    int node;
+    CacheArray array;
+    std::map<sim::Addr, Tbe> tbes;
+    L1Cache *icache = nullptr;
+    L1Cache *dcache = nullptr;
+
+    std::uint64_t numHits = 0;
+    std::uint64_t numMisses = 0;
+    std::uint64_t numWritebacks = 0;
+    std::uint64_t numRetries = 0;
+    std::uint64_t numPrefetches = 0;
+};
+
+} // namespace mem
+} // namespace varsim
+
+#endif // VARSIM_MEM_L2_CONTROLLER_HH

@@ -1,0 +1,128 @@
+#include "mem/mem_system.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+MemSystem::MemSystem(std::string name, sim::EventQueue &eq,
+                     MemConfig config)
+    : SimObject(std::move(name), eq), cfg(config), pertRng(0)
+{
+    VARSIM_ASSERT(cfg.numNodes >= 1, "need at least one node");
+    if (cfg.protocol == CoherenceProtocol::Snooping) {
+        bus_ = std::make_unique<SnoopBus>(this->name() + ".bus", eq,
+                                          cfg, pertRng);
+        fabric_ = bus_.get();
+    } else {
+        VARSIM_ASSERT(cfg.numNodes <= 64,
+                      "directory sharer bitmask holds 64 nodes");
+        dir_ = std::make_unique<DirectoryFabric>(
+            this->name() + ".dir", eq, cfg, pertRng);
+        fabric_ = dir_.get();
+    }
+    for (std::size_t n = 0; n < cfg.numNodes; ++n) {
+        auto nodeName = this->name() + sim::format(".node%zu", n);
+        l2s.push_back(std::make_unique<L2Controller>(
+            nodeName + ".l2", eq, cfg, *fabric_,
+            static_cast<int>(n)));
+        icaches.push_back(std::make_unique<L1Cache>(
+            nodeName + ".l1i", eq, cfg, *l2s.back(), true));
+        dcaches.push_back(std::make_unique<L1Cache>(
+            nodeName + ".l1d", eq, cfg, *l2s.back(), false));
+        l2s.back()->setL1s(icaches.back().get(), dcaches.back().get());
+        fabric_->addNode(l2s.back().get());
+    }
+}
+
+SnoopBus &
+MemSystem::bus()
+{
+    VARSIM_ASSERT(bus_ != nullptr,
+                  "bus() on a directory-protocol system");
+    return *bus_;
+}
+
+DirectoryFabric &
+MemSystem::directory()
+{
+    VARSIM_ASSERT(dir_ != nullptr,
+                  "directory() on a snooping-protocol system");
+    return *dir_;
+}
+
+std::size_t
+MemSystem::pendingTransactions() const
+{
+    std::size_t pending = 0;
+    for (const auto &l2 : l2s)
+        pending += l2->pendingTransactions();
+    for (const auto &c : icaches)
+        pending += c->pendingMisses();
+    for (const auto &c : dcaches)
+        pending += c->pendingMisses();
+    return pending;
+}
+
+MemStats
+MemSystem::totalStats() const
+{
+    MemStats s = fabric_->stats();
+    for (const auto &c : icaches) {
+        s.l1Hits += c->hits();
+        s.l1Misses += c->misses();
+    }
+    for (const auto &c : dcaches) {
+        s.l1Hits += c->hits();
+        s.l1Misses += c->misses();
+    }
+    for (const auto &l2 : l2s) {
+        s.l2Hits += l2->hits();
+        s.prefetches += l2->prefetches();
+    }
+    return s;
+}
+
+void
+MemSystem::drain()
+{
+    fabric_->drain();
+    for (const auto &l2 : l2s)
+        l2->drain();
+    for (const auto &c : icaches)
+        c->drain();
+    for (const auto &c : dcaches)
+        c->drain();
+}
+
+void
+MemSystem::serialize(sim::CheckpointOut &cp) const
+{
+    pertRng.serialize(cp);
+    fabric_->serialize(cp);
+    for (const auto &l2 : l2s)
+        l2->serialize(cp);
+    for (const auto &c : icaches)
+        c->serialize(cp);
+    for (const auto &c : dcaches)
+        c->serialize(cp);
+}
+
+void
+MemSystem::unserialize(sim::CheckpointIn &cp)
+{
+    pertRng.unserialize(cp);
+    fabric_->unserialize(cp);
+    for (const auto &l2 : l2s)
+        l2->unserialize(cp);
+    for (const auto &c : icaches)
+        c->unserialize(cp);
+    for (const auto &c : dcaches)
+        c->unserialize(cp);
+    fabric_->postRestore();
+}
+
+} // namespace mem
+} // namespace varsim

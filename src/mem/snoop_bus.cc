@@ -1,0 +1,146 @@
+#include "mem/snoop_bus.hh"
+
+#include <algorithm>
+
+#include "mem/l2_controller.hh"
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+SnoopBus::SnoopBus(std::string name, sim::EventQueue &eq,
+                   const MemConfig &config, sim::Random &perturb_rng)
+    : SimObject(std::move(name), eq), cfg(config),
+      pertRng(perturb_rng), dram_(config)
+{}
+
+void
+SnoopBus::addNode(L2Controller *l2)
+{
+    nodes.push_back(l2);
+}
+
+void
+SnoopBus::sendRequest(const BusMsg &msg)
+{
+    const sim::Tick now = curTick();
+    const sim::Tick order = std::max(now, nextOrderTick);
+    nextOrderTick = order + cfg.busOccupancy;
+    ++stats_.busTransactions;
+    stats_.busQueueDelay += order - now;
+
+    DPRINTF(Bus, "order %s blk=%#llx src=%d at %llu",
+            msg.cmd == BusCmd::GetS   ? "GetS"
+            : msg.cmd == BusCmd::GetM ? "GetM"
+                                      : "PutM",
+            static_cast<unsigned long long>(msg.blockAddr),
+            msg.srcNode, static_cast<unsigned long long>(order));
+
+    // Snooped by every node one network traversal after ordering.
+    callIn(order - now + cfg.netTraversal,
+           [this, msg] { snoop(msg); });
+}
+
+void
+SnoopBus::snoop(BusMsg msg)
+{
+    if (msg.cmd == BusCmd::PutM) {
+        // Writebacks are fire-and-forget for timing purposes: the
+        // evicting controller already relinquished ownership, making
+        // memory the owner (ownership is defined by cache states).
+        ++stats_.writebacks;
+        return;
+    }
+
+    auto src = static_cast<std::size_t>(msg.srcNode);
+    VARSIM_ASSERT(src < nodes.size(), "snoop from unknown node %d",
+                  msg.srcNode);
+
+    if (busy.count(msg.blockAddr)) {
+        ++stats_.nacks;
+        nodes[src]->handleNack(msg.blockAddr);
+        return;
+    }
+
+    // Locate the current owner, if any (at most one node holds the
+    // block in M or O — a protocol invariant).
+    int ownerNode = -1;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (isOwnerState(nodes[n]->snoopState(msg.blockAddr))) {
+            VARSIM_ASSERT(ownerNode == -1,
+                          "two owners for block %#llx",
+                          static_cast<unsigned long long>(
+                              msg.blockAddr));
+            ownerNode = static_cast<int>(n);
+        }
+    }
+
+    // Apply state transitions at the order point on all other nodes.
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (n != src)
+            nodes[n]->handleRemoteSnoop(msg);
+    }
+
+    ++stats_.l2Misses;
+    const bool writable = msg.cmd == BusCmd::GetM;
+    const sim::Tick pert =
+        cfg.perturbMaxNs > 0 ? pertRng.uniformInt(0, cfg.perturbMaxNs)
+                             : 0;
+    stats_.perturbationTotal += pert;
+
+    sim::Tick dataDelay;
+    if (ownerNode == static_cast<int>(src)) {
+        // Upgrade: requestor already owns the data (O -> M).
+        VARSIM_ASSERT(writable, "GetS from the owning node");
+        ++stats_.upgrades;
+        dataDelay = cfg.upgradeLatency + pert;
+    } else if (ownerNode >= 0) {
+        ++stats_.cacheToCache;
+        dataDelay = cfg.ownerLatency + cfg.netTraversal + pert;
+    } else {
+        ++stats_.memoryFetches;
+        const sim::Tick dataReady =
+            dram_.schedule(msg.blockAddr, curTick());
+        dataDelay = (dataReady - curTick()) + cfg.netTraversal + pert;
+    }
+
+    busy.emplace(msg.blockAddr, true);
+    L2Controller *requestor = nodes[src];
+    const sim::Addr block = msg.blockAddr;
+    callIn(
+        dataDelay,
+        [this, requestor, block, writable] {
+            busy.erase(block);
+            requestor->fillArrived(block, writable);
+        },
+        sim::Event::memoryResponsePri);
+}
+
+void
+SnoopBus::drain()
+{
+    VARSIM_ASSERT(busy.empty(),
+                  "draining bus with %zu busy blocks", busy.size());
+}
+
+void
+SnoopBus::serialize(sim::CheckpointOut &cp) const
+{
+    VARSIM_ASSERT(busy.empty(), "checkpoint with busy bus blocks");
+    cp.put(nextOrderTick);
+    cp.put(stats_);
+    dram_.serialize(cp);
+}
+
+void
+SnoopBus::unserialize(sim::CheckpointIn &cp)
+{
+    cp.get(nextOrderTick);
+    cp.get(stats_);
+    dram_.unserialize(cp);
+}
+
+} // namespace mem
+} // namespace varsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The address network: a totally ordered broadcast "bus" abstracting
+ * the paper's two-level crossbar hierarchy, plus the home-memory DRAM
+ * model.
+ *
+ * All coherence requests are serialized here — the order point is the
+ * single source of truth for MOSI state transitions, which happen
+ * atomically when a request is snooped. Data movement is modelled as
+ * latency (owner 25 ns or DRAM 80 ns, plus a 50 ns network traversal
+ * and the per-miss pseudo-random perturbation of Section 3.3).
+ *
+ * Requests that hit a block with an in-flight transaction are NACKed
+ * and retried by the requesting controller, as in real snooping
+ * systems; the retry timing is itself a (deterministic) function of
+ * the schedule, which further amplifies injected perturbations into
+ * divergent executions — the mechanism at the heart of the paper's
+ * space-variability results.
+ */
+
+#ifndef VARSIM_MEM_SNOOP_BUS_HH
+#define VARSIM_MEM_SNOOP_BUS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/dram.hh"
+#include "mem/fabric.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+class L2Controller;
+
+/**
+ * The ordered broadcast address network plus protocol engine.
+ */
+class SnoopBus : public sim::SimObject, public CoherenceFabric
+{
+  public:
+    SnoopBus(std::string name, sim::EventQueue &eq,
+             const MemConfig &cfg, sim::Random &perturb_rng);
+
+    /** Register a node's L2 controller. Order defines node ids. */
+    void addNode(L2Controller *l2) override;
+
+    /**
+     * Enqueue a request for global ordering. The source controller
+     * will later receive exactly one of handleNack() or
+     * fillArrived() (except PutM, which is fire-and-forget).
+     */
+    void sendRequest(const BusMsg &msg) override;
+
+    /** Statistics counters owned by the bus. */
+    MemStats &stats() override { return stats_; }
+    const MemStats &stats() const override { return stats_; }
+
+    /** The DRAM model (exposed for tests). */
+    DramModel &dram() { return dram_; }
+
+    /** True if a transaction is in flight for @p block_addr. */
+    bool
+    blockBusy(sim::Addr block_addr) const override
+    {
+        return busy.count(block_addr) != 0;
+    }
+
+    void drain() override;
+    void serialize(sim::CheckpointOut &cp) const override;
+    void unserialize(sim::CheckpointIn &cp) override;
+
+  private:
+    void snoop(BusMsg msg);
+
+    const MemConfig &cfg;
+    sim::Random &pertRng;
+    DramModel dram_;
+    std::vector<L2Controller *> nodes;
+    std::unordered_map<sim::Addr, bool> busy;
+    sim::Tick nextOrderTick = 0;
+    MemStats stats_;
+};
+
+} // namespace mem
+} // namespace varsim
+
+#endif // VARSIM_MEM_SNOOP_BUS_HH

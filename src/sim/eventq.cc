@@ -1,0 +1,164 @@
+#include "sim/eventq.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace sim
+{
+
+Event::~Event()
+{
+    if (scheduled_ && queue_)
+        queue_->deschedule(this);
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    VARSIM_ASSERT(ev != nullptr, "scheduling null event");
+    VARSIM_ASSERT(!ev->scheduled_, "event '%s' already scheduled",
+                  ev->name().c_str());
+    VARSIM_ASSERT(when >= curTick_,
+                  "event '%s' scheduled in the past (%llu < %llu)",
+                  ev->name().c_str(),
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(curTick_));
+
+    ev->when_ = when;
+    ev->seq_ = nextSeq++;
+    ev->scheduled_ = true;
+    ev->queue_ = this;
+    pushEntry({when, ev->priority(), ev->seq_, ev});
+    ++numPending;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    VARSIM_ASSERT(ev != nullptr, "descheduling null event");
+    VARSIM_ASSERT(ev->scheduled_, "event '%s' not scheduled",
+                  ev->name().c_str());
+    // Lazy removal: the heap entry stays behind and is discarded when
+    // popped (its seq no longer matches a live scheduled event).
+    ev->scheduled_ = false;
+    ev->queue_ = nullptr;
+    --numPending;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::restoreTick(Tick t)
+{
+    VARSIM_ASSERT(empty(), "restoreTick with %zu pending events",
+                  numPending);
+    VARSIM_ASSERT(t >= curTick_, "restoreTick into the past");
+    curTick_ = t;
+}
+
+Tick
+EventQueue::run(Tick stop_tick)
+{
+    while (!empty() && !stopRequested) {
+        // Peek: discard stale entries first.
+        while (!heap.empty()) {
+            const HeapEntry &top = heap.front();
+            if (!top.ev->scheduled_ || top.ev->seq_ != top.seq) {
+                popEntry();
+                continue;
+            }
+            break;
+        }
+        if (heap.empty())
+            break;
+        if (heap.front().when > stop_tick)
+            break;
+        step();
+    }
+    return curTick_;
+}
+
+void
+EventQueue::step()
+{
+    while (true) {
+        VARSIM_ASSERT(!heap.empty(), "step() on empty event queue");
+        HeapEntry entry = popEntry();
+        Event *ev = entry.ev;
+        // Skip stale entries from deschedule()/reschedule().
+        if (!ev->scheduled_ || ev->seq_ != entry.seq)
+            continue;
+
+        VARSIM_ASSERT(entry.when >= curTick_,
+                      "time went backwards dispatching '%s'",
+                      ev->name().c_str());
+        curTick_ = entry.when;
+        ev->scheduled_ = false;
+        ev->queue_ = nullptr;
+        --numPending;
+        ++dispatched;
+        ev->process();
+        return;
+    }
+}
+
+void
+EventQueue::pushEntry(const HeapEntry &e)
+{
+    heap.push_back(e);
+    siftUp(heap.size() - 1);
+}
+
+EventQueue::HeapEntry
+EventQueue::popEntry()
+{
+    HeapEntry top = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+    return top;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (heap[parent] > heap[i]) {
+            std::swap(heap[parent], heap[i]);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    const std::size_t n = heap.size();
+    while (true) {
+        std::size_t left = 2 * i + 1;
+        std::size_t right = 2 * i + 2;
+        std::size_t smallest = i;
+        if (left < n && heap[smallest] > heap[left])
+            smallest = left;
+        if (right < n && heap[smallest] > heap[right])
+            smallest = right;
+        if (smallest == i)
+            break;
+        std::swap(heap[i], heap[smallest]);
+        i = smallest;
+    }
+}
+
+} // namespace sim
+} // namespace varsim

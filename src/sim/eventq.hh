@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * Determinism is the load-bearing property of this queue. The paper's
+ * central observation (Section 3.3) is that architectural simulators
+ * are deterministic — "they produce the same timing result every time
+ * for the same workload and system configuration" — and that a
+ * methodology must therefore *inject* perturbations to expose workload
+ * variability. For the injected perturbation to be the only source of
+ * divergence, event ordering must be a pure function of the schedule:
+ * events firing at the same tick are ordered by (priority, insertion
+ * sequence number), never by pointer value or container whim.
+ */
+
+#ifndef VARSIM_SIM_EVENTQ_HH
+#define VARSIM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace sim
+{
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled to happen at a particular tick.
+ *
+ * Events are owned by the components that schedule them; the queue
+ * never deletes an Event. An event object can be rescheduled after it
+ * has fired (but not while it is pending).
+ */
+class Event
+{
+  public:
+    /**
+     * Tie-break priorities for events at the same tick. Lower values
+     * fire first.
+     */
+    enum Priority : std::int32_t
+    {
+        /** Memory responses settle before dependents react. */
+        memoryResponsePri = -20,
+        /** CPU pipeline activity. */
+        cpuTickPri = -10,
+        /** Default for everything else. */
+        defaultPri = 0,
+        /** OS scheduling decisions observe everything else first. */
+        schedulerPri = 10,
+        /** Measurement bookkeeping sees the final state of a tick. */
+        statsPri = 20,
+    };
+
+    explicit Event(Priority p = defaultPri) : priority_(p) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked by the queue when the event fires. */
+    virtual void process() = 0;
+
+    /** Human-readable description, for tracing and error messages. */
+    virtual std::string name() const { return "anon-event"; }
+
+    /** True while the event sits in a queue awaiting dispatch. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick at which the event will fire (valid while scheduled). */
+    Tick when() const { return when_; }
+
+    /** Priority used to order same-tick events. */
+    Priority priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+    Priority priority_;
+    bool scheduled_ = false;
+    EventQueue *queue_ = nullptr;
+};
+
+/**
+ * Convenience event wrapping a callable; gem5's EventFunctionWrapper.
+ */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback,
+                         std::string name,
+                         Priority p = defaultPri)
+        : Event(p), callback_(std::move(callback)),
+          name_(std::move(name))
+    {}
+
+    void process() override { callback_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * The event queue: a binary heap ordered by (tick, priority, seq).
+ *
+ * Each Simulation owns exactly one queue; there are no global queues,
+ * so independent simulations can run concurrently on host threads
+ * (the paper's "coarse-grain parallelism" across simulation hosts,
+ * Section 1).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Schedule @p ev to fire at absolute tick @p when. */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a pending event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if pending) and schedule at a new tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** True if no events are pending. */
+    bool empty() const { return numPending == 0; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return numPending; }
+
+    /** Total events dispatched since construction. */
+    std::uint64_t numDispatched() const { return dispatched; }
+
+    /**
+     * Dispatch events until the queue is empty, the stop flag is
+     * raised (requestStop()), or the next event lies beyond
+     * @p stop_tick.
+     *
+     * @return the tick of the last dispatched event, or curTick() if
+     *         nothing ran.
+     */
+    Tick run(Tick stop_tick = maxTick);
+
+    /** Dispatch exactly one event. Queue must not be empty. */
+    void step();
+
+    /**
+     * Ask a run() in progress to return after the current event
+     * completes. Used by measurement logic when the target
+     * transaction count is reached.
+     */
+    void requestStop() { stopRequested = true; }
+
+    /** Clear a previously raised stop request. */
+    void clearStop() { stopRequested = false; }
+
+    /**
+     * Restore simulated time when loading a checkpoint. Only valid
+     * while the queue is empty (checkpoints are taken drained) and
+     * time moves forward.
+     */
+    void restoreTick(Tick t);
+
+    /** True if a stop has been requested but not yet cleared. */
+    bool stopPending() const { return stopRequested; }
+
+  private:
+    struct HeapEntry
+    {
+        Tick when;
+        std::int32_t priority;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const HeapEntry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            if (priority != other.priority)
+                return priority > other.priority;
+            return seq > other.seq;
+        }
+    };
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void pushEntry(const HeapEntry &e);
+    HeapEntry popEntry();
+
+    std::vector<HeapEntry> heap;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t dispatched = 0;
+    std::size_t numPending = 0;
+    bool stopRequested = false;
+};
+
+} // namespace sim
+} // namespace varsim
+
+#endif // VARSIM_SIM_EVENTQ_HH

@@ -1,0 +1,88 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace varsim
+{
+namespace sim
+{
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+namespace
+{
+
+void
+emit(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::string msg = vformat(fmt, ap);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // anonymous namespace
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("info", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace sim
+} // namespace varsim

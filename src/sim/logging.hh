@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 conventions:
+ *
+ *  - panic():  something happened that can never happen unless the
+ *              simulator itself is broken. Aborts (may dump core).
+ *  - fatal():  the simulation cannot continue due to a user error
+ *              (bad configuration, invalid arguments). Exits with
+ *              status 1.
+ *  - warn():   functionality may not be modelled exactly; a good place
+ *              to start looking if strange behaviour follows.
+ *  - inform(): normal operational status for the user.
+ *
+ * All functions accept printf-style format strings.
+ */
+
+#ifndef VARSIM_SIM_LOGGING_HH
+#define VARSIM_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace varsim
+{
+namespace sim
+{
+
+/** Render a printf-style format into a std::string. */
+std::string vformat(const char *fmt, std::va_list ap);
+
+/** Render a printf-style format into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal simulator bug and abort.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a condition that is modelled imprecisely. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report normal operational status. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Abort with a message if @p cond is false.  Unlike assert(), active in
+ * all build types; use for invariants whose violation means a simulator
+ * bug regardless of configuration.
+ */
+#define VARSIM_ASSERT(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::varsim::sim::panic("assertion '%s' failed at %s:%d: %s",  \
+                                 #cond, __FILE__, __LINE__,             \
+                                 ::varsim::sim::format(__VA_ARGS__)     \
+                                     .c_str());                         \
+        }                                                               \
+    } while (0)
+
+} // namespace sim
+} // namespace varsim
+
+#endif // VARSIM_SIM_LOGGING_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Base class for simulated components.
+ *
+ * A SimObject knows its name and the event queue of the simulation it
+ * belongs to. There is deliberately no global state: several
+ * simulations run concurrently on host threads during a
+ * multiple-simulation experiment (Section 5 of the paper), so every
+ * component references its own simulation's queue.
+ */
+
+#ifndef VARSIM_SIM_SIM_OBJECT_HH
+#define VARSIM_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "sim/eventq.hh"
+#include "sim/serialize.hh"
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace sim
+{
+
+/**
+ * Common base for every simulated hardware or software component.
+ */
+class SimObject : public Serializable
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : name_(std::move(name)), eventq_(&eq)
+    {}
+
+    ~SimObject() override = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name, e.g. "system.cpu3.l2". */
+    const std::string &name() const { return name_; }
+
+    /** The simulation's event queue. */
+    EventQueue &eventq() { return *eventq_; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return eventq_->curTick(); }
+
+    /** Schedule @p ev at absolute tick @p when. */
+    void schedule(Event &ev, Tick when) { eventq_->schedule(&ev, when); }
+
+    /** Schedule @p ev @p delta ticks from now. */
+    void
+    scheduleIn(Event &ev, Tick delta)
+    {
+        eventq_->schedule(&ev, curTick() + delta);
+    }
+
+    /** Deschedule a pending event. */
+    void deschedule(Event &ev) { eventq_->deschedule(&ev); }
+
+    /**
+     * Schedule a one-shot callable @p delta ticks from now. The event
+     * object is heap-allocated and deletes itself after firing; use
+     * member Event objects instead for recurring or cancellable work.
+     */
+    void
+    callIn(Tick delta, std::function<void()> fn,
+           Event::Priority pri = Event::defaultPri)
+    {
+        class OneShot : public Event
+        {
+          public:
+            OneShot(std::function<void()> f, Priority p)
+                : Event(p), fn(std::move(f))
+            {}
+            void
+            process() override
+            {
+                fn();
+                delete this;
+            }
+            std::string name() const override { return "one-shot"; }
+
+          private:
+            std::function<void()> fn;
+        };
+        auto *ev = new OneShot(std::move(fn), pri);
+        scheduleIn(*ev, delta);
+    }
+
+    /**
+     * Called after construction (or after unserialize) to arm
+     * recurring events. Default: nothing.
+     */
+    virtual void startup() {}
+
+    /**
+     * Cancel recurring events so the system can reach a quiescent,
+     * checkpointable state. Default: nothing.
+     */
+    virtual void drain() {}
+
+    /** Default serialization: stateless component. */
+    void serialize(CheckpointOut &) const override {}
+
+    /** Default unserialization: stateless component. */
+    void unserialize(CheckpointIn &) override {}
+
+  private:
+    std::string name_;
+    EventQueue *eventq_;
+};
+
+} // namespace sim
+} // namespace varsim
+
+#endif // VARSIM_SIM_SIM_OBJECT_HH

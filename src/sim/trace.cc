@@ -1,0 +1,92 @@
+#include "sim/trace.hh"
+
+#include <array>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr std::size_t numFlags =
+    static_cast<std::size_t>(Flag::NumFlags);
+
+const char *const flagNames[numFlags] = {
+    "Cache", "Coherence", "Bus", "Dram", "Cpu", "Fetch", "Rob",
+    "Sched", "Mutex", "Workload", "Txn", "Checkpoint", "Experiment",
+};
+
+struct FlagTable
+{
+    std::array<bool, numFlags> on{};
+
+    FlagTable()
+    {
+        const char *env = std::getenv("VARSIM_DEBUG");
+        if (env == nullptr)
+            return;
+        std::stringstream ss(env);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+            if (item.empty())
+                continue;
+            bool found = false;
+            for (std::size_t i = 0; i < numFlags; ++i) {
+                if (item == flagNames[i] || item == "All") {
+                    on[i] = true;
+                    found = item != "All";
+                    if (item == "All") {
+                        for (auto &f : on)
+                            f = true;
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if (!found)
+                warn("unknown VARSIM_DEBUG flag '%s'", item.c_str());
+        }
+    }
+};
+
+const FlagTable &
+table()
+{
+    static FlagTable t;
+    return t;
+}
+
+} // anonymous namespace
+
+bool
+enabled(Flag flag)
+{
+    return table().on[static_cast<std::size_t>(flag)];
+}
+
+void
+print(Tick tick, const std::string &who, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "%12llu: %s: %s\n",
+                 static_cast<unsigned long long>(tick), who.c_str(),
+                 msg.c_str());
+}
+
+} // namespace trace
+} // namespace sim
+} // namespace varsim

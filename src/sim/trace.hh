@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lightweight debug tracing, in the spirit of gem5's DPRINTF.
+ *
+ * Flags are enabled through the VARSIM_DEBUG environment variable,
+ * e.g. `VARSIM_DEBUG=Cache,Sched ./quickstart`. Tracing is off by
+ * default and compiled in (the check is one branch on a cached bool),
+ * so it can be used to debug emergent-divergence issues without a
+ * rebuild.
+ */
+
+#ifndef VARSIM_SIM_TRACE_HH
+#define VARSIM_SIM_TRACE_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace trace
+{
+
+/** Debug flag identifiers. Extend as subsystems grow. */
+enum class Flag
+{
+    Cache,
+    Coherence,
+    Bus,
+    Dram,
+    Cpu,
+    Fetch,
+    Rob,
+    Sched,
+    Mutex,
+    Workload,
+    Txn,
+    Checkpoint,
+    Experiment,
+    NumFlags
+};
+
+/** True if @p flag was listed in VARSIM_DEBUG. */
+bool enabled(Flag flag);
+
+/** Emit one trace line: "<tick>: <who>: <message>". */
+void print(Tick tick, const std::string &who, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+} // namespace trace
+} // namespace sim
+} // namespace varsim
+
+/**
+ * Trace macro for SimObject members: uses this->curTick() and
+ * this->name().
+ */
+#define DPRINTF(flag, ...)                                              \
+    do {                                                                \
+        if (::varsim::sim::trace::enabled(                              \
+                ::varsim::sim::trace::Flag::flag)) {                    \
+            ::varsim::sim::trace::print(this->curTick(),                \
+                                        this->name(), __VA_ARGS__);     \
+        }                                                               \
+    } while (0)
+
+#endif // VARSIM_SIM_TRACE_HH

@@ -1,0 +1,121 @@
+#include "stats/anova2.hh"
+
+#include "sim/logging.hh"
+#include "stats/distributions.hh"
+#include "stats/summary.hh"
+
+namespace varsim
+{
+namespace stats
+{
+
+std::string
+TwoWayAnovaResult::toString() const
+{
+    return sim::format(
+        "two-way ANOVA: A: F=%.3f (df %g) p=%.4g | B: F=%.3f "
+        "(df %g) p=%.4g | AxB: F=%.3f (df %g) p=%.4g | "
+        "MSwithin=%.4g (df %g)",
+        fA, dfA, pA, fB, dfB, pB, fAB, dfAB, pAB,
+        meanSquareWithin, dfWithin);
+}
+
+TwoWayAnovaResult
+twoWayAnova(
+    const std::vector<std::vector<std::vector<double>>> &cells)
+{
+    const std::size_t a = cells.size();
+    VARSIM_ASSERT(a >= 2, "two-way ANOVA needs >= 2 A-levels");
+    const std::size_t b = cells.front().size();
+    VARSIM_ASSERT(b >= 2, "two-way ANOVA needs >= 2 B-levels");
+    const std::size_t n = cells.front().front().size();
+    VARSIM_ASSERT(n >= 2,
+                  "two-way ANOVA needs >= 2 replicates per cell");
+    for (const auto &row : cells) {
+        VARSIM_ASSERT(row.size() == b, "ragged A-level");
+        for (const auto &cell : row)
+            VARSIM_ASSERT(cell.size() == n,
+                          "unbalanced design: every cell needs "
+                          "exactly %zu replicates", n);
+    }
+
+    // Means.
+    RunningStat grand;
+    std::vector<double> meanA(a, 0.0), meanB(b, 0.0);
+    std::vector<std::vector<double>> meanCell(
+        a, std::vector<double>(b, 0.0));
+    for (std::size_t i = 0; i < a; ++i) {
+        for (std::size_t j = 0; j < b; ++j) {
+            RunningStat cell;
+            for (double x : cells[i][j]) {
+                cell.add(x);
+                grand.add(x);
+            }
+            meanCell[i][j] = cell.mean();
+        }
+    }
+    const double gm = grand.mean();
+    for (std::size_t i = 0; i < a; ++i) {
+        RunningStat r;
+        for (std::size_t j = 0; j < b; ++j)
+            r.add(meanCell[i][j]);
+        meanA[i] = r.mean();
+    }
+    for (std::size_t j = 0; j < b; ++j) {
+        RunningStat r;
+        for (std::size_t i = 0; i < a; ++i)
+            r.add(meanCell[i][j]);
+        meanB[j] = r.mean();
+    }
+
+    // Sums of squares.
+    const double da = static_cast<double>(a);
+    const double db = static_cast<double>(b);
+    const double dn = static_cast<double>(n);
+
+    double ssA = 0.0;
+    for (std::size_t i = 0; i < a; ++i)
+        ssA += db * dn * (meanA[i] - gm) * (meanA[i] - gm);
+    double ssB = 0.0;
+    for (std::size_t j = 0; j < b; ++j)
+        ssB += da * dn * (meanB[j] - gm) * (meanB[j] - gm);
+    double ssAB = 0.0;
+    double ssWithin = 0.0;
+    for (std::size_t i = 0; i < a; ++i) {
+        for (std::size_t j = 0; j < b; ++j) {
+            const double dev =
+                meanCell[i][j] - meanA[i] - meanB[j] + gm;
+            ssAB += dn * dev * dev;
+            for (double x : cells[i][j]) {
+                ssWithin += (x - meanCell[i][j]) *
+                            (x - meanCell[i][j]);
+            }
+        }
+    }
+
+    TwoWayAnovaResult r;
+    r.dfA = da - 1.0;
+    r.dfB = db - 1.0;
+    r.dfAB = (da - 1.0) * (db - 1.0);
+    r.dfWithin = da * db * (dn - 1.0);
+    r.meanSquareWithin =
+        r.dfWithin > 0.0 ? ssWithin / r.dfWithin : 0.0;
+
+    auto fAndP = [&](double ss, double df, double &f, double &p) {
+        const double ms = df > 0.0 ? ss / df : 0.0;
+        if (r.meanSquareWithin <= 0.0) {
+            f = ms > 0.0 ? 1e12 : 0.0;
+            p = ms > 0.0 ? 0.0 : 1.0;
+            return;
+        }
+        f = ms / r.meanSquareWithin;
+        p = 1.0 - fCdf(f, df, r.dfWithin);
+    };
+    fAndP(ssA, r.dfA, r.fA, r.pA);
+    fAndP(ssB, r.dfB, r.fB, r.pB);
+    fAndP(ssAB, r.dfAB, r.fAB, r.pAB);
+    return r;
+}
+
+} // namespace stats
+} // namespace varsim

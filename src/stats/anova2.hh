@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Two-way analysis of variance with replication.
+ *
+ * The paper's future-work list (Section 5.2) proposes extending the
+ * ANOVA analysis to "different workload/system configuration
+ * combinations": a two-factor design where factor A is, e.g., the
+ * starting checkpoint (time variability) and factor B the system
+ * configuration, with each cell holding perturbed replicate runs
+ * (space variability). The interaction term answers a question the
+ * one-way analysis cannot: does the *effect of the configuration*
+ * depend on where in the workload's lifetime you measure?
+ */
+
+#ifndef VARSIM_STATS_ANOVA2_HH
+#define VARSIM_STATS_ANOVA2_HH
+
+#include <string>
+#include <vector>
+
+namespace varsim
+{
+namespace stats
+{
+
+/** Result of a two-way ANOVA with replication. */
+struct TwoWayAnovaResult
+{
+    /** Factor A main effect (e.g. checkpoint / time). */
+    double fA = 0.0;
+    double dfA = 0.0;
+    double pA = 1.0;
+
+    /** Factor B main effect (e.g. system configuration). */
+    double fB = 0.0;
+    double dfB = 0.0;
+    double pB = 1.0;
+
+    /** A x B interaction. */
+    double fAB = 0.0;
+    double dfAB = 0.0;
+    double pAB = 1.0;
+
+    /** Within-cell (replication/space) variance. */
+    double dfWithin = 0.0;
+    double meanSquareWithin = 0.0;
+
+    bool aSignificantAt(double alpha) const { return pA < alpha; }
+    bool bSignificantAt(double alpha) const { return pB < alpha; }
+    bool
+    interactionSignificantAt(double alpha) const
+    {
+        return pAB < alpha;
+    }
+
+    std::string toString() const;
+};
+
+/**
+ * Two-way ANOVA over @p cells, indexed cells[a][b] = replicate
+ * observations for factor-A level a and factor-B level b. Every cell
+ * must hold the same number (>= 2) of observations (a balanced
+ * design — the natural shape of a seeded multi-run experiment).
+ */
+TwoWayAnovaResult
+twoWayAnova(const std::vector<std::vector<std::vector<double>>>
+                &cells);
+
+} // namespace stats
+} // namespace varsim
+
+#endif // VARSIM_STATS_ANOVA2_HH

@@ -1,0 +1,70 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts(bins, 0)
+{
+    VARSIM_ASSERT(hi > lo, "Histogram: hi (%f) <= lo (%f)", hi, lo);
+    VARSIM_ASSERT(bins >= 1, "Histogram: needs >= 1 bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(
+        std::floor(frac * static_cast<double>(counts.size())));
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(idx)];
+    ++n;
+}
+
+void
+Histogram::add(std::span<const double> xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts.size());
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    return binLo(i + 1);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    const std::size_t peak =
+        *std::max_element(counts.begin(), counts.end());
+    std::ostringstream out;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::size_t bar =
+            peak ? counts[i] * width / peak : 0;
+        out << sim::format("[%12.4g, %12.4g) %8zu  ", binLo(i),
+                           binHi(i), counts[i]);
+        out << std::string(bar, '#') << "\n";
+    }
+    return out.str();
+}
+
+} // namespace stats
+} // namespace varsim

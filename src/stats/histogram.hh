@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-bin histogram with an ASCII renderer, used by the benchmark
+ * harness to visualize figure-style distributions in a terminal.
+ */
+
+#ifndef VARSIM_STATS_HISTOGRAM_HH
+#define VARSIM_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace varsim
+{
+namespace stats
+{
+
+/** Equal-width binned histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    lower edge of the first bin
+     * @param hi    upper edge of the last bin (must be > lo)
+     * @param bins  number of bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one observation (clamped into the edge bins). */
+    void add(double x);
+
+    /** Add many observations. */
+    void add(std::span<const double> xs);
+
+    /** Count in bin @p i. */
+    std::size_t count(std::size_t i) const { return counts.at(i); }
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts.size(); }
+
+    /** Total observations. */
+    std::size_t total() const { return n; }
+
+    /** Lower edge of bin @p i. */
+    double binLo(std::size_t i) const;
+
+    /** Upper edge of bin @p i. */
+    double binHi(std::size_t i) const;
+
+    /**
+     * Render as ASCII rows:  "[lo, hi)  count  ####".
+     * @param width  maximum bar width in characters.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts;
+    std::size_t n = 0;
+};
+
+} // namespace stats
+} // namespace varsim
+
+#endif // VARSIM_STATS_HISTOGRAM_HH

@@ -1,0 +1,140 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace varsim
+{
+namespace stats
+{
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.mu - mu;
+    const double total = na + nb;
+    mu += delta * nb / total;
+    m2 += other.m2 + delta * delta * na * nb / total;
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    n += other.n;
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::coefficientOfVariation() const
+{
+    if (mean == 0.0)
+        return 0.0;
+    return 100.0 * stddev / mean;
+}
+
+double
+Summary::rangeOfVariability() const
+{
+    if (mean == 0.0)
+        return 0.0;
+    return 100.0 * (max - min) / mean;
+}
+
+Summary
+summarize(std::span<const double> xs)
+{
+    RunningStat rs;
+    for (double x : xs)
+        rs.add(x);
+    Summary s;
+    s.n = rs.count();
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.count() ? rs.min() : 0.0;
+    s.max = rs.count() ? rs.max() : 0.0;
+    return s;
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    return summarize(std::span<const double>(xs.data(), xs.size()));
+}
+
+double
+mean(std::span<const double> xs)
+{
+    RunningStat rs;
+    for (double x : xs)
+        rs.add(x);
+    return rs.mean();
+}
+
+double
+variance(std::span<const double> xs)
+{
+    RunningStat rs;
+    for (double x : xs)
+        rs.add(x);
+    return rs.variance();
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+} // namespace stats
+} // namespace varsim

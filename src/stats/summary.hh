@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the paper's methodology.
+ *
+ * Two paper-specific metrics live here:
+ *
+ *  - coefficient of variation (Section 3.3): 100 * stddev / mean,
+ *    the paper's estimate of space-variability magnitude;
+ *  - range of variability (Section 4.2): (max - min) / mean as a
+ *    percentage — "the higher the range of variability, the more
+ *    likely one is to make an incorrect conclusion."
+ */
+
+#ifndef VARSIM_STATS_SUMMARY_HH
+#define VARSIM_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace varsim
+{
+namespace stats
+{
+
+/**
+ * Numerically stable running mean/variance accumulator (Welford).
+ */
+class RunningStat
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (Chan's algorithm). */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of observations. */
+    std::size_t count() const { return n; }
+
+    /** Sample mean. Zero if empty. */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance (n-1 denominator). Zero if n < 2. */
+    double variance() const;
+
+    /** Unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation seen. */
+    double min() const { return lo; }
+
+    /** Largest observation seen. */
+    double max() const { return hi; }
+
+    /** Sum of all observations. */
+    double sum() const { return mu * static_cast<double>(n); }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/**
+ * Full descriptive summary of a set of observations.
+ */
+struct Summary
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< unbiased (n-1)
+    double min = 0.0;
+    double max = 0.0;
+
+    /** Coefficient of variation in percent: 100 * stddev / mean. */
+    double coefficientOfVariation() const;
+
+    /** Range of variability in percent: 100 * (max - min) / mean. */
+    double rangeOfVariability() const;
+};
+
+/** Compute a Summary over @p xs. */
+Summary summarize(std::span<const double> xs);
+
+/** Convenience overload. */
+Summary summarize(const std::vector<double> &xs);
+
+/** Sample mean of @p xs (0 if empty). */
+double mean(std::span<const double> xs);
+
+/** Unbiased sample variance of @p xs (0 if n < 2). */
+double variance(std::span<const double> xs);
+
+/** Unbiased sample standard deviation of @p xs. */
+double stddev(std::span<const double> xs);
+
+/** Median (average of middle two for even n; 0 if empty). */
+double median(std::vector<double> xs);
+
+} // namespace stats
+} // namespace varsim
+
+#endif // VARSIM_STATS_SUMMARY_HH

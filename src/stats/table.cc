@@ -1,0 +1,98 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace stats
+{
+
+namespace
+{
+const std::string ruleMarker = "\x01rule";
+} // anonymous namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    VARSIM_ASSERT(!headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    VARSIM_ASSERT(cells.size() == headers_.size(),
+                  "row has %zu cells, table has %zu columns",
+                  cells.size(), headers_.size());
+    body.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    body.push_back({ruleMarker});
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : body) {
+        if (row.size() == 1 && row[0] == ruleMarker)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        std::string s = "+";
+        for (auto w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            s += " " + cells[c] +
+                 std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::ostringstream out;
+    out << rule() << line(headers_) << rule();
+    for (const auto &row : body) {
+        if (row.size() == 1 && row[0] == ruleMarker)
+            out << rule();
+        else
+            out << line(row);
+    }
+    out << rule();
+    return out.str();
+}
+
+std::string
+fmtF(double v, int digits)
+{
+    return sim::format("%.*f", digits, v);
+}
+
+std::string
+fmtG(double v, int digits)
+{
+    return sim::format("%.*g", digits, v);
+}
+
+std::string
+fmtMeanSd(double mean, double sd, int digits)
+{
+    return sim::format("%.*g +/- %.*g", digits, mean, digits, sd);
+}
+
+} // namespace stats
+} // namespace varsim

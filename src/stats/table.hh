@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ASCII table formatter used by the benchmark harness to print
+ * paper-style tables (Tables 1-5) and figure series.
+ */
+
+#ifndef VARSIM_STATS_TABLE_HH
+#define VARSIM_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace varsim
+{
+namespace stats
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Config", "Mean", "CoV (%)"});
+ *   t.addRow({"2-way", "4.61e6", "3.27"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule row. */
+    void addRule();
+
+    /** Render with padded, right-aligned numeric-looking columns. */
+    std::string render() const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with %.*f. */
+std::string fmtF(double v, int digits = 2);
+
+/** Format a double with %.*g. */
+std::string fmtG(double v, int digits = 4);
+
+/** Format "mean +/- sd". */
+std::string fmtMeanSd(double mean, double sd, int digits = 3);
+
+} // namespace stats
+} // namespace varsim
+
+#endif // VARSIM_STATS_TABLE_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Internal interface between the Workload::build() dispatcher and the
+ * per-benchmark builders.
+ */
+
+#ifndef VARSIM_WORKLOAD_BUILDERS_HH
+#define VARSIM_WORKLOAD_BUILDERS_HH
+
+#include "workload/workload.hh"
+
+namespace varsim
+{
+namespace workload
+{
+
+/** Everything a per-kind builder needs. */
+struct BuildContext
+{
+    Workload &wl;
+    os::Kernel &kernel;
+    const WorkloadParams &params;
+    std::size_t numCpus;
+    std::size_t blockBytes;
+};
+
+void buildOltp(BuildContext &ctx);
+void buildApache(BuildContext &ctx);
+void buildSpecJbb(BuildContext &ctx);
+void buildSlashcode(BuildContext &ctx);
+void buildEcPerf(BuildContext &ctx);
+void buildBarnes(BuildContext &ctx);
+void buildOcean(BuildContext &ctx);
+
+/**
+ * Create @p n threads running @p gen, with per-thread RNG streams
+ * derived from the workload seed and a shared code footprint of
+ * @p code_blocks blocks at @p code_base.
+ */
+void createThreads(BuildContext &ctx,
+                   std::shared_ptr<TxnGenerator> gen, std::size_t n,
+                   sim::Addr code_base, std::uint32_t code_blocks);
+
+/** Threads for this workload given params (kind default if 0). */
+std::size_t threadCount(const BuildContext &ctx,
+                        std::size_t default_per_cpu);
+
+} // namespace workload
+} // namespace varsim
+
+#endif // VARSIM_WORKLOAD_BUILDERS_HH

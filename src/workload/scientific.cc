@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The SPLASH-2 scientific workloads (paper Section 3.1): Barnes-Hut
+ * (16K bodies) and Ocean (514x514 grid), modelled as barrier-phased
+ * timestep loops with one thread per processor. The whole benchmark
+ * counts as a single transaction (Table 3), and variability is tiny:
+ * there is no OS-level oversubscription, synchronization is by
+ * all-thread barriers, and sharing is structured — Barnes reads a
+ * shared tree (CoV 0.16%), Ocean also writes shared boundary rows
+ * each step (CoV 0.31%, a little higher).
+ */
+
+#include "workload/builders.hh"
+
+namespace varsim
+{
+namespace workload
+{
+
+namespace
+{
+
+/** Common scaffolding for the two timestep-loop benchmarks. */
+class ScientificGenerator : public TxnGenerator
+{
+  public:
+    ScientificGenerator(BuildContext &ctx, std::size_t threads,
+                        std::uint64_t steps)
+        : blockBytes(ctx.blockBytes), numThreads(threads),
+          numSteps(steps)
+    {
+        phaseBarrier = ctx.kernel.createBarrier(
+            static_cast<std::uint32_t>(threads));
+    }
+
+    void
+    generate(int tid, std::uint64_t txn_index, sim::Random &rng,
+             std::vector<cpu::Op> &out) final
+    {
+        if (txn_index >= numSteps) {
+            // Whole benchmark = one transaction: thread 0 reports it.
+            if (tid == 0)
+                emit::txnEnd(out, 0);
+            emit::end(out);
+            return;
+        }
+        timestep(tid, txn_index, rng, out);
+    }
+
+  protected:
+    /** One barrier-phased timestep. */
+    virtual void timestep(int tid, std::uint64_t step,
+                          sim::Random &rng,
+                          std::vector<cpu::Op> &out) = 0;
+
+    std::size_t blockBytes;
+    std::size_t numThreads;
+    std::uint64_t numSteps;
+    int phaseBarrier = -1;
+};
+
+class BarnesGenerator : public ScientificGenerator
+{
+  public:
+    BarnesGenerator(BuildContext &ctx, std::size_t threads)
+        : ScientificGenerator(ctx, threads, 24)
+    {
+        AddressSpace as;
+        codeBase = as.alloc(256 * 1024);
+        tree = as.alloc(treeBlocks * blockBytes);
+        bodies = as.alloc(std::uint64_t{threads} * bodiesPerThread *
+                          bodyBytes);
+    }
+
+    sim::Addr codeRegion() const { return codeBase; }
+
+  protected:
+    void
+    timestep(int tid, std::uint64_t, sim::Random &rng,
+             std::vector<cpu::Op> &out) override
+    {
+        const sim::Addr myBodies =
+            bodies + static_cast<sim::Addr>(tid) * bodiesPerThread *
+                         bodyBytes;
+
+        // Force computation: a read-only shared-tree walk per body.
+        emit::call(out, codeBase + 0x10);
+        for (std::size_t b = 0; b < bodiesPerThread; ++b) {
+            emit::load(out, myBodies + b * bodyBytes);
+            emit::indexWalk(out, rng, tree, treeBlocks, 6, 30,
+                            codeBase + 0x20, blockBytes);
+            emit::compute(out, 80);
+            emit::branch(out, codeBase + 0x30,
+                         b + 1 < bodiesPerThread);
+        }
+        emit::ret(out, codeBase + 0x10);
+        emit::barrier(out, phaseBarrier);
+
+        // Position update: private writes.
+        emit::scanBlocks(out, myBodies, bodiesPerThread * bodyBytes /
+                                            blockBytes,
+                         true, 20, blockBytes);
+
+        // Tree rebuild: each thread rewrites its slice of the
+        // shared tree (read-mostly the rest of the step).
+        const std::size_t slice = treeBlocks / numThreads;
+        emit::scanBlocks(out,
+                         tree + static_cast<sim::Addr>(tid) * slice *
+                                    blockBytes,
+                         slice / 4, true, 15, blockBytes);
+        emit::barrier(out, phaseBarrier);
+    }
+
+  private:
+    static constexpr std::size_t treeBlocks = 32768; // 2 MB shared
+    static constexpr std::size_t bodiesPerThread = 192;
+    static constexpr std::size_t bodyBytes = 128;
+
+    sim::Addr codeBase = 0;
+    sim::Addr tree = 0;
+    sim::Addr bodies = 0;
+};
+
+class OceanGenerator : public ScientificGenerator
+{
+  public:
+    OceanGenerator(BuildContext &ctx, std::size_t threads)
+        : ScientificGenerator(ctx, threads, 32)
+    {
+        AddressSpace as;
+        codeBase = as.alloc(256 * 1024);
+        grid = as.alloc(std::uint64_t{rows} * rowBlocks *
+                        blockBytes);
+        rowsPerThread = rows / threads;
+    }
+
+    sim::Addr codeRegion() const { return codeBase; }
+
+  protected:
+    void
+    timestep(int tid, std::uint64_t step, sim::Random &,
+             std::vector<cpu::Op> &out) override
+    {
+        const std::size_t first =
+            static_cast<std::size_t>(tid) * rowsPerThread;
+        const std::size_t last = first + rowsPerThread - 1;
+
+        // Red-black relaxation: two half-sweeps per step. Boundary
+        // rows are written by this thread and read by neighbours the
+        // following half-step — true communication through the
+        // coherence protocol.
+        for (int half = 0; half < 2; ++half) {
+            for (std::size_t r = first; r <= last; ++r) {
+                if ((r + step + static_cast<std::size_t>(half)) % 2)
+                    continue;
+                // Read the row above and below (may be a
+                // neighbour's boundary), write our own.
+                if (r > 0) {
+                    emit::scanBlocks(out, rowAddr(r - 1), rowBlocks,
+                                     false, 6, blockBytes);
+                }
+                if (r + 1 < rows) {
+                    emit::scanBlocks(out, rowAddr(r + 1), rowBlocks,
+                                     false, 6, blockBytes);
+                }
+                emit::scanBlocks(out, rowAddr(r), rowBlocks, true, 10,
+                                 blockBytes);
+                emit::branch(out, codeBase + 0x20, r < last);
+            }
+            emit::barrier(out, phaseBarrier);
+        }
+    }
+
+  private:
+    sim::Addr
+    rowAddr(std::size_t r) const
+    {
+        return grid + static_cast<sim::Addr>(r) * rowBlocks *
+                          blockBytes;
+    }
+
+    static constexpr std::size_t rows = 256;
+    static constexpr std::size_t rowBlocks = 8; // 512 B of state/row
+
+    sim::Addr codeBase = 0;
+    sim::Addr grid = 0;
+    std::size_t rowsPerThread = 1;
+};
+
+} // anonymous namespace
+
+void
+buildBarnes(BuildContext &ctx)
+{
+    const std::size_t n = threadCount(ctx, 1);
+    auto gen = std::make_shared<BarnesGenerator>(ctx, n);
+    createThreads(ctx, gen, n, gen->codeRegion(), 64);
+    ctx.wl.setDefaultTxnCount(1);
+}
+
+void
+buildOcean(BuildContext &ctx)
+{
+    const std::size_t n = threadCount(ctx, 1);
+    auto gen = std::make_shared<OceanGenerator>(ctx, n);
+    createThreads(ctx, gen, n, gen->codeRegion(), 48);
+    ctx.wl.setDefaultTxnCount(1);
+}
+
+} // namespace workload
+} // namespace varsim

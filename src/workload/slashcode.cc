@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The Slashcode workload: dynamic web content serving in the style of
+ * slashdot.org (paper Section 3.1). Few, heavyweight page-rendering
+ * transactions whose cost varies wildly (a hot front page with a
+ * giant comment tree vs. long-tail story pages), executed under hot
+ * database and template-cache locks. The paper measures only 30
+ * transactions per run and finds by far the largest space
+ * variability here (Table 3: CoV 3.60%, range 14.45%).
+ */
+
+#include "workload/builders.hh"
+
+namespace varsim
+{
+namespace workload
+{
+
+namespace
+{
+
+class SlashcodeGenerator : public TxnGenerator
+{
+  public:
+    explicit SlashcodeGenerator(BuildContext &ctx)
+        : blockBytes(ctx.blockBytes), pageZipf(numPages, 1.1)
+    {
+        AddressSpace as;
+        codeBase = as.alloc(512 * 1024);
+        storyTable = as.alloc(std::uint64_t{numPages} *
+                              storyRowBytes);
+        commentHeap = as.alloc(std::uint64_t{numPages} *
+                               maxComments * commentRowBytes);
+        commentIndex = as.alloc(indexBlocks * blockBytes);
+        templateCache = as.alloc(templateBlocks * blockBytes);
+        outputBuffers = as.alloc(std::uint64_t{maxThreads} *
+                                 outputBytes);
+
+        dbWord = as.alloc(64);
+        dbLock = ctx.kernel.createMutex(dbWord);
+        templateWord = as.alloc(64);
+        templateLock = ctx.kernel.createMutex(templateWord);
+    }
+
+    sim::Addr codeRegion() const { return codeBase; }
+
+    void
+    generate(int tid, std::uint64_t, sim::Random &rng,
+             std::vector<cpu::Op> &out) override
+    {
+        const std::size_t page = pageZipf.sample(rng);
+        // Comment count: hot pages carry bigger discussion trees,
+        // with a ~3x spread between the front page and the tail.
+        const std::size_t comments =
+            24 + static_cast<std::size_t>(
+                     (page < 8 ? 48.0 : 12.0) * rng.uniformReal());
+
+        emit::call(out, codeBase + 0x10);
+        emit::loop(out, codeBase + 0x20, 10, 60);
+
+        // Fetch the story and its comment tree from the database —
+        // all of it under the global DB handle lock, the workload's
+        // defining serialization point.
+        emit::lock(out, dbLock, dbWord);
+        emit::rowAccess(out,
+                        storyTable + static_cast<sim::Addr>(page) *
+                                         storyRowBytes,
+                        storyRowBytes, false, 25, blockBytes);
+        for (std::size_t c = 0; c < comments; ++c) {
+            emit::indexWalk(out, rng, commentIndex, indexBlocks, 3,
+                            35, codeBase + 0x40, blockBytes);
+            const sim::Addr row =
+                commentHeap +
+                (static_cast<sim::Addr>(page) * maxComments +
+                 (c * 2654435761u) % maxComments) *
+                    commentRowBytes;
+            emit::rowAccess(out, row, commentRowBytes, false, 25,
+                            blockBytes);
+            emit::branch(out, codeBase + 0x50, c + 1 < comments);
+        }
+        emit::unlock(out, dbLock, dbWord);
+
+        // Template expansion under the template-cache lock.
+        emit::lock(out, templateLock, templateWord);
+        emit::scanBlocks(out, templateCache, 24, false, 30,
+                         blockBytes);
+        emit::unlock(out, templateLock, templateWord);
+
+        // Render: heavy private compute proportional to page size.
+        const sim::Addr outBuf =
+            outputBuffers + static_cast<sim::Addr>(
+                                tid % maxThreads) * outputBytes;
+        for (std::size_t c = 0; c < comments; ++c) {
+            emit::compute(out, 300);
+            emit::branch(out, codeBase + 0x60, rng.bernoulli(0.6));
+            if (c % 4 == 0) {
+                emit::store(out, outBuf + (c / 4) * blockBytes);
+            }
+        }
+        emit::ret(out, codeBase + 0x10);
+        emit::txnEnd(out, 0);
+    }
+
+  private:
+    static constexpr std::size_t numPages = 512;
+    static constexpr std::size_t storyRowBytes = 512;
+    static constexpr std::size_t maxComments = 192;
+    static constexpr std::size_t commentRowBytes = 256;
+    static constexpr std::size_t indexBlocks = 8192;
+    static constexpr std::size_t templateBlocks = 512;
+    static constexpr std::size_t outputBytes = 1u << 16;
+    static constexpr std::size_t maxThreads = 1024;
+
+    std::size_t blockBytes;
+    sim::Addr codeBase = 0;
+    sim::Addr storyTable = 0;
+    sim::Addr commentHeap = 0;
+    sim::Addr commentIndex = 0;
+    sim::Addr templateCache = 0;
+    sim::Addr outputBuffers = 0;
+    sim::Addr dbWord = 0;
+    sim::Addr templateWord = 0;
+    int dbLock = -1;
+    int templateLock = -1;
+    sim::ZipfSampler pageZipf;
+};
+
+} // anonymous namespace
+
+void
+buildSlashcode(BuildContext &ctx)
+{
+    auto gen = std::make_shared<SlashcodeGenerator>(ctx);
+    const std::size_t n = threadCount(ctx, 2);
+    createThreads(ctx, gen, n, gen->codeRegion(), 160);
+    ctx.wl.setDefaultTxnCount(30);
+}
+
+} // namespace workload
+} // namespace varsim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The SPECjbb workload: a Java server benchmark in which each thread
+ * operates on its own warehouse (paper Section 3.1). Sharing is
+ * minimal, so space variability is nearly zero; but the JVM heap
+ * fills and is periodically garbage-collected, producing a sawtooth
+ * whose position depends on workload age — exactly the profile the
+ * paper observes: negligible within-checkpoint spread yet >36%
+ * differences between runs started from different checkpoints
+ * (Figure 9b, Section 4.3).
+ */
+
+#include "workload/builders.hh"
+
+namespace varsim
+{
+namespace workload
+{
+
+namespace
+{
+
+class SpecJbbGenerator : public TxnGenerator
+{
+  public:
+    explicit SpecJbbGenerator(BuildContext &ctx)
+        : blockBytes(ctx.blockBytes)
+    {
+        AddressSpace as;
+        codeBase = as.alloc(256 * 1024);
+        // One private warehouse heap per possible thread.
+        heaps = as.alloc(std::uint64_t{maxThreads} * heapBlocks *
+                         blockBytes);
+        companyStats = as.alloc(4 * blockBytes);
+        statsWord = as.alloc(64);
+        statsLock = ctx.kernel.createMutex(statsWord);
+    }
+
+    sim::Addr codeRegion() const { return codeBase; }
+
+    void
+    generate(int tid, std::uint64_t txn_index, sim::Random &rng,
+             std::vector<cpu::Op> &out) override
+    {
+        const sim::Addr heap =
+            heaps + static_cast<sim::Addr>(tid % maxThreads) *
+                        heapBlocks * blockBytes;
+
+        // The live-heap sawtooth: occupancy grows with every
+        // transaction since the last collection; a full GC runs every
+        // gcPeriod transactions. Long-term heap growth makes both the
+        // period position and the GC cost a function of workload age.
+        const std::uint64_t phase = txn_index % gcPeriod;
+        const std::size_t liveBlocks = static_cast<std::size_t>(
+            baseLive + phase * allocPerTxn +
+            std::min<std::uint64_t>(txn_index * growthPerTxn,
+                                    heapBlocks / 2));
+
+        if (phase == gcPeriod - 1) {
+            // Stop-the-world collection: walk the whole live heap.
+            emit::call(out, codeBase + 0x200);
+            const std::size_t scan =
+                std::min(liveBlocks, heapBlocks - 1);
+            emit::scanBlocks(out, heap, scan, false, 8, blockBytes);
+            // Compaction: rewrite the surviving half.
+            emit::scanBlocks(out, heap, scan / 2, true, 8,
+                             blockBytes);
+            emit::ret(out, codeBase + 0x200);
+            emit::txnEnd(out, 1);
+            return;
+        }
+
+        // A regular warehouse transaction: object allocation and
+        // churn within this thread's own heap.
+        emit::call(out, codeBase + 0x20);
+        emit::loop(out, codeBase + 0x30, 5, 40);
+        const std::size_t window =
+            std::min(liveBlocks, heapBlocks - 1);
+        for (int i = 0; i < 24; ++i) {
+            const std::size_t b = static_cast<std::size_t>(
+                rng.uniformInt(0, window));
+            const bool write = rng.bernoulli(0.4);
+            if (write)
+                emit::store(out, heap + b * blockBytes);
+            else
+                emit::load(out, heap + b * blockBytes);
+            emit::compute(out, 25);
+        }
+        emit::ret(out, codeBase + 0x20);
+
+        // Rarely, update shared company-wide statistics — the only
+        // cross-thread communication in the benchmark.
+        if (rng.bernoulli(0.01)) {
+            emit::lock(out, statsLock, statsWord);
+            emit::store(out, companyStats);
+            emit::unlock(out, statsLock, statsWord);
+        }
+        emit::txnEnd(out, 0);
+    }
+
+  private:
+    static constexpr std::size_t maxThreads = 1024;
+    static constexpr std::size_t heapBlocks = 1u << 16; // 4 MB/thread
+    static constexpr std::uint64_t gcPeriod = 400;
+    static constexpr std::uint64_t baseLive = 2048;
+    static constexpr std::uint64_t allocPerTxn = 24;
+    static constexpr std::uint64_t growthPerTxn = 8;
+
+    std::size_t blockBytes;
+    sim::Addr codeBase = 0;
+    sim::Addr heaps = 0;
+    sim::Addr companyStats = 0;
+    sim::Addr statsWord = 0;
+    int statsLock = -1;
+};
+
+} // anonymous namespace
+
+void
+buildSpecJbb(BuildContext &ctx)
+{
+    auto gen = std::make_shared<SpecJbbGenerator>(ctx);
+    const std::size_t n = threadCount(ctx, 8);
+    createThreads(ctx, gen, n, gen->codeRegion(), 112);
+    ctx.wl.setDefaultTxnCount(3000);
+}
+
+} // namespace workload
+} // namespace varsim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests of the methodology layer (Section 5 as an API): variability
+ * reports, configuration comparisons, sample-size advice, and the
+ * ANOVA time-variability decision — on both synthetic numbers and
+ * real (small) simulations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/varsim.hh"
+
+namespace varsim
+{
+namespace core
+{
+namespace
+{
+
+TEST(Analysis, ReportMatchesSummary)
+{
+    const std::vector<double> xs = {90, 100, 110};
+    const VariabilityReport r = analyze(xs);
+    EXPECT_DOUBLE_EQ(r.summary.mean, 100.0);
+    EXPECT_NEAR(r.coefficientOfVariation, 10.0, 1e-9);
+    EXPECT_NEAR(r.rangeOfVariability, 20.0, 1e-9);
+    EXPECT_NE(r.toString().find("CoV"), std::string::npos);
+}
+
+TEST(Analysis, CompareSeparatedConfigs)
+{
+    std::vector<double> slow, fast;
+    for (int i = 0; i < 20; ++i) {
+        slow.push_back(100.0 + i % 5);
+        fast.push_back(80.0 + i % 5);
+    }
+    const ComparisonReport r = compare(slow, fast);
+    EXPECT_TRUE(r.bIsBetter);
+    EXPECT_EQ(r.wrongConclusionRatio, 0.0);
+    EXPECT_FALSE(r.ciOverlap);
+    EXPECT_LT(r.smallestRejectedAlpha, 0.01);
+    EXPECT_NE(r.verdict().find("better"), std::string::npos);
+}
+
+TEST(Analysis, CompareOverlappingConfigsWarns)
+{
+    // Heavily overlapping samples: the methodology must refuse to
+    // conclude.
+    std::vector<double> a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.push_back(100.0 + 7.0 * ((i * 13) % 10));
+        b.push_back(101.0 + 7.0 * ((i * 17) % 10));
+    }
+    const ComparisonReport r = compare(a, b);
+    EXPECT_TRUE(r.ciOverlap);
+    EXPECT_GT(r.wrongConclusionRatio, 10.0);
+    if (r.smallestRejectedAlpha >= 1.0) {
+        EXPECT_NE(r.verdict().find("do not draw"),
+                  std::string::npos);
+    }
+}
+
+TEST(Analysis, CompareDirectionAgnostic)
+{
+    const std::vector<double> a = {10, 11, 12, 11};
+    const std::vector<double> b = {20, 21, 22, 21};
+    const ComparisonReport r1 = compare(a, b);
+    const ComparisonReport r2 = compare(b, a);
+    EXPECT_FALSE(r1.bIsBetter); // a is faster
+    EXPECT_TRUE(r2.bIsBetter);
+    EXPECT_DOUBLE_EQ(r1.wrongConclusionRatio,
+                     r2.wrongConclusionRatio);
+    EXPECT_NEAR(r1.ttest.statistic, r2.ttest.statistic, 1e-12);
+}
+
+TEST(Analysis, RecommendRunsIsMonotoneInAlpha)
+{
+    std::vector<double> a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.push_back(100.0 + (i % 4));
+        b.push_back(98.0 + (i % 4));
+    }
+    const std::size_t n10 = recommendRuns(a, b, 0.10);
+    const std::size_t n01 = recommendRuns(a, b, 0.01);
+    EXPECT_LE(n10, n01);
+    EXPECT_GE(n10, 2u);
+}
+
+TEST(Analysis, RecommendRunsHugeWhenIndistinguishable)
+{
+    const std::vector<double> a = {10, 11, 10, 11};
+    EXPECT_GE(recommendRuns(a, a, 0.05), 1000u);
+}
+
+TEST(Analysis, AnovaDecisionOnSyntheticGroups)
+{
+    // Distinct group means: need multiple checkpoints.
+    const TimeVariabilityReport sig = checkpointAnova(
+        {{10, 11, 10, 11}, {20, 21, 20, 21}, {30, 31, 30, 31}});
+    EXPECT_TRUE(sig.needMultipleCheckpoints);
+    EXPECT_NE(sig.toString().find("multiple starting points"),
+              std::string::npos);
+
+    // Identical distributions: one checkpoint suffices.
+    const TimeVariabilityReport insig = checkpointAnova(
+        {{10, 11, 12, 13}, {13, 12, 11, 10}, {11, 13, 10, 12}});
+    EXPECT_FALSE(insig.needMultipleCheckpoints);
+}
+
+// ---- end-to-end methodology on real simulations ----
+
+SystemConfig
+sys4(std::size_t l2_assoc = 4)
+{
+    SystemConfig sys = SystemConfig::testDefault();
+    sys.mem.l2Assoc = l2_assoc;
+    return sys;
+}
+
+workload::WorkloadParams
+oltp4()
+{
+    workload::WorkloadParams wl;
+    wl.threadsPerCpu = 4;
+    return wl;
+}
+
+TEST(EndToEnd, OltpExhibitsSpaceVariability)
+{
+    RunConfig rc;
+    rc.warmupTxns = 20;
+    rc.measureTxns = 60;
+    ExperimentConfig exp;
+    exp.numRuns = 8;
+    const auto results = runMany(sys4(), oltp4(), rc, exp);
+    const VariabilityReport r = analyze(results);
+    EXPECT_GT(r.coefficientOfVariation, 0.1)
+        << "perturbed runs should spread";
+    EXPECT_LT(r.coefficientOfVariation, 25.0)
+        << "but not absurdly";
+    EXPECT_GT(r.rangeOfVariability, r.coefficientOfVariation);
+}
+
+TEST(EndToEnd, LongerRunsReduceVariability)
+{
+    // Table 4's property, on the full 16-CPU paper target where the
+    // transaction-quantization effect is pronounced: the CoV of
+    // very short measurements must exceed the CoV of 10x longer
+    // ones (paper: 3.27% at 200 txns vs 0.98% at 1000).
+    ExperimentConfig exp;
+    exp.numRuns = 10;
+    const SystemConfig sys; // paper 16-CPU target
+    const workload::WorkloadParams wl;
+    RunConfig shortRun;
+    shortRun.warmupTxns = 50;
+    shortRun.measureTxns = 25;
+    RunConfig longRun;
+    longRun.warmupTxns = 50;
+    longRun.measureTxns = 250;
+
+    const auto shortR = analyze(runMany(sys, wl, shortRun, exp));
+    const auto longR = analyze(runMany(sys, wl, longRun, exp));
+    EXPECT_GT(shortR.coefficientOfVariation,
+              longR.coefficientOfVariation);
+}
+
+TEST(EndToEnd, CompareRealExperimentsProducesSaneWcr)
+{
+    RunConfig rc;
+    rc.warmupTxns = 20;
+    rc.measureTxns = 40;
+    ExperimentConfig exp;
+    exp.numRuns = 6;
+    const auto a = runMany(sys4(1), oltp4(), rc, exp); // DM
+    ExperimentConfig exp2 = exp;
+    exp2.baseSeed = 2000;
+    const auto b = runMany(sys4(4), oltp4(), rc, exp2); // 4-way
+    const ComparisonReport r = compare(a, b);
+    EXPECT_GE(r.wrongConclusionRatio, 0.0);
+    EXPECT_LE(r.wrongConclusionRatio, 100.0);
+    EXPECT_FALSE(r.toString().empty());
+}
+
+} // namespace
+} // namespace core
+} // namespace varsim

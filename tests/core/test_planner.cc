@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests of the experiment planner (Section 5.2 future-work items):
+ * checkpoint sampling strategies and the fixed-budget
+ * length-vs-count tradeoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/planner.hh"
+#include "stats/distributions.hh"
+#include "stats/inference.hh"
+
+namespace varsim
+{
+namespace core
+{
+namespace
+{
+
+TEST(Sampling, SystematicIsEvenlySpaced)
+{
+    const auto pts =
+        planCheckpoints(SamplingStrategy::Systematic, 1000, 4);
+    EXPECT_EQ(pts, (std::vector<std::uint64_t>{250, 500, 750,
+                                               1000}));
+}
+
+TEST(Sampling, RandomIsDeterministicPerSeed)
+{
+    const auto a =
+        planCheckpoints(SamplingStrategy::Random, 10000, 8, 7);
+    const auto b =
+        planCheckpoints(SamplingStrategy::Random, 10000, 8, 7);
+    const auto c =
+        planCheckpoints(SamplingStrategy::Random, 10000, 8, 8);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Sampling, RandomPointsAreSortedUniqueInRange)
+{
+    const auto pts =
+        planCheckpoints(SamplingStrategy::Random, 500, 16, 3);
+    ASSERT_EQ(pts.size(), 16u);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        EXPECT_GE(pts[i], 1u);
+        if (i > 0) {
+            EXPECT_GT(pts[i], pts[i - 1]);
+        }
+    }
+}
+
+TEST(Sampling, StratifiedCoversEveryStratum)
+{
+    const std::uint64_t lifetime = 8000;
+    const std::size_t samples = 8;
+    const auto pts = planCheckpoints(SamplingStrategy::Stratified,
+                                     lifetime, samples, 11);
+    ASSERT_EQ(pts.size(), samples);
+    const std::uint64_t stratum = lifetime / samples;
+    for (std::size_t i = 0; i < samples; ++i) {
+        EXPECT_GT(pts[i], stratum * i);
+        EXPECT_LE(pts[i], stratum * (i + 1));
+    }
+}
+
+TEST(Sampling, SingleSampleWorks)
+{
+    for (auto strat :
+         {SamplingStrategy::Systematic, SamplingStrategy::Random,
+          SamplingStrategy::Stratified}) {
+        const auto pts = planCheckpoints(strat, 100, 1, 5);
+        ASSERT_EQ(pts.size(), 1u);
+        EXPECT_GE(pts[0], 1u);
+        EXPECT_LE(pts[0], 100u);
+    }
+}
+
+TEST(Budget, FitsInvSqrtLawAndRespectsBudget)
+{
+    // Pilot data following cov = 40/sqrt(N) exactly (Table 4-like).
+    std::vector<std::pair<std::uint64_t, double>> pilots = {
+        {100, 4.0}, {400, 2.0}, {1600, 1.0}};
+    const BudgetPlan plan = planBudget(pilots, 10000, 3, 0.95);
+    EXPECT_GE(plan.numRuns, 3u);
+    EXPECT_LE(plan.numRuns * plan.runLength, 10000u);
+    EXPECT_GT(plan.runLength, 0u);
+    EXPECT_GT(plan.predictedHalfWidth, 0.0);
+    EXPECT_FALSE(plan.toString().empty());
+}
+
+TEST(Budget, PureInvSqrtPrefersManyRuns)
+{
+    // With cov = a/sqrt(N) (b == 0), half-width ~ t_k * a /
+    // sqrt(budget): nearly flat in the split, but the t factor
+    // shrinks with more runs — the planner must not pick the
+    // minimum run count.
+    std::vector<std::pair<std::uint64_t, double>> pilots = {
+        {100, 4.0}, {400, 2.0}, {1600, 1.0}};
+    const BudgetPlan plan = planBudget(pilots, 20000, 3, 0.95);
+    EXPECT_GT(plan.numRuns, 3u);
+}
+
+TEST(Budget, ConstantFloorPrefersLongRuns)
+{
+    // cov = 2.0 regardless of length: longer runs buy nothing, so
+    // the planner should maximize the run count instead.
+    std::vector<std::pair<std::uint64_t, double>> pilots = {
+        {100, 2.0}, {400, 2.0}, {1600, 2.0}};
+    const BudgetPlan plan = planBudget(pilots, 10000, 3, 0.95);
+    EXPECT_GT(plan.numRuns, 20u);
+}
+
+TEST(Budget, PlanBeatsNaiveExtremesInPredictedWidth)
+{
+    std::vector<std::pair<std::uint64_t, double>> pilots = {
+        {100, 5.0}, {400, 2.7}, {1600, 1.6}};
+    const std::uint64_t budget = 8000;
+    const BudgetPlan plan = planBudget(pilots, budget, 3, 0.95);
+
+    auto width = [&](std::uint64_t len, std::size_t k) {
+        // Same model the planner fits; evaluated directly.
+        const double a = 48.0, b = 0.4; // approx fit of the pilots
+        const double cov = a / std::sqrt(double(len)) + b;
+        const double t =
+            stats::tCriticalTwoSided(0.95, double(k - 1));
+        return t * cov / std::sqrt(double(k));
+    };
+    const double extreme1 = width(budget / 3, 3);
+    const double extreme2 = width(10, budget / 10);
+    EXPECT_LE(plan.predictedHalfWidth,
+              std::max(extreme1, extreme2) + 1e-9);
+}
+
+TEST(DifferenceCI, BoundsKnownDifference)
+{
+    const std::vector<double> a = {10, 11, 12, 11, 10, 12};
+    const std::vector<double> b = {7, 8, 9, 8, 7, 9};
+    const auto ci = stats::differenceConfidenceInterval(a, b, 0.95);
+    EXPECT_NEAR(ci.mean, 3.0, 1e-9);
+    EXPECT_GT(ci.lo, 0.0) << "difference significantly positive";
+    EXPECT_LT(ci.lo, 3.0);
+    EXPECT_GT(ci.hi, 3.0);
+}
+
+TEST(DifferenceCI, SymmetricUnderSwap)
+{
+    const std::vector<double> a = {10, 12, 14};
+    const std::vector<double> b = {9, 10, 11};
+    const auto ab = stats::differenceConfidenceInterval(a, b, 0.9);
+    const auto ba = stats::differenceConfidenceInterval(b, a, 0.9);
+    EXPECT_NEAR(ab.mean, -ba.mean, 1e-12);
+    EXPECT_NEAR(ab.lo, -ba.hi, 1e-12);
+    EXPECT_NEAR(ab.hi, -ba.lo, 1e-12);
+}
+
+TEST(DifferenceCI, UnequalSizesUseWelch)
+{
+    const std::vector<double> a = {10, 12, 14, 16, 12};
+    const std::vector<double> b = {9, 10, 11};
+    const auto ci = stats::differenceConfidenceInterval(a, b, 0.95);
+    EXPECT_GT(ci.halfWidth(), 0.0);
+    EXPECT_NEAR(ci.mean, 12.8 - 10.0, 1e-9);
+}
+
+} // namespace
+} // namespace core
+} // namespace varsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parameterized sweeps over cache geometries and node counts: the
+ * timing identities and coherence behaviour of the memory system
+ * must hold for every configuration the experiments touch, not just
+ * the defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+namespace varsim
+{
+namespace mem
+{
+namespace
+{
+
+struct Geometry
+{
+    std::size_t nodes;
+    std::size_t l1Size;
+    std::size_t l1Assoc;
+    std::size_t l2Size;
+    std::size_t l2Assoc;
+    std::size_t blockBytes;
+};
+
+std::string
+geomName(const ::testing::TestParamInfo<Geometry> &info)
+{
+    const Geometry &g = info.param;
+    return sim::format("n%zu_l1_%zux%zu_l2_%zux%zu_b%zu", g.nodes,
+                       g.l1Size, g.l1Assoc, g.l2Size, g.l2Assoc,
+                       g.blockBytes);
+}
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry>
+{
+  protected:
+    struct Client : MemClient
+    {
+        void
+        memResponse(std::uint64_t tag) override
+        {
+            lastTag = tag;
+            ++count;
+        }
+        std::uint64_t lastTag = 0;
+        int count = 0;
+    };
+
+    void
+    SetUp() override
+    {
+        const Geometry &g = GetParam();
+        cfg.numNodes = g.nodes;
+        cfg.l1Size = g.l1Size;
+        cfg.l1Assoc = g.l1Assoc;
+        cfg.l2Size = g.l2Size;
+        cfg.l2Assoc = g.l2Assoc;
+        cfg.blockBytes = g.blockBytes;
+        cfg.perturbMaxNs = 0;
+        ms = std::make_unique<MemSystem>("mem", eq, cfg);
+        clients.resize(g.nodes);
+        for (std::size_t n = 0; n < g.nodes; ++n) {
+            ms->icache(n).setClient(&clients[n]);
+            ms->dcache(n).setClient(&clients[n]);
+        }
+    }
+
+    sim::Tick
+    accessAndWait(std::size_t node, sim::Addr addr, bool write)
+    {
+        const sim::Tick start = eq.curTick();
+        if (ms->dcache(node).tryAccess(addr, write))
+            return 0;
+        ms->dcache(node).access({addr, write, false, ++tag});
+        eq.run();
+        return eq.curTick() - start;
+    }
+
+    sim::EventQueue eq;
+    MemConfig cfg;
+    std::unique_ptr<MemSystem> ms;
+    std::vector<Client> clients;
+    std::uint64_t tag = 0;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(
+        Geometry{2, 512, 1, 4096, 1, 64},     // direct-mapped both
+        Geometry{2, 1024, 2, 8192, 2, 64},    // 2-way
+        Geometry{4, 2048, 4, 16384, 4, 64},   // 4-way
+        Geometry{4, 4096, 4, 32768, 8, 64},   // 8-way L2
+        Geometry{2, 1024, 2, 8192, 2, 32},    // 32B blocks
+        Geometry{2, 2048, 2, 16384, 2, 128},  // 128B blocks
+        Geometry{16, 8192, 4, 65536, 4, 64},  // paper node count
+        Geometry{1, 1024, 2, 8192, 2, 64}),   // uniprocessor
+    geomName);
+
+TEST_P(GeometrySweep, ColdMissLatencyIsGeometryIndependent)
+{
+    // 50 (order+traversal) + 80 (DRAM) + 50 (traversal) + 12
+    // (L2-to-core) regardless of geometry.
+    EXPECT_EQ(accessAndWait(0, 0x40000, false), 192u);
+}
+
+TEST_P(GeometrySweep, HitAfterFill)
+{
+    accessAndWait(0, 0x40000, false);
+    EXPECT_TRUE(ms->dcache(0).tryAccess(0x40000, false));
+    // Same block, different offset.
+    EXPECT_TRUE(ms->dcache(0).tryAccess(
+        0x40000 + cfg.blockBytes - 1, false));
+    // Next block misses.
+    EXPECT_FALSE(
+        ms->dcache(0).tryAccess(0x40000 + cfg.blockBytes, false));
+}
+
+TEST_P(GeometrySweep, CacheToCacheAcrossNodes)
+{
+    if (GetParam().nodes < 2)
+        GTEST_SKIP() << "needs two nodes";
+    accessAndWait(0, 0x50000, true);
+    EXPECT_EQ(accessAndWait(1, 0x50000, false), 137u);
+    EXPECT_EQ(ms->l2(0).snoopState(0x50000), LineState::Owned);
+}
+
+TEST_P(GeometrySweep, EvictionsKeepSystemConsistent)
+{
+    // Touch 4x the L2 capacity in blocks; everything must drain and
+    // re-reads must still work.
+    const std::size_t blocks =
+        4 * cfg.l2Size / cfg.blockBytes;
+    for (std::size_t i = 0; i < blocks; ++i) {
+        const sim::Addr a =
+            0x100000 + static_cast<sim::Addr>(i) * cfg.blockBytes;
+        if (!ms->dcache(0).tryAccess(a, i % 3 == 0)) {
+            ms->dcache(0).access(
+                {a, i % 3 == 0, false, ++tag});
+        }
+        if (i % 16 == 0)
+            eq.run();
+    }
+    eq.run();
+    EXPECT_EQ(ms->pendingTransactions(), 0u);
+    EXPECT_GT(accessAndWait(0, 0x100000, false), 0u)
+        << "evicted block must be re-fetchable";
+}
+
+TEST_P(GeometrySweep, SerializationRoundTripsEveryGeometry)
+{
+    accessAndWait(0, 0x60000, true);
+    if (GetParam().nodes >= 2)
+        accessAndWait(1, 0x60000, false);
+    sim::CheckpointOut out;
+    ms->serialize(out);
+
+    sim::EventQueue eq2;
+    MemSystem ms2("mem", eq2, cfg);
+    sim::CheckpointIn in(out.bytes());
+    ms2.unserialize(in);
+    EXPECT_TRUE(in.exhausted());
+    EXPECT_EQ(ms2.l2(0).snoopState(0x60000),
+              ms->l2(0).snoopState(0x60000));
+}
+
+} // namespace
+} // namespace mem
+} // namespace varsim

@@ -1,0 +1,139 @@
+/** @file Tests of the next-line L2 prefetcher (ablation feature). */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+namespace varsim
+{
+namespace mem
+{
+namespace
+{
+
+struct TestClient : public MemClient
+{
+    void memResponse(std::uint64_t) override { ++responses; }
+    int responses = 0;
+};
+
+MemConfig
+prefetchConfig()
+{
+    MemConfig c;
+    c.numNodes = 2;
+    c.l1Size = 1024;
+    c.l2Size = 16384;
+    c.perturbMaxNs = 0;
+    c.l2NextLinePrefetch = true;
+    return c;
+}
+
+class PrefetchTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ms = std::make_unique<MemSystem>("mem", eq,
+                                         prefetchConfig());
+        for (std::size_t n = 0; n < 2; ++n) {
+            ms->icache(n).setClient(&client);
+            ms->dcache(n).setClient(&client);
+        }
+    }
+
+    void
+    accessAndWait(std::size_t node, sim::Addr addr, bool write)
+    {
+        if (ms->dcache(node).tryAccess(addr, write))
+            return;
+        ms->dcache(node).access({addr, write, false, ++tag});
+        eq.run();
+    }
+
+    sim::EventQueue eq;
+    std::unique_ptr<MemSystem> ms;
+    TestClient client;
+    std::uint64_t tag = 0;
+};
+
+TEST_F(PrefetchTest, DemandFillPrefetchesNextLine)
+{
+    accessAndWait(0, 0x10000, false);
+    EXPECT_GE(ms->l2(0).prefetches(), 1u);
+    // The next block is now resident without a demand access.
+    EXPECT_EQ(ms->l2(0).snoopState(0x10040), LineState::Shared);
+    EXPECT_GE(ms->totalStats().prefetches, 1u);
+}
+
+TEST_F(PrefetchTest, PrefetchFillDoesNotChain)
+{
+    accessAndWait(0, 0x10000, false);
+    // Exactly one line ahead: the prefetch fill must not trigger a
+    // further prefetch of 0x10080.
+    EXPECT_EQ(ms->l2(0).snoopState(0x10080), LineState::Invalid);
+    EXPECT_EQ(ms->l2(0).prefetches(), 1u);
+}
+
+TEST_F(PrefetchTest, NoPrefetchWhenLineResident)
+{
+    accessAndWait(0, 0x10040, false); // brings 0x10080 too
+    const std::uint64_t before = ms->l2(0).prefetches();
+    accessAndWait(0, 0x10000, false); // next line 0x10040 resident
+    EXPECT_EQ(ms->l2(0).prefetches(), before)
+        << "no prefetch when the next line is already cached";
+}
+
+TEST_F(PrefetchTest, SequentialScanHitsAfterWarmup)
+{
+    // A streaming read: after the first miss, each next block is
+    // prefetched ahead, so demand misses roughly halve... at this
+    // naive depth-1 design every other access still misses unless
+    // the prefetch completes in time; what we check is that the
+    // prefetcher strictly reduces demand misses vs. baseline.
+    for (int i = 0; i < 64; ++i)
+        accessAndWait(0, 0x20000 + i * 64u, false);
+    const std::uint64_t withPf = ms->l2(0).misses();
+
+    sim::EventQueue eq2;
+    MemConfig base = prefetchConfig();
+    base.l2NextLinePrefetch = false;
+    MemSystem ms2("mem", eq2, base);
+    TestClient c2;
+    ms2.dcache(0).setClient(&c2);
+    std::uint64_t t2 = 0;
+    for (int i = 0; i < 64; ++i) {
+        const sim::Addr a = 0x20000 + i * 64u;
+        if (!ms2.dcache(0).tryAccess(a, false)) {
+            ms2.dcache(0).access({a, false, false, ++t2});
+            eq2.run();
+        }
+    }
+    EXPECT_LT(withPf, ms2.l2(0).misses());
+}
+
+TEST_F(PrefetchTest, DemandJoiningPrefetchGetsServed)
+{
+    // Start a demand miss; its prefetch goes in flight; immediately
+    // demand-access the prefetched block so the request joins the
+    // in-flight prefetch TBE.
+    ms->dcache(0).access({0x30000, false, false, ++tag});
+    eq.run(eq.curTick() + 200); // demand fill done, prefetch launched
+    ms->dcache(0).access({0x30040, false, false, ++tag});
+    eq.run();
+    EXPECT_EQ(client.responses, 2);
+    EXPECT_EQ(ms->pendingTransactions(), 0u);
+    EXPECT_TRUE(ms->dcache(0).tryAccess(0x30040, false));
+}
+
+TEST_F(PrefetchTest, DisabledByDefault)
+{
+    sim::EventQueue eq2;
+    MemConfig base; // defaults
+    EXPECT_FALSE(base.l2NextLinePrefetch);
+}
+
+} // namespace
+} // namespace mem
+} // namespace varsim

@@ -1,0 +1,225 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include <gtest/gtest.h>
+
+#include "sim/eventq.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace
+{
+
+class CountingEvent : public Event
+{
+  public:
+    explicit CountingEvent(std::vector<int> *log, int id,
+                           Priority p = defaultPri)
+        : Event(p), log_(log), id_(id)
+    {}
+
+    void process() override { log_->push_back(id_); }
+    std::string name() const override { return "counting"; }
+
+  private:
+    std::vector<int> *log_;
+    int id_;
+};
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    eq.schedule(&b, 20);
+    eq.schedule(&a, 10);
+    eq.schedule(&c, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByInsertion)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    eq.schedule(&a, 5);
+    eq.schedule(&b, 5);
+    eq.schedule(&c, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTiesBeforeInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent late(&log, 1, Event::statsPri);
+    CountingEvent early(&log, 2, Event::memoryResponsePri);
+    eq.schedule(&late, 5);
+    eq.schedule(&early, 5);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, RunUntilStopTick)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 100);
+    eq.run(50);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, StopRequestHaltsAfterCurrentEvent)
+{
+    EventQueue eq;
+    std::vector<int> log;
+
+    class StopperEvent : public Event
+    {
+      public:
+        StopperEvent(EventQueue *q, std::vector<int> *log)
+            : q_(q), log_(log)
+        {}
+        void
+        process() override
+        {
+            log_->push_back(99);
+            q_->requestStop();
+        }
+
+      private:
+        EventQueue *q_;
+        std::vector<int> *log_;
+    };
+
+    StopperEvent s(&eq, &log);
+    CountingEvent b(&log, 2);
+    eq.schedule(&s, 10);
+    eq.schedule(&b, 20);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{99}));
+    EXPECT_TRUE(eq.stopPending());
+    eq.clearStop();
+    eq.run();
+    EXPECT_EQ(log, (std::vector<int>{99, 2}));
+}
+
+TEST(EventQueue, EventCanRescheduleItself)
+{
+    EventQueue eq;
+
+    class SelfScheduler : public Event
+    {
+      public:
+        SelfScheduler(EventQueue *q, int *count) : q_(q), n_(count) {}
+        void
+        process() override
+        {
+            if (++*n_ < 5)
+                q_->schedule(this, q_->curTick() + 7);
+        }
+
+      private:
+        EventQueue *q_;
+        int *n_;
+    };
+
+    int count = 0;
+    SelfScheduler ev(&eq, &count);
+    eq.schedule(&ev, 0);
+    eq.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.curTick(), 28u);
+}
+
+TEST(EventQueue, DispatchCountTracksEvents)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    CountingEvent a(&log, 1), b(&log, 2);
+    eq.schedule(&a, 1);
+    eq.schedule(&b, 2);
+    eq.run();
+    EXPECT_EQ(eq.numDispatched(), 2u);
+}
+
+TEST(EventQueue, RestoreTickMovesTimeForward)
+{
+    EventQueue eq;
+    eq.restoreTick(12345);
+    EXPECT_EQ(eq.curTick(), 12345u);
+    std::vector<int> log;
+    CountingEvent a(&log, 1);
+    eq.schedule(&a, 12350);
+    eq.run();
+    EXPECT_EQ(eq.curTick(), 12350u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<CountingEvent>> events;
+    // Schedule with deterministic pseudo-shuffled ticks; dispatch
+    // order must be sorted by tick regardless.
+    std::vector<Tick> ticks;
+    for (int i = 0; i < 1000; ++i)
+        ticks.push_back((i * 7919) % 1000);
+    for (int i = 0; i < 1000; ++i) {
+        events.push_back(std::make_unique<CountingEvent>(
+            &log, static_cast<int>(ticks[i])));
+        eq.schedule(events.back().get(), ticks[i]);
+    }
+    eq.run();
+    ASSERT_EQ(log.size(), 1000u);
+    for (std::size_t i = 1; i < log.size(); ++i)
+        EXPECT_LE(log[i - 1], log[i]);
+}
+
+} // namespace
+} // namespace sim
+} // namespace varsim

@@ -1,0 +1,138 @@
+/** @file Unit tests for the checkpoint archive. */
+
+#include <gtest/gtest.h>
+
+#include "sim/serialize.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace
+{
+
+TEST(Checkpoint, ScalarRoundTrip)
+{
+    CheckpointOut out;
+    out.put<std::uint64_t>(0xdeadbeefcafef00dULL);
+    out.put<std::int32_t>(-42);
+    out.put<double>(3.25);
+    out.put<bool>(true);
+
+    CheckpointIn in(out.bytes());
+    std::uint64_t a = 0;
+    std::int32_t b = 0;
+    double c = 0;
+    bool d = false;
+    in.get(a);
+    in.get(b);
+    in.get(c);
+    in.get(d);
+    EXPECT_EQ(a, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(b, -42);
+    EXPECT_EQ(c, 3.25);
+    EXPECT_TRUE(d);
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Checkpoint, StringRoundTrip)
+{
+    CheckpointOut out;
+    out.put(std::string("hello varsim"));
+    out.put(std::string(""));
+
+    CheckpointIn in(out.bytes());
+    std::string s, t;
+    in.get(s);
+    in.get(t);
+    EXPECT_EQ(s, "hello varsim");
+    EXPECT_EQ(t, "");
+}
+
+TEST(Checkpoint, VectorRoundTrip)
+{
+    CheckpointOut out;
+    std::vector<std::uint32_t> v = {1, 2, 3, 5, 8, 13};
+    out.put(v);
+    std::vector<double> empty;
+    out.put(empty);
+
+    CheckpointIn in(out.bytes());
+    std::vector<std::uint32_t> v2;
+    std::vector<double> e2 = {9.0};
+    in.get(v2);
+    in.get(e2);
+    EXPECT_EQ(v2, v);
+    EXPECT_TRUE(e2.empty());
+}
+
+TEST(Checkpoint, DequeRoundTrip)
+{
+    CheckpointOut out;
+    std::deque<std::int32_t> d = {7, -7, 77};
+    out.put(d);
+
+    CheckpointIn in(out.bytes());
+    std::deque<std::int32_t> d2;
+    in.get(d2);
+    EXPECT_EQ(d2, d);
+}
+
+TEST(Checkpoint, TypeTagMismatchDies)
+{
+    CheckpointOut out;
+    out.put<std::uint64_t>(1);
+    CheckpointIn in(out.bytes());
+    std::uint32_t wrong = 0;
+    EXPECT_DEATH(in.get(wrong), "type mismatch");
+}
+
+TEST(Checkpoint, UnderrunDies)
+{
+    CheckpointOut out;
+    out.put<std::uint8_t>(1);
+    CheckpointIn in(out.bytes());
+    std::uint8_t v = 0;
+    in.get(v);
+    EXPECT_DEATH(in.get(v), "underrun");
+}
+
+TEST(Checkpoint, StructRoundTrip)
+{
+    struct Pod
+    {
+        std::uint32_t a;
+        double b;
+        bool operator==(const Pod &) const = default;
+    };
+    CheckpointOut out;
+    Pod p{9, 2.5};
+    out.put(p);
+    CheckpointIn in(out.bytes());
+    Pod q{};
+    in.get(q);
+    EXPECT_EQ(q, p);
+}
+
+TEST(Checkpoint, InterleavedTypesKeepOrder)
+{
+    CheckpointOut out;
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        out.put(i);
+        out.put(std::string(i % 7, 'x'));
+    }
+    CheckpointIn in(out.bytes());
+    for (std::uint32_t i = 0; i < 100; ++i) {
+        std::uint32_t v = 0;
+        std::string s;
+        in.get(v);
+        in.get(s);
+        EXPECT_EQ(v, i);
+        EXPECT_EQ(s.size(), i % 7);
+    }
+    EXPECT_TRUE(in.exhausted());
+}
+
+} // namespace
+} // namespace sim
+} // namespace varsim

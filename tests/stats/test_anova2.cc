@@ -1,0 +1,91 @@
+/** @file Unit tests for the two-way ANOVA (Section 5.2 extension). */
+
+#include <gtest/gtest.h>
+
+#include "stats/anova2.hh"
+
+namespace varsim
+{
+namespace stats
+{
+namespace
+{
+
+using Cells = std::vector<std::vector<std::vector<double>>>;
+
+TEST(TwoWayAnova, DetectsMainEffectA)
+{
+    // A-levels differ, B-levels identical.
+    const Cells cells = {
+        {{10, 11, 10}, {10, 11, 10}},
+        {{20, 21, 20}, {20, 21, 20}},
+    };
+    const auto r = twoWayAnova(cells);
+    EXPECT_TRUE(r.aSignificantAt(0.01));
+    EXPECT_FALSE(r.bSignificantAt(0.05));
+    EXPECT_FALSE(r.interactionSignificantAt(0.05));
+}
+
+TEST(TwoWayAnova, DetectsMainEffectB)
+{
+    const Cells cells = {
+        {{10, 11, 10}, {30, 31, 30}},
+        {{10, 11, 10}, {30, 31, 30}},
+    };
+    const auto r = twoWayAnova(cells);
+    EXPECT_FALSE(r.aSignificantAt(0.05));
+    EXPECT_TRUE(r.bSignificantAt(0.01));
+    EXPECT_FALSE(r.interactionSignificantAt(0.05));
+}
+
+TEST(TwoWayAnova, DetectsInteraction)
+{
+    // The B effect reverses across A levels: pure interaction.
+    const Cells cells = {
+        {{10, 11, 10}, {20, 21, 20}},
+        {{20, 21, 20}, {10, 11, 10}},
+    };
+    const auto r = twoWayAnova(cells);
+    EXPECT_FALSE(r.aSignificantAt(0.05));
+    EXPECT_FALSE(r.bSignificantAt(0.05));
+    EXPECT_TRUE(r.interactionSignificantAt(0.01));
+}
+
+TEST(TwoWayAnova, NullCaseNotSignificant)
+{
+    const Cells cells = {
+        {{10, 12, 11, 13}, {11, 13, 10, 12}},
+        {{12, 10, 13, 11}, {13, 11, 12, 10}},
+    };
+    const auto r = twoWayAnova(cells);
+    EXPECT_FALSE(r.aSignificantAt(0.05));
+    EXPECT_FALSE(r.bSignificantAt(0.05));
+    EXPECT_FALSE(r.interactionSignificantAt(0.05));
+}
+
+TEST(TwoWayAnova, DegreesOfFreedom)
+{
+    const Cells cells = {
+        {{1, 2}, {3, 4}, {5, 6}},
+        {{2, 3}, {4, 5}, {6, 7}},
+    };
+    const auto r = twoWayAnova(cells); // a=2, b=3, n=2
+    EXPECT_EQ(r.dfA, 1.0);
+    EXPECT_EQ(r.dfB, 2.0);
+    EXPECT_EQ(r.dfAB, 2.0);
+    EXPECT_EQ(r.dfWithin, 6.0);
+    EXPECT_FALSE(r.toString().empty());
+}
+
+TEST(TwoWayAnova, UnbalancedDesignDies)
+{
+    const Cells cells = {
+        {{1, 2}, {3, 4}},
+        {{2, 3}, {4, 5, 6}},
+    };
+    EXPECT_DEATH(twoWayAnova(cells), "unbalanced");
+}
+
+} // namespace
+} // namespace stats
+} // namespace varsim

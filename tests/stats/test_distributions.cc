@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Validation of the from-scratch distribution code against standard
+ * statistical-table values (the same tables the paper's Section 5
+ * methodology consults).
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/distributions.hh"
+
+namespace varsim
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Normal, CdfKnownValues)
+{
+    EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(normalCdf(1.0), 0.841345, 1e-5);
+    EXPECT_NEAR(normalCdf(-1.0), 0.158655, 1e-5);
+    EXPECT_NEAR(normalCdf(1.959964), 0.975, 1e-5);
+    EXPECT_NEAR(normalCdf(2.575829), 0.995, 1e-5);
+}
+
+TEST(Normal, QuantileKnownValues)
+{
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.95), 1.644854, 1e-4);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-4);
+}
+
+TEST(Normal, QuantileInvertsCdf)
+{
+    for (double p = 0.01; p < 1.0; p += 0.07)
+        EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-8);
+}
+
+TEST(IncompleteBeta, BoundaryValues)
+{
+    EXPECT_EQ(incompleteBeta(2.0, 3.0, 0.0), 0.0);
+    EXPECT_EQ(incompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, SymmetryIdentity)
+{
+    // I_x(a,b) = 1 - I_{1-x}(b,a)
+    for (double x = 0.1; x < 1.0; x += 0.2) {
+        EXPECT_NEAR(incompleteBeta(2.5, 4.0, x),
+                    1.0 - incompleteBeta(4.0, 2.5, 1.0 - x), 1e-10);
+    }
+}
+
+TEST(IncompleteBeta, HalfAtEqualShapes)
+{
+    EXPECT_NEAR(incompleteBeta(3.0, 3.0, 0.5), 0.5, 1e-10);
+    EXPECT_NEAR(incompleteBeta(7.5, 7.5, 0.5), 0.5, 1e-10);
+}
+
+TEST(IncompleteBeta, UniformCase)
+{
+    // a=b=1 is the uniform distribution: I_x(1,1) = x.
+    for (double x = 0.05; x < 1.0; x += 0.1)
+        EXPECT_NEAR(incompleteBeta(1.0, 1.0, x), x, 1e-10);
+}
+
+TEST(StudentT, CdfSymmetry)
+{
+    for (double t = 0.0; t < 4.0; t += 0.5) {
+        EXPECT_NEAR(studentTCdf(t, 7.0) + studentTCdf(-t, 7.0), 1.0,
+                    1e-10);
+    }
+}
+
+TEST(StudentT, QuantileMatchesTables)
+{
+    // Classic two-sided 95% critical values (p = 0.975).
+    EXPECT_NEAR(studentTQuantile(0.975, 1), 12.706, 1e-2);
+    EXPECT_NEAR(studentTQuantile(0.975, 5), 2.571, 1e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 10), 2.228, 1e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 19), 2.093, 1e-3);
+    EXPECT_NEAR(studentTQuantile(0.975, 30), 2.042, 1e-3);
+    // One-sided 95% (p = 0.95).
+    EXPECT_NEAR(studentTQuantile(0.95, 5), 2.015, 1e-3);
+    EXPECT_NEAR(studentTQuantile(0.95, 16), 1.746, 1e-3);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDf)
+{
+    EXPECT_NEAR(studentTQuantile(0.975, 1000),
+                normalQuantile(0.975), 5e-3);
+}
+
+TEST(StudentT, CriticalValueHelpers)
+{
+    // Section 5.1.1: t below 50 samples, normal at or above.
+    EXPECT_NEAR(tCriticalTwoSided(0.95, 19), 2.093, 1e-3);
+    EXPECT_NEAR(tCriticalTwoSided(0.95, 100), 1.95996, 1e-3);
+    EXPECT_NEAR(tCriticalOneSided(0.05, 16), 1.746, 1e-3);
+    EXPECT_NEAR(tCriticalOneSided(0.01, 13), 2.650, 2e-3);
+}
+
+TEST(FDist, CdfMonotone)
+{
+    double prev = 0.0;
+    for (double f = 0.1; f < 6.0; f += 0.3) {
+        const double c = fCdf(f, 4, 20);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(FDist, QuantileMatchesTables)
+{
+    // F table 95th percentile values.
+    EXPECT_NEAR(fQuantile(0.95, 9, 10), 3.020, 5e-3);
+    EXPECT_NEAR(fQuantile(0.95, 4, 20), 2.866, 5e-3);
+    EXPECT_NEAR(fQuantile(0.95, 1, 10), 4.965, 5e-3);
+    EXPECT_NEAR(fQuantile(0.99, 5, 30), 3.699, 5e-3);
+}
+
+TEST(FDist, QuantileInvertsCdf)
+{
+    for (double p = 0.1; p < 1.0; p += 0.2)
+        EXPECT_NEAR(fCdf(fQuantile(p, 6, 14), 6, 14), p, 1e-8);
+}
+
+TEST(FDist, RelatesToStudentT)
+{
+    // F(1, d) quantile = t(d) quantile squared.
+    const double t = studentTQuantile(0.975, 12);
+    EXPECT_NEAR(fQuantile(0.95, 1, 12), t * t, 1e-3 * t * t);
+}
+
+} // namespace
+} // namespace stats
+} // namespace varsim

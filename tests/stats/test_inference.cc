@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests of the paper's statistical machinery: confidence intervals,
+ * the two-sample hypothesis test, the wrong conclusion ratio,
+ * sample-size estimation (including the paper's worked example), and
+ * one-way ANOVA.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hh"
+#include "stats/inference.hh"
+
+namespace varsim
+{
+namespace stats
+{
+namespace
+{
+
+TEST(ConfidenceInterval, KnownSmallSample)
+{
+    const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+    const ConfidenceInterval ci =
+        meanConfidenceInterval(xs, 0.95);
+    EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+    // s = sqrt(32/7); half-width = t(.975,7) * s / sqrt(8).
+    EXPECT_NEAR(ci.halfWidth(), 2.365 * std::sqrt(32.0 / 7.0) /
+                                    std::sqrt(8.0),
+                2e-3);
+    EXPECT_LT(ci.lo, 5.0);
+    EXPECT_GT(ci.hi, 5.0);
+}
+
+TEST(ConfidenceInterval, TightensWithSampleSize)
+{
+    // Same spread, more observations -> narrower interval
+    // (Figure 10's behaviour).
+    std::vector<double> small, large;
+    for (int i = 0; i < 5; ++i)
+        small.push_back(i % 2 ? 11.0 : 9.0);
+    for (int i = 0; i < 20; ++i)
+        large.push_back(i % 2 ? 11.0 : 9.0);
+    EXPECT_GT(meanConfidenceInterval(small, 0.95).halfWidth(),
+              meanConfidenceInterval(large, 0.95).halfWidth());
+}
+
+TEST(ConfidenceInterval, HigherConfidenceIsWider)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5, 6};
+    EXPECT_GT(meanConfidenceInterval(xs, 0.99).halfWidth(),
+              meanConfidenceInterval(xs, 0.90).halfWidth());
+}
+
+TEST(ConfidenceInterval, OverlapDetection)
+{
+    ConfidenceInterval a{5, 4, 6, 0.95};
+    ConfidenceInterval b{7, 6, 8, 0.95};
+    ConfidenceInterval c{9, 8.5, 9.5, 0.95};
+    EXPECT_TRUE(a.overlaps(b));  // touch at 6
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_FALSE(c.overlaps(a));
+}
+
+TEST(TTest, PooledMatchesHandComputation)
+{
+    // Paper Section 5.1.2: t = (y32 - y64) / sqrt((s32^2+s64^2)/n).
+    const std::vector<double> a = {10, 12, 14, 16};  // mean 13
+    const std::vector<double> b = {9, 10, 11, 10};   // mean 10
+    const TTestResult r = pooledTTest(a, b);
+    const double va = (9 + 1 + 1 + 9) / 3.0;
+    const double vb = (1 + 0 + 1 + 0) / 3.0;
+    EXPECT_NEAR(r.statistic, 3.0 / std::sqrt((va + vb) / 4.0),
+                1e-12);
+    EXPECT_EQ(r.degreesOfFreedom, 6.0);
+    EXPECT_LT(r.pValueOneSided, 0.05);
+}
+
+TEST(TTest, IdenticalSamplesDoNotReject)
+{
+    const std::vector<double> a = {5, 6, 7, 8};
+    const TTestResult r = pooledTTest(a, a);
+    EXPECT_EQ(r.statistic, 0.0);
+    EXPECT_NEAR(r.pValueOneSided, 0.5, 1e-9);
+    EXPECT_FALSE(r.rejectsAtLevel(0.05));
+}
+
+TEST(TTest, WelchHandlesUnequalSizes)
+{
+    const std::vector<double> a = {10, 12, 14, 16, 13, 12};
+    const std::vector<double> b = {9, 10, 11};
+    const TTestResult r = welchTTest(a, b);
+    EXPECT_GT(r.statistic, 0.0);
+    EXPECT_GT(r.degreesOfFreedom, 1.0);
+    EXPECT_LT(r.degreesOfFreedom, 8.0);
+    EXPECT_LT(r.pValueOneSided, 0.1);
+}
+
+TEST(TTest, OneSidedDirectionMatters)
+{
+    const std::vector<double> lo = {1, 2, 3, 2};
+    const std::vector<double> hi = {8, 9, 10, 9};
+    // H1 is mean(first) > mean(second).
+    EXPECT_GT(pooledTTest(hi, lo).statistic, 0.0);
+    EXPECT_LT(pooledTTest(lo, hi).statistic, 0.0);
+    EXPECT_TRUE(pooledTTest(hi, lo).rejectsAtLevel(0.01));
+    EXPECT_FALSE(pooledTTest(lo, hi).rejectsAtLevel(0.01));
+}
+
+TEST(Wcr, EnumeratesAllPairs)
+{
+    // slower runs {5,6}, faster runs {4,7}: the pairs (5,7) and
+    // (6,7) contradict -> WCR = 0.5.
+    const std::vector<double> slower = {5, 6};
+    const std::vector<double> faster = {4, 7};
+    EXPECT_DOUBLE_EQ(wrongConclusionRatio(slower, faster), 0.5);
+}
+
+TEST(Wcr, DisjointRangesGiveZero)
+{
+    const std::vector<double> slower = {10, 11, 12};
+    const std::vector<double> faster = {1, 2, 3};
+    EXPECT_EQ(wrongConclusionRatio(slower, faster), 0.0);
+}
+
+TEST(Wcr, TiesCountAsWrong)
+{
+    const std::vector<double> slower = {5};
+    const std::vector<double> faster = {5};
+    EXPECT_EQ(wrongConclusionRatio(slower, faster), 1.0);
+}
+
+TEST(Wcr, AutoPicksDirectionFromMeans)
+{
+    const std::vector<double> a = {1, 2, 3};   // mean 2 (faster)
+    const std::vector<double> b = {2, 3, 10};  // mean 5 (slower)
+    // Auto must compare b-as-slower vs a-as-faster either way.
+    EXPECT_DOUBLE_EQ(wrongConclusionRatioAuto(a, b),
+                     wrongConclusionRatioAuto(b, a));
+    // contradicting pairs: a-run >= b-run:
+    // (2,2),(3,2),(3,3) -> 3/9.
+    EXPECT_NEAR(wrongConclusionRatioAuto(a, b), 3.0 / 9.0, 1e-12);
+}
+
+TEST(SampleSize, PaperWorkedExample)
+{
+    // Section 5.1.1: r=4%, 95% confidence, CoV=9% -> ~20 runs.
+    EXPECT_EQ(meanPrecisionSampleSize(0.09, 0.04, 0.95), 20u);
+}
+
+TEST(SampleSize, ShrinksWithLooserError)
+{
+    EXPECT_LT(meanPrecisionSampleSize(0.09, 0.10, 0.95),
+              meanPrecisionSampleSize(0.09, 0.02, 0.95));
+}
+
+TEST(SampleSize, RunsNeededMonotoneInAlpha)
+{
+    // Table 5's qualitative shape: tighter significance -> more
+    // runs, monotonically.
+    const double diff = 1.0, va = 4.0, vb = 4.0;
+    std::size_t prev = 0;
+    for (double alpha : {0.10, 0.05, 0.025, 0.01, 0.005}) {
+        const std::size_t n =
+            runsNeededForSignificance(diff, va, vb, alpha);
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+}
+
+TEST(SampleSize, LargerDifferenceNeedsFewerRuns)
+{
+    EXPECT_LE(runsNeededForSignificance(2.0, 1.0, 1.0, 0.05),
+              runsNeededForSignificance(0.5, 1.0, 1.0, 0.05));
+}
+
+TEST(SampleSize, HandComputedCase)
+{
+    // diff=1, va=vb=1: t(n) = sqrt(n/2). n=6: t=1.732 vs crit
+    // t(0.95, df=10)=1.812 -> not yet; n=7: t=1.870 vs
+    // t(0.95,12)=1.782 -> rejects. Expect 7.
+    EXPECT_EQ(runsNeededForSignificance(1.0, 1.0, 1.0, 0.05), 7u);
+}
+
+TEST(Anova, SeparatedGroupsAreSignificant)
+{
+    const std::vector<std::vector<double>> groups = {
+        {1, 2, 3}, {2, 3, 4}, {9, 10, 11}};
+    const AnovaResult r = oneWayAnova(groups);
+    EXPECT_GT(r.fStatistic, 10.0);
+    EXPECT_LT(r.pValue, 0.01);
+    EXPECT_TRUE(r.significantAt(0.05));
+    EXPECT_EQ(r.dfBetween, 2.0);
+    EXPECT_EQ(r.dfWithin, 6.0);
+}
+
+TEST(Anova, IdenticalGroupsAreNot)
+{
+    const std::vector<std::vector<double>> groups = {
+        {1, 2, 3, 4}, {2, 1, 4, 3}, {4, 3, 2, 1}};
+    const AnovaResult r = oneWayAnova(groups);
+    EXPECT_NEAR(r.fStatistic, 0.0, 1e-9);
+    EXPECT_FALSE(r.significantAt(0.05));
+}
+
+TEST(Anova, HandComputedFStatistic)
+{
+    // groups {1,3} (mean 2) and {5,7} (mean 6); grand mean 4.
+    // SSB = 2*(2-4)^2 + 2*(6-4)^2 = 16, df 1.
+    // SSW = (1-2)^2+(3-2)^2+(5-6)^2+(7-6)^2 = 4, df 2 -> MSW 2.
+    // F = 16 / 2 = 8.
+    const AnovaResult r = oneWayAnova({{1, 3}, {5, 7}});
+    EXPECT_NEAR(r.fStatistic, 8.0, 1e-9);
+}
+
+TEST(Anova, ZeroWithinVarianceDegenerate)
+{
+    const AnovaResult r = oneWayAnova({{2, 2}, {3, 3}});
+    EXPECT_TRUE(r.significantAt(0.01));
+    EXPECT_EQ(r.pValue, 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace varsim

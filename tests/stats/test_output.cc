@@ -1,0 +1,109 @@
+/** @file Tests for the histogram and ASCII-table helpers. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace varsim
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Histogram, BinsCorrectly)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);  // bin 0
+    h.add(3.0);  // bin 1
+    h.add(9.9);  // bin 4
+    h.add(5.0);  // bin 2
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(3), 0u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(-5.0);
+    h.add(50.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binHi(0), 12.5);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 17.5);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 20.0);
+}
+
+TEST(Histogram, RenderShowsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.5);
+    h.add(1.5);
+    const std::string s = h.render(10);
+    EXPECT_NE(s.find("##########"), std::string::npos);
+    EXPECT_NE(s.find("10"), std::string::npos);
+}
+
+TEST(Histogram, SpanAddsAll)
+{
+    Histogram h(0.0, 1.0, 1);
+    const std::vector<double> xs = {0.1, 0.2, 0.3};
+    h.add(std::span<const double>(xs.data(), xs.size()));
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"Config", "WCR"});
+    t.addRow({"2-way vs 4-way", "31%"});
+    t.addRow({"DM vs 4-way", "10%"});
+    const std::string s = t.render();
+    EXPECT_NE(s.find("| Config"), std::string::npos);
+    EXPECT_NE(s.find("31%"), std::string::npos);
+    EXPECT_NE(s.find("+--"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RuleRowsRender)
+{
+    Table t({"A"});
+    t.addRow({"x"});
+    t.addRule();
+    t.addRow({"y"});
+    const std::string s = t.render();
+    // header rule + top + bottom + explicit = at least 4 rules
+    std::size_t rules = 0;
+    for (std::size_t at = s.find("+-"); at != std::string::npos;
+         at = s.find("+-", at + 1))
+        ++rules;
+    EXPECT_GE(rules, 4u);
+}
+
+TEST(Table, MismatchedRowDies)
+{
+    Table t({"A", "B"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row has");
+}
+
+TEST(Formatters, Basics)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtG(123456.0, 3), "1.23e+05");
+    EXPECT_NE(fmtMeanSd(10.0, 0.5).find("+/-"), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace varsim

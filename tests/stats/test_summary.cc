@@ -1,0 +1,123 @@
+/** @file Unit tests for descriptive statistics. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/summary.hh"
+
+namespace varsim
+{
+namespace stats
+{
+namespace
+{
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat rs;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(x);
+    EXPECT_EQ(rs.count(), 8u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(rs.min(), 2.0);
+    EXPECT_EQ(rs.max(), 9.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleObservation)
+{
+    RunningStat rs;
+    rs.add(3.5);
+    EXPECT_EQ(rs.mean(), 3.5);
+    EXPECT_EQ(rs.variance(), 0.0);
+    EXPECT_EQ(rs.min(), 3.5);
+    EXPECT_EQ(rs.max(), 3.5);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.37 * i * i - 3.0 * i + 1.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(b);
+    EXPECT_EQ(a.mean(), mean);
+    b.merge(a);
+    EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(Summary, PaperMetrics)
+{
+    // Coefficient of variation: "100 times the ratio of the standard
+    // deviation to the mean" (Section 3.3); range of variability:
+    // "(max - min) as a percentage of the mean" (Section 4.2).
+    const std::vector<double> xs = {90, 100, 110};
+    const Summary s = summarize(xs);
+    EXPECT_DOUBLE_EQ(s.mean, 100.0);
+    EXPECT_NEAR(s.coefficientOfVariation(), 10.0, 1e-9);
+    EXPECT_NEAR(s.rangeOfVariability(), 20.0, 1e-9);
+}
+
+TEST(Summary, ZeroMeanIsSafe)
+{
+    const std::vector<double> xs = {-1.0, 1.0};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.coefficientOfVariation(), 0.0);
+    EXPECT_EQ(s.rangeOfVariability(), 0.0);
+}
+
+TEST(Summary, NumericallyStableForLargeOffsets)
+{
+    // Welford should survive a large common offset.
+    std::vector<double> xs;
+    for (int i = 0; i < 1000; ++i)
+        xs.push_back(1e12 + (i % 10));
+    const Summary s = summarize(xs);
+    EXPECT_NEAR(s.stddev, 2.8738, 1e-3);
+}
+
+TEST(Median, OddAndEven)
+{
+    EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_EQ(median({}), 0.0);
+    EXPECT_EQ(median({7.0}), 7.0);
+}
+
+TEST(FreeFunctions, MatchSummary)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+} // namespace
+} // namespace stats
+} // namespace varsim

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Phase-structure property tests: the mechanisms that give the
+ * synthetic workloads their *time* variability (Figures 8 and 9)
+ * must actually be present in the generated op streams —
+ * transaction-mix drift and buffer-pool drift for OLTP, the GC
+ * sawtooth for SPECjbb — and must be functions of workload age, not
+ * of timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cpu/simple_cpu.hh"
+#include "mem/mem_system.hh"
+#include "stats/summary.hh"
+#include "workload/workload.hh"
+
+namespace varsim
+{
+namespace workload
+{
+namespace
+{
+
+using cpu::Op;
+using cpu::OpKind;
+
+struct Host
+{
+    explicit Host(WorkloadKind kind)
+    {
+        mem::MemConfig mcfg;
+        mcfg.numNodes = 2;
+        mcfg.l1Size = 8 * 1024;
+        mcfg.l2Size = 64 * 1024;
+        ms = std::make_unique<mem::MemSystem>("mem", eq, mcfg);
+        std::vector<cpu::BaseCpu *> ptrs;
+        for (std::size_t i = 0; i < 2; ++i) {
+            cpus.push_back(std::make_unique<cpu::SimpleCpu>(
+                sim::format("cpu%zu", i), eq, ccfg, ms->icache(i),
+                ms->dcache(i), static_cast<sim::CpuId>(i)));
+            ptrs.push_back(cpus.back().get());
+        }
+        kernel =
+            std::make_unique<os::Kernel>("kernel", eq, oscfg, ptrs);
+        WorkloadParams params;
+        params.kind = kind;
+        wl = Workload::build(params, *kernel, 2, 64);
+    }
+
+    sim::EventQueue eq;
+    cpu::CpuConfig ccfg;
+    os::OsConfig oscfg;
+    std::unique_ptr<mem::MemSystem> ms;
+    std::vector<std::unique_ptr<cpu::BaseCpu>> cpus;
+    std::unique_ptr<os::Kernel> kernel;
+    std::unique_ptr<Workload> wl;
+};
+
+/** Collect per-transaction summaries of thread 0's stream. */
+struct TxnProfile
+{
+    int type = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memOps = 0;
+};
+
+std::vector<TxnProfile>
+profile(os::Kernel &k, std::size_t txns)
+{
+    std::vector<TxnProfile> out;
+    cpu::OpStream &s = k.thread(0).stream();
+    TxnProfile cur;
+    while (out.size() < txns) {
+        const Op op = s.current();
+        switch (op.kind) {
+          case OpKind::Compute:
+            cur.instructions += op.count;
+            break;
+          case OpKind::Load:
+          case OpKind::Store:
+            ++cur.memOps;
+            ++cur.instructions;
+            break;
+          case OpKind::TxnEnd:
+            cur.type = op.id;
+            out.push_back(cur);
+            cur = TxnProfile{};
+            break;
+          case OpKind::End:
+            return out;
+          default:
+            ++cur.instructions;
+            break;
+        }
+        s.advance();
+    }
+    return out;
+}
+
+TEST(OltpPhases, TransactionMixDriftsWithAge)
+{
+    Host h(WorkloadKind::Oltp);
+    const auto txns = profile(*h.kernel, 4000);
+    ASSERT_GE(txns.size(), 4000u);
+
+    // Fraction of analytics (type 4, StockLevel) transactions early
+    // vs late within the mix period: the drift raises it.
+    auto share = [&](std::size_t from, std::size_t to) {
+        int n = 0;
+        for (std::size_t i = from; i < to; ++i)
+            n += txns[i].type == 4;
+        return static_cast<double>(n) / static_cast<double>(to -
+                                                            from);
+    };
+    const double early = share(0, 1000);
+    const double late = share(2800, 3800);
+    EXPECT_GT(late, early + 0.02)
+        << "StockLevel share must grow across the mix period";
+}
+
+TEST(OltpPhases, MixDriftWrapsAtPeriod)
+{
+    // The drift is periodic (4000 txns): behaviour at txn ~4100
+    // resembles txn ~100 again, not txn ~3900.
+    Host h(WorkloadKind::Oltp);
+    const auto txns = profile(*h.kernel, 8200);
+    ASSERT_GE(txns.size(), 8200u);
+    auto share = [&](std::size_t from, std::size_t to) {
+        int n = 0;
+        for (std::size_t i = from; i < to; ++i)
+            n += txns[i].type >= 2; // read-mostly types
+        return static_cast<double>(n) / static_cast<double>(to -
+                                                            from);
+    };
+    const double startOfPeriod1 = share(0, 800);
+    const double endOfPeriod1 = share(3200, 4000);
+    const double startOfPeriod2 = share(4000, 4800);
+    EXPECT_GT(endOfPeriod1, startOfPeriod1);
+    EXPECT_LT(startOfPeriod2, endOfPeriod1);
+}
+
+TEST(SpecJbbPhases, GcSawtoothIsPeriodic)
+{
+    Host h(WorkloadKind::SpecJbb);
+    const auto txns = profile(*h.kernel, 1300);
+    ASSERT_GE(txns.size(), 1300u);
+    std::vector<std::size_t> gcAt;
+    for (std::size_t i = 0; i < txns.size(); ++i)
+        if (txns[i].type == 1)
+            gcAt.push_back(i);
+    ASSERT_GE(gcAt.size(), 3u) << "expected periodic GC pauses";
+    for (std::size_t i = 1; i < gcAt.size(); ++i)
+        EXPECT_EQ(gcAt[i] - gcAt[i - 1], 400u)
+            << "GC period must be deterministic in txn index";
+}
+
+TEST(SpecJbbPhases, GcCostGrowsWithHeapAge)
+{
+    // Long-term heap growth: later collections scan more.
+    Host h(WorkloadKind::SpecJbb);
+    const auto txns = profile(*h.kernel, 3700);
+    std::vector<std::uint64_t> gcMem;
+    for (const auto &t : txns)
+        if (t.type == 1)
+            gcMem.push_back(t.memOps);
+    ASSERT_GE(gcMem.size(), 3u);
+    EXPECT_GT(gcMem.back(), gcMem.front())
+        << "later GCs must be heavier (Figure 9b's driver)";
+}
+
+TEST(OltpPhases, TransactionTypesHaveDistinctSizes)
+{
+    Host h(WorkloadKind::Oltp);
+    const auto txns = profile(*h.kernel, 3000);
+    std::map<int, stats::RunningStat> byType;
+    for (const auto &t : txns)
+        byType[t.type].add(static_cast<double>(t.instructions));
+    ASSERT_EQ(byType.size(), 5u);
+    // StockLevel (4) is the analytics heavyweight; Payment (1) is
+    // the lightweight.
+    EXPECT_GT(byType[4].mean(), 1.5 * byType[1].mean());
+}
+
+} // namespace
+} // namespace workload
+} // namespace varsim

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * varsim — command-line front end for the variability methodology.
+ *
+ * Subcommands:
+ *   list                      show available workloads
+ *   run      [options]        N perturbed runs of one configuration,
+ *                             with a variability report
+ *   compare  [options]        the full Section 5 comparison of two
+ *                             configurations (WCR, CIs, t-test)
+ *   anova    [options]        the Section 5.2 time-variability study
+ *                             over checkpoints
+ *   plan     [options]        fixed-budget run-length/run-count
+ *                             advice from self-measured pilots
+ *
+ * Common options:
+ *   --workload <name>      oltp|apache|specjbb|slashcode|ecperf|
+ *                          barnes|ocean            (default oltp)
+ *   --runs <n>             runs per configuration  (default 10)
+ *   --warmup <txns>        warmup transactions     (default 100)
+ *   --txns <txns>          measured transactions   (default: the
+ *                          workload's Table 3 count)
+ *   --seed <s>             base perturbation seed  (default 1000)
+ *   --cpus <n>             processors              (default 16)
+ *   --threads-per-cpu <n>  software threads/CPU    (workload default)
+ *
+ * Configuration knobs (for run; suffix A/B for compare):
+ *   --l2-assoc <w>  --l2-size <bytes>  --dram <ns>  --perturb <ns>
+ *   --model simple|ooo  --rob <entries>  --quantum <ns>
+ *   --protocol snooping|directory  --prefetch on|off
+ *
+ * anova options:  --checkpoints <n> --step <txns>
+ *                 --strategy systematic|random|stratified
+ * plan options:   --budget <txns> [--pilot <len>]...
+ *
+ * Examples:
+ *   varsim run --workload slashcode --runs 20
+ *   varsim compare --l2-assoc-a 1 --l2-assoc-b 4 --runs 15
+ *   varsim anova --workload specjbb --checkpoints 5 --step 800
+ *   varsim plan --budget 20000
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/varsim.hh"
+
+using namespace varsim;
+
+namespace
+{
+
+/** Minimal deterministic flag parser: --key value pairs. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                sim::fatal("unexpected argument '%s' (flags are "
+                           "--key value)", key.c_str());
+            }
+            key = key.substr(2);
+            if (i + 1 >= argc) {
+                sim::fatal("flag --%s needs a value", key.c_str());
+            }
+            values.emplace(key, argv[++i]);
+        }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values.count(key) > 0;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &dflt) const
+    {
+        auto range = values.equal_range(key);
+        return range.first != range.second ? range.first->second
+                                           : dflt;
+    }
+
+    std::uint64_t
+    num(const std::string &key, std::uint64_t dflt) const
+    {
+        if (!has(key))
+            return dflt;
+        return std::strtoull(str(key, "").c_str(), nullptr, 10);
+    }
+
+    /** All values given for a repeatable flag. */
+    std::vector<std::uint64_t>
+    all(const std::string &key) const
+    {
+        std::vector<std::uint64_t> out;
+        auto range = values.equal_range(key);
+        for (auto it = range.first; it != range.second; ++it)
+            out.push_back(
+                std::strtoull(it->second.c_str(), nullptr, 10));
+        return out;
+    }
+
+  private:
+    std::multimap<std::string, std::string> values;
+};
+
+core::SystemConfig
+systemFromArgs(const Args &args, const std::string &suffix)
+{
+    core::SystemConfig sys;
+    auto knob = [&](const char *name) {
+        return std::string(name) + suffix;
+    };
+    sys.mem.numNodes = args.num("cpus", sys.mem.numNodes);
+    sys.mem.l2Assoc = args.num(knob("l2-assoc"), sys.mem.l2Assoc);
+    sys.mem.l2Size = args.num(knob("l2-size"), sys.mem.l2Size);
+    sys.mem.dramLatency =
+        args.num(knob("dram"), sys.mem.dramLatency);
+    sys.mem.perturbMaxNs =
+        args.num(knob("perturb"), sys.mem.perturbMaxNs);
+    sys.os.quantum = args.num(knob("quantum"), sys.os.quantum);
+    const std::string proto =
+        args.str(knob("protocol"), "snooping");
+    if (proto == "directory") {
+        sys.mem.protocol = mem::CoherenceProtocol::Directory;
+    } else if (proto != "snooping") {
+        sim::fatal("unknown protocol '%s'", proto.c_str());
+    }
+    if (args.str(knob("prefetch"), "off") == "on")
+        sys.mem.l2NextLinePrefetch = true;
+    const std::string model = args.str(knob("model"), "simple");
+    if (model == "ooo") {
+        sys.cpu.model = cpu::CpuConfig::Model::OutOfOrder;
+    } else if (model != "simple") {
+        sim::fatal("unknown CPU model '%s'", model.c_str());
+    }
+    sys.cpu.robEntries = static_cast<std::uint32_t>(
+        args.num(knob("rob"), sys.cpu.robEntries));
+    return sys;
+}
+
+workload::WorkloadParams
+workloadFromArgs(const Args &args)
+{
+    workload::WorkloadParams wl;
+    wl.kind = workload::kindFromName(args.str("workload", "oltp"));
+    wl.threadsPerCpu = args.num("threads-per-cpu", 0);
+    wl.seed = args.num("workload-seed", wl.seed);
+    return wl;
+}
+
+core::RunConfig
+runFromArgs(const Args &args)
+{
+    core::RunConfig rc;
+    rc.warmupTxns = args.num("warmup", 100);
+    rc.measureTxns = args.num("txns", 0); // 0 = workload default
+    return rc;
+}
+
+int
+cmdList()
+{
+    std::printf("workload     default txns  threads/cpu\n");
+    std::printf("oltp         200           8   TPC-C-like DB2 "
+                "transaction mix\n");
+    std::printf("apache       1000          8   static web "
+                "serving\n");
+    std::printf("specjbb      3000          8   Java server, "
+                "per-warehouse + GC\n");
+    std::printf("slashcode    30            2   dynamic web, hot "
+                "DB lock\n");
+    std::printf("ecperf       5             4   3-tier driver "
+                "cycles\n");
+    std::printf("barnes       1             1   SPLASH-2 N-body\n");
+    std::printf("ocean        1             1   SPLASH-2 stencil\n");
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const auto sys = systemFromArgs(args, "");
+    const auto wl = workloadFromArgs(args);
+    const auto rc = runFromArgs(args);
+    core::ExperimentConfig exp;
+    exp.numRuns = args.num("runs", 10);
+    exp.baseSeed = args.num("seed", 1000);
+
+    std::printf("running %zu x %s on %zu CPUs...\n", exp.numRuns,
+                workload::kindName(wl.kind), sys.numCpus());
+    const auto results = core::runMany(sys, wl, rc, exp);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::printf("  run %2zu: %10.0f cycles/txn  (%llu txns)\n",
+                    i, results[i].cyclesPerTxn,
+                    static_cast<unsigned long long>(
+                        results[i].txns));
+    }
+    const auto rep = core::analyze(results);
+    std::printf("\n%s\n", rep.toString().c_str());
+    const auto ci = stats::meanConfidenceInterval(
+        core::metricOf(results), 0.95);
+    std::printf("95%% CI for the mean: [%.0f, %.0f]\n", ci.lo,
+                ci.hi);
+    std::printf("runs for a 2%% error bound at 95%%: %zu\n",
+                stats::meanPrecisionSampleSize(
+                    rep.coefficientOfVariation / 100.0, 0.02,
+                    0.95));
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    const auto sysA = systemFromArgs(args, "-a");
+    const auto sysB = systemFromArgs(args, "-b");
+    const auto wl = workloadFromArgs(args);
+    const auto rc = runFromArgs(args);
+    core::ExperimentConfig exp;
+    exp.numRuns = args.num("runs", 10);
+    exp.baseSeed = args.num("seed", 1000);
+
+    std::printf("comparing A vs B on %s, %zu runs each...\n",
+                workload::kindName(wl.kind), exp.numRuns);
+    const auto a = core::runMany(sysA, wl, rc, exp);
+    core::ExperimentConfig expB = exp;
+    expB.baseSeed = exp.baseSeed + 7919;
+    const auto b = core::runMany(sysB, wl, rc, expB);
+
+    const auto rep = core::compare(a, b, 0.95);
+    std::printf("\n%s\n", rep.toString().c_str());
+
+    const auto diff = stats::differenceConfidenceInterval(
+        core::metricOf(a), core::metricOf(b), 0.95);
+    std::printf("95%% CI on the difference (A - B): "
+                "[%.0f, %.0f] cycles/txn\n", diff.lo, diff.hi);
+    std::printf("runs to bound the wrong-conclusion probability "
+                "at 5%%: %zu per configuration\n",
+                core::recommendRuns(core::metricOf(a),
+                                    core::metricOf(b), 0.05));
+    return 0;
+}
+
+int
+cmdAnova(const Args &args)
+{
+    const auto sys = systemFromArgs(args, "");
+    const auto wl = workloadFromArgs(args);
+    const std::size_t numCkpts = args.num("checkpoints", 5);
+    const std::uint64_t step = args.num("step", 400);
+    const std::size_t runs = args.num("runs", 6);
+    const std::string stratName =
+        args.str("strategy", "systematic");
+    core::SamplingStrategy strategy =
+        core::SamplingStrategy::Systematic;
+    if (stratName == "random")
+        strategy = core::SamplingStrategy::Random;
+    else if (stratName == "stratified")
+        strategy = core::SamplingStrategy::Stratified;
+    else if (stratName != "systematic")
+        sim::fatal("unknown strategy '%s'", stratName.c_str());
+
+    const auto positions = core::planCheckpoints(
+        strategy, step * numCkpts, numCkpts,
+        args.num("seed", 1000));
+
+    std::printf("%s: %zu %s checkpoints over %llu txns, %zu runs "
+                "each\n",
+                workload::kindName(wl.kind), numCkpts,
+                stratName.c_str(),
+                static_cast<unsigned long long>(step * numCkpts),
+                runs);
+
+    core::Simulation warmer(sys, wl);
+    warmer.seedPerturbation(args.num("seed", 1000));
+    std::vector<std::vector<double>> groups;
+    std::uint64_t done = 0;
+    for (std::size_t c = 0; c < positions.size(); ++c) {
+        warmer.runTransactions(positions[c] - done);
+        done = positions[c];
+        const core::Checkpoint cp = warmer.checkpoint();
+        core::RunConfig rc;
+        rc.measureTxns = args.num("txns", 200);
+        core::ExperimentConfig exp;
+        exp.numRuns = runs;
+        exp.baseSeed = 20000 + 100 * c;
+        groups.push_back(core::metricOf(core::runManyFromCheckpoint(
+            sys, wl, cp, rc, exp)));
+        const auto s = stats::summarize(groups.back());
+        std::printf("  checkpoint @%llu txns: mean=%.0f sd=%.0f\n",
+                    static_cast<unsigned long long>(positions[c]),
+                    s.mean, s.stddev);
+    }
+    const auto verdict = core::checkpointAnova(groups, 0.05);
+    std::printf("\n%s\n", verdict.toString().c_str());
+    return 0;
+}
+
+int
+cmdPlan(const Args &args)
+{
+    const auto sys = systemFromArgs(args, "");
+    const auto wl = workloadFromArgs(args);
+    const std::uint64_t budget = args.num("budget", 20000);
+    std::vector<std::uint64_t> lengths = args.all("pilot");
+    if (lengths.empty())
+        lengths = {50, 150, 400};
+    const std::size_t pilotRuns = args.num("runs", 6);
+
+    std::printf("measuring pilots for the budget planner...\n");
+    std::vector<std::pair<std::uint64_t, double>> pilots;
+    for (std::uint64_t len : lengths) {
+        core::RunConfig rc;
+        rc.warmupTxns = args.num("warmup", 100);
+        rc.measureTxns = len;
+        core::ExperimentConfig exp;
+        exp.numRuns = pilotRuns;
+        const auto rep =
+            core::analyze(core::runMany(sys, wl, rc, exp));
+        pilots.emplace_back(len, rep.coefficientOfVariation);
+        std::printf("  pilot %llu txns: CoV %.2f%%\n",
+                    static_cast<unsigned long long>(len),
+                    rep.coefficientOfVariation);
+    }
+    const auto plan = core::planBudget(pilots, budget, 3, 0.95);
+    std::printf("\nbudget of %llu measured transactions:\n  %s\n",
+                static_cast<unsigned long long>(budget),
+                plan.toString().c_str());
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf("usage: varsim <list|run|compare|anova|plan> "
+                "[--flag value]...\n"
+                "see the header of tools/varsim_cli.cc or "
+                "README.md for the full flag list\n");
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    Args args(argc, argv);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "compare")
+        return cmdCompare(args);
+    if (cmd == "anova")
+        return cmdAnova(args);
+    if (cmd == "plan")
+        return cmdPlan(args);
+    usage();
+    return 1;
+}
