@@ -1,8 +1,9 @@
 #include "core/experiment.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <functional>
-#include <thread>
+
+#include "core/thread_pool.hh"
 
 namespace varsim
 {
@@ -13,40 +14,15 @@ namespace
 {
 
 /**
- * Run @p jobs(i) for i in [0, n) on a pool of host threads, results
- * keyed by index so the outcome is independent of host scheduling.
+ * Run @p job(i) for i in [0, n) on the persistent host pool,
+ * results keyed by index so the outcome is independent of host
+ * scheduling. Job exceptions rethrow on the calling thread.
  */
 void
 parallelFor(std::size_t n, std::size_t host_threads,
             const std::function<void(std::size_t)> &job)
 {
-    std::size_t workers = host_threads != 0
-                              ? host_threads
-                              : std::thread::hardware_concurrency();
-    if (workers == 0)
-        workers = 1;
-    workers = std::min(workers, n);
-    if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
-            job(i);
-        return;
-    }
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        pool.emplace_back([&] {
-            while (true) {
-                const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
-                if (i >= n)
-                    return;
-                job(i);
-            }
-        });
-    }
-    for (auto &t : pool)
-        t.join();
+    HostThreadPool::instance().parallelFor(n, host_threads, job);
 }
 
 } // anonymous namespace
@@ -76,6 +52,44 @@ runManyFromCheckpoint(const SystemConfig &sys,
         r.perturbSeed = exp.baseSeed + i;
         results[i] = runFromCheckpoint(sys, wl, cp, r);
     });
+    return results;
+}
+
+std::vector<std::vector<RunResult>>
+runManyBatch(const std::vector<ExperimentSpec> &specs)
+{
+    // Flatten every run of every experiment into one index space so
+    // a sweep keeps all host threads busy across configuration
+    // boundaries (no join barrier between configurations).
+    std::vector<std::size_t> offsets(specs.size() + 1, 0);
+    std::size_t hostThreads = 1;
+    bool useHardware = false;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        offsets[s + 1] = offsets[s] + specs[s].exp.numRuns;
+        const std::size_t ht = specs[s].exp.hostThreads;
+        // 0 means "hardware concurrency": let it dominate the max.
+        useHardware |= ht == 0;
+        hostThreads = std::max(hostThreads, ht);
+    }
+    if (useHardware)
+        hostThreads = 0;
+
+    std::vector<std::vector<RunResult>> results(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s)
+        results[s].resize(specs[s].exp.numRuns);
+
+    parallelFor(
+        offsets.back(), hostThreads, [&](std::size_t flat) {
+            const std::size_t s = static_cast<std::size_t>(
+                std::upper_bound(offsets.begin(), offsets.end(),
+                                 flat) -
+                offsets.begin() - 1);
+            const std::size_t i = flat - offsets[s];
+            const ExperimentSpec &spec = specs[s];
+            RunConfig r = spec.run;
+            r.perturbSeed = spec.exp.baseSeed + i;
+            results[s][i] = runOnce(spec.sys, spec.wl, r);
+        });
     return results;
 }
 

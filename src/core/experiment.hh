@@ -53,6 +53,28 @@ runManyFromCheckpoint(const SystemConfig &sys,
                       const Checkpoint &cp, const RunConfig &run,
                       const ExperimentConfig &exp);
 
+/** One (configuration, workload, run, experiment) quadruple of a
+ *  sweep — the unit of runManyBatch(). */
+struct ExperimentSpec
+{
+    SystemConfig sys;
+    workload::WorkloadParams wl;
+    RunConfig run;
+    ExperimentConfig exp;
+};
+
+/**
+ * Run several experiments as one interleaved batch: every run of
+ * every spec is flattened into a single work queue, so host threads
+ * stay busy across configuration boundaries instead of draining at
+ * each runMany() join. Results are grouped per spec, ordered by run
+ * index — identical to calling runMany() per spec, just faster on a
+ * multi-core host. The worker budget is the largest hostThreads of
+ * any spec (hardware concurrency if any spec asks for it).
+ */
+std::vector<std::vector<RunResult>>
+runManyBatch(const std::vector<ExperimentSpec> &specs);
+
 /** Extract the cycles-per-transaction metric from results. */
 std::vector<double> metricOf(const std::vector<RunResult> &results);
 

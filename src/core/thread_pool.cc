@@ -1,0 +1,138 @@
+#include "core/thread_pool.hh"
+
+#include <algorithm>
+
+namespace varsim
+{
+namespace core
+{
+
+HostThreadPool &
+HostThreadPool::instance()
+{
+    static HostThreadPool pool;
+    return pool;
+}
+
+HostThreadPool::~HostThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        shutdown = true;
+    }
+    newBatch.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+std::size_t
+HostThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return threads.size();
+}
+
+void
+HostThreadPool::ensureWorkers(std::size_t count)
+{
+    while (threads.size() < count)
+        threads.emplace_back([this] { workerMain(); });
+}
+
+void
+HostThreadPool::parallelFor(
+    std::size_t n, std::size_t max_workers,
+    const std::function<void(std::size_t)> &fn)
+{
+    std::size_t workers = max_workers != 0
+                              ? max_workers
+                              : std::thread::hardware_concurrency();
+    if (workers == 0)
+        workers = 1;
+    workers = std::min(workers, n);
+    if (workers <= 1) {
+        // Inline: no pool traffic, exceptions propagate directly.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // One batch at a time; later callers queue here.
+    std::lock_guard<std::mutex> serial(batchMu);
+
+    std::unique_lock<std::mutex> lk(mu);
+    ensureWorkers(workers - 1);
+    job = &fn;
+    jobCount = n;
+    allowedJoiners = workers - 1;
+    joiners = 0;
+    next.store(0, std::memory_order_relaxed);
+    firstError = nullptr;
+    ++generation;
+    lk.unlock();
+    newBatch.notify_all();
+
+    // The caller is a full participant.
+    claimLoop(fn, n);
+
+    lk.lock();
+    batchDone.wait(lk, [this] { return activeWorkers == 0; });
+    job = nullptr;
+    jobCount = 0;
+    std::exception_ptr err = std::move(firstError);
+    firstError = nullptr;
+    lk.unlock();
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+HostThreadPool::claimLoop(const std::function<void(std::size_t)> &fn,
+                          std::size_t count)
+{
+    while (true) {
+        const std::size_t i =
+            next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count)
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!firstError)
+                firstError = std::current_exception();
+            // Cancel unclaimed indices; in-flight jobs finish.
+            next.store(count, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+HostThreadPool::workerMain()
+{
+    std::unique_lock<std::mutex> lk(mu);
+    std::uint64_t seen = 0;
+    while (true) {
+        newBatch.wait(lk, [&] {
+            return shutdown || generation != seen;
+        });
+        if (shutdown)
+            return;
+        seen = generation;
+        if (jobCount == 0 || joiners >= allowedJoiners)
+            continue; // batch already drained or fully staffed
+        ++joiners;
+        ++activeWorkers;
+        const std::function<void(std::size_t)> &fn = *job;
+        const std::size_t count = jobCount;
+        lk.unlock();
+        claimLoop(fn, count);
+        lk.lock();
+        if (--activeWorkers == 0)
+            batchDone.notify_all();
+    }
+}
+
+} // namespace core
+} // namespace varsim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Persistent host-side worker pool for multi-run experiments.
+ *
+ * The experiment driver used to spawn and join a fresh set of host
+ * threads for every runMany() call; sweeps that call it in a loop
+ * (every CLI experiment, every ablation) paid thread creation and
+ * teardown per configuration. This pool keeps the workers alive for
+ * the lifetime of the process and hands them batches of indexed
+ * jobs.
+ *
+ * Semantics:
+ *  - parallelFor(n, max_workers, job) runs job(0..n-1), using at
+ *    most max_workers host threads (0 = hardware concurrency). The
+ *    calling thread participates, so only max_workers-1 pool
+ *    threads are enlisted and a single-worker batch runs inline
+ *    with no synchronization at all.
+ *  - Job order across threads is unspecified; callers must key
+ *    results by index (all of core/experiment does).
+ *  - If any job throws, the first captured exception is rethrown on
+ *    the calling thread after the batch drains; remaining unclaimed
+ *    indices are cancelled (in-flight jobs still complete). The
+ *    pool stays usable after a throwing batch.
+ *  - Batches are serialized: concurrent parallelFor calls from
+ *    different threads queue behind each other. Jobs must not call
+ *    parallelFor re-entrantly.
+ */
+
+#ifndef VARSIM_CORE_THREAD_POOL_HH
+#define VARSIM_CORE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace varsim
+{
+namespace core
+{
+
+class HostThreadPool
+{
+  public:
+    /** The process-wide pool. */
+    static HostThreadPool &instance();
+
+    /**
+     * Run @p job(i) for i in [0, n) on at most @p max_workers host
+     * threads (0 = hardware concurrency). Returns when every claimed
+     * job has finished; rethrows the first job exception.
+     */
+    void parallelFor(std::size_t n, std::size_t max_workers,
+                     const std::function<void(std::size_t)> &job);
+
+    /** Pool threads currently alive (tests/diagnostics). */
+    std::size_t workerCount() const;
+
+    ~HostThreadPool();
+
+    HostThreadPool(const HostThreadPool &) = delete;
+    HostThreadPool &operator=(const HostThreadPool &) = delete;
+
+  private:
+    HostThreadPool() = default;
+
+    /** Grow the pool to @p count threads; requires mu held. */
+    void ensureWorkers(std::size_t count);
+
+    void workerMain();
+
+    /** Claim indices until the batch is exhausted or cancelled. */
+    void claimLoop(const std::function<void(std::size_t)> &job,
+                   std::size_t count);
+
+    /** Serializes whole batches (outermost lock). */
+    std::mutex batchMu;
+
+    /** Guards all state below. */
+    mutable std::mutex mu;
+    std::condition_variable newBatch;  ///< workers: batch published
+    std::condition_variable batchDone; ///< caller: workers drained
+    std::vector<std::thread> threads;
+    bool shutdown = false;
+
+    // Current batch (valid while jobCount != 0).
+    std::uint64_t generation = 0;
+    const std::function<void(std::size_t)> *job = nullptr;
+    std::size_t jobCount = 0;
+    std::size_t allowedJoiners = 0; ///< pool threads this batch may use
+    std::size_t joiners = 0;        ///< pool threads that joined
+    std::size_t activeWorkers = 0;  ///< pool threads inside claimLoop
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+};
+
+} // namespace core
+} // namespace varsim
+
+#endif // VARSIM_CORE_THREAD_POOL_HH

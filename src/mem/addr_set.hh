@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flat set of block addresses for tiny, high-churn membership sets.
+ *
+ * The coherence fabrics track which blocks have an in-flight
+ * transaction. That set is bounded by the number of outstanding
+ * misses (a handful), but it is probed on every ordered request and
+ * mutated twice per miss — a hash map spends more time allocating
+ * buckets than a linear scan spends comparing. This vector-backed
+ * set never shrinks its capacity, so steady-state operation does not
+ * touch the allocator at all.
+ */
+
+#ifndef VARSIM_MEM_ADDR_SET_HH
+#define VARSIM_MEM_ADDR_SET_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace mem
+{
+
+class AddrSet
+{
+  public:
+    bool
+    contains(sim::Addr addr) const
+    {
+        for (sim::Addr a : addrs)
+            if (a == addr)
+                return true;
+        return false;
+    }
+
+    /** Insert @p addr; the caller guarantees it is not present. */
+    void insert(sim::Addr addr) { addrs.push_back(addr); }
+
+    /** Remove @p addr if present (order is not preserved). */
+    void
+    erase(sim::Addr addr)
+    {
+        for (std::size_t i = 0; i < addrs.size(); ++i) {
+            if (addrs[i] == addr) {
+                addrs[i] = addrs.back();
+                addrs.pop_back();
+                return;
+            }
+        }
+    }
+
+    bool empty() const { return addrs.empty(); }
+    std::size_t size() const { return addrs.size(); }
+    void clear() { addrs.clear(); }
+
+  private:
+    std::vector<sim::Addr> addrs;
+};
+
+} // namespace mem
+} // namespace varsim
+
+#endif // VARSIM_MEM_ADDR_SET_HH

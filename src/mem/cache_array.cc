@@ -31,41 +31,10 @@ CacheArray::CacheArray(std::size_t size_bytes, std::size_t assoc,
     sets = size_bytes / (assoc * block_bytes);
     VARSIM_ASSERT(isPow2(sets), "number of sets (%zu) must be a power "
                   "of two", sets);
+    while ((std::size_t{1} << blockShift) < blockBytes)
+        ++blockShift;
+    setMask = sets - 1;
     lines.resize(sets * ways);
-}
-
-std::size_t
-CacheArray::setIndex(sim::Addr block_addr) const
-{
-    return static_cast<std::size_t>(
-        (block_addr / blockBytes) & (sets - 1));
-}
-
-CacheLine *
-CacheArray::find(sim::Addr block_addr)
-{
-    const std::size_t base = setIndex(block_addr) * ways;
-    for (std::size_t w = 0; w < ways; ++w) {
-        CacheLine &line = lines[base + w];
-        if (line.valid() && line.blockAddr == block_addr)
-            return &line;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-CacheArray::find(sim::Addr block_addr) const
-{
-    return const_cast<CacheArray *>(this)->find(block_addr);
-}
-
-CacheLine *
-CacheArray::findAndTouch(sim::Addr block_addr)
-{
-    CacheLine *line = find(block_addr);
-    if (line != nullptr)
-        touch(*line);
-    return line;
 }
 
 void
@@ -77,26 +46,29 @@ CacheArray::touch(CacheLine &line)
 std::pair<CacheLine *, bool>
 CacheArray::allocate(sim::Addr block_addr, CacheLine &victim)
 {
+#ifndef NDEBUG
     VARSIM_ASSERT(find(block_addr) == nullptr,
                   "allocate: block %#llx already present",
                   static_cast<unsigned long long>(block_addr));
+#endif
+    // Single pass: take the first free way if one exists, otherwise
+    // the true-LRU valid line (strict < keeps the earliest minimum,
+    // matching the historical two-scan selection exactly).
     const std::size_t base = setIndex(block_addr) * ways;
     CacheLine *target = nullptr;
+    CacheLine *lru = &lines[base];
     for (std::size_t w = 0; w < ways; ++w) {
         CacheLine &line = lines[base + w];
         if (!line.valid()) {
             target = &line;
             break;
         }
+        if (line.lastUse < lru->lastUse)
+            lru = &line;
     }
     bool hadVictim = false;
     if (target == nullptr) {
-        // Evict true-LRU among valid lines.
-        target = &lines[base];
-        for (std::size_t w = 1; w < ways; ++w) {
-            if (lines[base + w].lastUse < target->lastUse)
-                target = &lines[base + w];
-        }
+        target = lru;
         victim = *target;
         hadVictim = true;
     }

@@ -47,7 +47,13 @@ isValidState(LineState s)
     return s != LineState::Invalid;
 }
 
-/** One cache line's metadata. */
+/**
+ * One cache line's metadata.
+ *
+ * Invariant: blockAddr == sim::invalidAddr iff the way is free. The
+ * tag lookup fast path compares blockAddr alone, so invalidate()
+ * must (and does) reset the tag along with the state.
+ */
 struct CacheLine
 {
     sim::Addr blockAddr = sim::invalidAddr;
@@ -85,12 +91,42 @@ class CacheArray : public sim::Serializable
      * Look up @p block_addr (must be block-aligned).
      * @return the line, or nullptr if not present (Invalid lines are
      *         "not present").
+     *
+     * This is the hottest function in the simulator (every L1 probe,
+     * every L2 request and every bus snoop lands here), so the set
+     * index is shift/mask (no division) and the way walk compares
+     * tags only — free ways hold sim::invalidAddr, which no aligned
+     * block address can equal. The state is checked once on a tag
+     * match (tags are unique within a set) so a freshly allocated
+     * line stays "not present" until the caller sets its state.
      */
-    CacheLine *find(sim::Addr block_addr);
-    const CacheLine *find(sim::Addr block_addr) const;
+    CacheLine *
+    find(sim::Addr block_addr)
+    {
+        CacheLine *line = &lines[setIndex(block_addr) * ways];
+        for (std::size_t w = 0; w < ways; ++w, ++line) {
+            if (line->blockAddr == block_addr)
+                return line->state != LineState::Invalid ? line
+                                                         : nullptr;
+        }
+        return nullptr;
+    }
+
+    const CacheLine *
+    find(sim::Addr block_addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(block_addr);
+    }
 
     /** find() + LRU update on hit. */
-    CacheLine *findAndTouch(sim::Addr block_addr);
+    CacheLine *
+    findAndTouch(sim::Addr block_addr)
+    {
+        CacheLine *line = find(block_addr);
+        if (line != nullptr)
+            touch(*line);
+        return line;
+    }
 
     /** Mark @p line most recently used. */
     void touch(CacheLine &line);
@@ -132,11 +168,19 @@ class CacheArray : public sim::Serializable
     void unserialize(sim::CheckpointIn &cp) override;
 
   private:
-    std::size_t setIndex(sim::Addr block_addr) const;
+    /** Shift/mask index: blockBytes and sets are powers of two. */
+    std::size_t
+    setIndex(sim::Addr block_addr) const
+    {
+        return static_cast<std::size_t>(block_addr >> blockShift) &
+               setMask;
+    }
 
     std::size_t sets;
     std::size_t ways;
     std::size_t blockBytes;
+    std::size_t blockShift = 0; ///< log2(blockBytes)
+    std::size_t setMask = 0;    ///< sets - 1
     std::uint64_t useCounter = 0;
     std::vector<CacheLine> lines; // sets * ways, row-major by set
 };

@@ -86,7 +86,7 @@ DirectoryFabric::process(BusMsg msg)
                   "directory request from unknown node %d",
                   msg.srcNode);
 
-    if (busy.count(msg.blockAddr)) {
+    if (busy.contains(msg.blockAddr)) {
         ++stats_.nacks;
         nodes[src]->handleNack(msg.blockAddr);
         return;
@@ -166,7 +166,7 @@ DirectoryFabric::process(BusMsg msg)
     }
     dataDelay += pert;
 
-    busy.emplace(msg.blockAddr, true);
+    busy.insert(msg.blockAddr);
     L2Controller *requestor = nodes[src];
     const sim::Addr block = msg.blockAddr;
     callIn(

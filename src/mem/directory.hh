@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mem/addr_set.hh"
 #include "mem/dram.hh"
 #include "mem/fabric.hh"
 #include "sim/random.hh"
@@ -57,7 +58,7 @@ class DirectoryFabric : public sim::SimObject,
     bool
     blockBusy(sim::Addr block_addr) const override
     {
-        return busy.count(block_addr) != 0;
+        return busy.contains(block_addr);
     }
 
     /** Directory entry introspection (tests). */
@@ -84,7 +85,7 @@ class DirectoryFabric : public sim::SimObject,
     DramModel dram_;
     std::vector<L2Controller *> nodes;
     std::unordered_map<sim::Addr, Entry> dir;
-    std::unordered_map<sim::Addr, bool> busy;
+    AddrSet busy;
     std::vector<sim::Tick> homeNextFree;
     MemStats stats_;
 };

@@ -16,6 +16,28 @@ L1Cache::L1Cache(std::string name, sim::EventQueue &eq,
       array(config.l1Size, config.l1Assoc, config.blockBytes)
 {}
 
+L1Cache::MshrEntry *
+L1Cache::findMshr(sim::Addr block_addr)
+{
+    for (MshrEntry &entry : mshr)
+        if (entry.addr == block_addr)
+            return &entry;
+    return nullptr;
+}
+
+void
+L1Cache::eraseMshr(std::size_t index)
+{
+    std::vector<MemRequest> reqs = std::move(mshr[index].reqs);
+    if (reqs.capacity() != 0) {
+        reqs.clear();
+        reqPool.push_back(std::move(reqs));
+    }
+    if (index != mshr.size() - 1)
+        mshr[index] = std::move(mshr.back());
+    mshr.pop_back();
+}
+
 bool
 L1Cache::tryAccess(sim::Addr addr, bool write)
 {
@@ -34,21 +56,30 @@ L1Cache::access(const MemRequest &req)
 {
     ++numMisses;
     const sim::Addr block = array.blockAlign(req.addr);
-    auto it = mshr.find(block);
-    if (it == mshr.end()) {
-        mshr[block].push_back(req);
+    MshrEntry *entry = findMshr(block);
+    if (entry == nullptr) {
+        mshr.emplace_back();
+        MshrEntry &fresh = mshr.back();
+        fresh.addr = block;
+        if (!reqPool.empty()) {
+            fresh.reqs = std::move(reqPool.back());
+            reqPool.pop_back();
+        }
+        fresh.reqs.push_back(req);
         DPRINTF(Cache, "miss blk=%#llx w=%d",
                 static_cast<unsigned long long>(block),
                 int(req.write));
+        // An L2 hit responds synchronously, re-entering l2Response
+        // and mutating mshr — `fresh` is dead past this call.
         l2.request(block, req.write, this);
         return;
     }
     // Merge into the outstanding miss. If this request needs write
     // permission and only a read was requested so far, escalate.
     bool hadWrite = false;
-    for (const MemRequest &r : it->second)
+    for (const MemRequest &r : entry->reqs)
         hadWrite |= r.write;
-    it->second.push_back(req);
+    entry->reqs.push_back(req);
     if (req.write && !hadWrite)
         l2.request(block, true, this);
 }
@@ -71,13 +102,16 @@ L1Cache::l2Response(sim::Addr block_addr, bool writable,
         array.touch(*line);
     }
 
-    auto it = mshr.find(block_addr);
-    if (it == mshr.end())
+    MshrEntry *entry = findMshr(block_addr);
+    if (entry == nullptr)
         return; // back-to-back grants can outrun the waiters
 
-    std::vector<MemRequest> &reqs = it->second;
-    std::vector<MemRequest> still_waiting;
-    for (const MemRequest &r : reqs) {
+    // Respond to every satisfied request and compact the rest in
+    // place (stable, preserving arrival order) — no scratch vector.
+    std::vector<MemRequest> &reqs = entry->reqs;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const MemRequest &r = reqs[i];
         if (!r.write || writable) {
             const std::uint64_t tag = r.tag;
             MemClient *client = client_;
@@ -87,13 +121,13 @@ L1Cache::l2Response(sim::Addr block_addr, bool writable,
                 delay, [client, tag] { client->memResponse(tag); },
                 sim::Event::memoryResponsePri);
         } else {
-            still_waiting.push_back(r);
+            reqs[keep++] = reqs[i];
         }
     }
-    if (still_waiting.empty())
-        mshr.erase(it);
+    if (keep == 0)
+        eraseMshr(static_cast<std::size_t>(entry - mshr.data()));
     else
-        reqs = std::move(still_waiting);
+        reqs.resize(keep);
 }
 
 void

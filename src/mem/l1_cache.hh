@@ -16,7 +16,6 @@
 #ifndef VARSIM_MEM_L1_CACHE_HH
 #define VARSIM_MEM_L1_CACHE_HH
 
-#include <map>
 #include <vector>
 
 #include "mem/cache_array.hh"
@@ -88,12 +87,30 @@ class L1Cache : public sim::SimObject
     void unserialize(sim::CheckpointIn &cp) override;
 
   private:
+    /**
+     * One outstanding miss: the block and the requests merged into
+     * it. Entries live in a flat, unordered vector (an L1 has at
+     * most a few misses in flight); erased entries return their
+     * request-vector capacity to a pool so the miss path stops
+     * allocating once warm.
+     */
+    struct MshrEntry
+    {
+        sim::Addr addr = sim::invalidAddr;
+        std::vector<MemRequest> reqs;
+    };
+
+    MshrEntry *findMshr(sim::Addr block_addr);
+    /** Swap-remove the entry at @p index, recycling its requests. */
+    void eraseMshr(std::size_t index);
+
     const MemConfig &cfg;
     L2Controller &l2;
     MemClient *client_ = nullptr;
     bool isICache;
     CacheArray array;
-    std::map<sim::Addr, std::vector<MemRequest>> mshr;
+    std::vector<MshrEntry> mshr;
+    std::vector<std::vector<MemRequest>> reqPool;
 
     std::uint64_t numHits = 0;
     std::uint64_t numMisses = 0;

@@ -29,6 +29,47 @@ L2Controller::l1Bit(const L1Cache *l1) const
     return l1 == icache ? l2AuxL1ICopy : l2AuxL1DCopy;
 }
 
+L2Controller::Tbe *
+L2Controller::findTbe(sim::Addr block_addr)
+{
+    for (Tbe &tbe : tbes)
+        if (tbe.addr == block_addr)
+            return &tbe;
+    return nullptr;
+}
+
+L2Controller::Tbe &
+L2Controller::newTbe(sim::Addr block_addr, BusCmd cmd)
+{
+    tbes.emplace_back();
+    Tbe &tbe = tbes.back();
+    tbe.addr = block_addr;
+    tbe.issued = cmd;
+    if (!waiterPool.empty()) {
+        tbe.waiters = std::move(waiterPool.back());
+        waiterPool.pop_back();
+    }
+    return tbe;
+}
+
+void
+L2Controller::eraseTbe(std::size_t index)
+{
+    releaseWaiters(std::move(tbes[index].waiters));
+    if (index != tbes.size() - 1)
+        tbes[index] = std::move(tbes.back());
+    tbes.pop_back();
+}
+
+void
+L2Controller::releaseWaiters(std::vector<Waiter> &&waiters)
+{
+    if (waiters.capacity() == 0)
+        return;
+    waiters.clear();
+    waiterPool.push_back(std::move(waiters));
+}
+
 void
 L2Controller::request(sim::Addr block_addr, bool need_writable,
                       L1Cache *who)
@@ -48,19 +89,19 @@ L2Controller::request(sim::Addr block_addr, bool need_writable,
         return;
     }
 
-    auto it = tbes.find(block_addr);
-    if (it == tbes.end()) {
+    Tbe *tbe = findTbe(block_addr);
+    if (tbe == nullptr) {
         ++numMisses;
-        Tbe tbe;
-        tbe.issued = need_writable ? BusCmd::GetM : BusCmd::GetS;
-        tbe.waiters.push_back({who, need_writable});
-        tbes.emplace(block_addr, std::move(tbe));
-        issue(block_addr, need_writable ? BusCmd::GetM : BusCmd::GetS);
+        const BusCmd cmd =
+            need_writable ? BusCmd::GetM : BusCmd::GetS;
+        newTbe(block_addr, cmd).waiters.push_back(
+            {who, need_writable});
+        issue(block_addr, cmd);
     } else {
-        it->second.waiters.push_back({who, need_writable});
+        tbe->waiters.push_back({who, need_writable});
         // A demand request joining an in-flight prefetch makes it
         // a demand transaction (NACKs now retry).
-        it->second.prefetch = false;
+        tbe->prefetch = false;
     }
 }
 
@@ -76,12 +117,9 @@ L2Controller::maybePrefetch(sim::Addr filled_block)
     if (!cfg.l2NextLinePrefetch)
         return;
     const sim::Addr next = filled_block + cfg.blockBytes;
-    if (array.find(next) != nullptr || tbes.count(next) != 0)
+    if (array.find(next) != nullptr || findTbe(next) != nullptr)
         return;
-    Tbe tbe;
-    tbe.issued = BusCmd::GetS;
-    tbe.prefetch = true;
-    tbes.emplace(next, std::move(tbe));
+    newTbe(next, BusCmd::GetS).prefetch = true;
     ++numPrefetches;
     issue(next, BusCmd::GetS);
 }
@@ -89,17 +127,17 @@ L2Controller::maybePrefetch(sim::Addr filled_block)
 void
 L2Controller::handleNack(sim::Addr block_addr)
 {
-    auto it = tbes.find(block_addr);
-    VARSIM_ASSERT(it != tbes.end(),
+    Tbe *tbe = findTbe(block_addr);
+    VARSIM_ASSERT(tbe != nullptr,
                   "NACK for block %#llx with no TBE",
                   static_cast<unsigned long long>(block_addr));
-    if (it->second.prefetch && it->second.waiters.empty()) {
+    if (tbe->prefetch && tbe->waiters.empty()) {
         // Prefetches are best-effort: drop on conflict.
-        tbes.erase(it);
+        eraseTbe(static_cast<std::size_t>(tbe - tbes.data()));
         return;
     }
     ++numRetries;
-    const BusCmd cmd = it->second.issued;
+    const BusCmd cmd = tbe->issued;
     DPRINTF(Coherence, "NACK blk=%#llx, retrying",
             static_cast<unsigned long long>(block_addr));
     callIn(cfg.retryDelay,
@@ -134,19 +172,22 @@ L2Controller::fillArrived(sim::Addr block_addr, bool writable)
             static_cast<unsigned long long>(block_addr),
             int(writable));
 
-    auto it = tbes.find(block_addr);
-    VARSIM_ASSERT(it != tbes.end(),
+    Tbe *tbe = findTbe(block_addr);
+    VARSIM_ASSERT(tbe != nullptr,
                   "fill for block %#llx with no TBE",
                   static_cast<unsigned long long>(block_addr));
-    std::vector<Waiter> waiters = std::move(it->second.waiters);
-    const bool wasPrefetch = it->second.prefetch;
-    tbes.erase(it);
+    std::vector<Waiter> waiters = std::move(tbe->waiters);
+    const bool wasPrefetch = tbe->prefetch;
+    // Erase before re-running the waiters: request() may create new
+    // TBEs, reallocating the vector under any live slot pointer.
+    eraseTbe(static_cast<std::size_t>(tbe - tbes.data()));
 
     // Re-run every waiter: reads (and writes, if the fill granted M)
     // hit and respond after the L2 access latency; writes that got
     // only a Shared fill start a GetM round.
     for (const Waiter &w : waiters)
         request(block_addr, w.needWritable, w.l1);
+    releaseWaiters(std::move(waiters));
 
     // Demand fills trigger the next-line prefetcher (prefetch fills
     // do not, to avoid runaway chains).
@@ -157,19 +198,29 @@ L2Controller::fillArrived(sim::Addr block_addr, bool writable)
 void
 L2Controller::handleRemoteSnoop(const BusMsg &msg)
 {
+    snoopAndHandle(msg, true);
+}
+
+LineState
+L2Controller::snoopAndHandle(const BusMsg &msg, bool remote)
+{
     CacheLine *line = array.find(msg.blockAddr);
     if (line == nullptr)
-        return;
-    if (msg.cmd == BusCmd::GetM) {
-        backProbeL1s(*line, true);
-        array.invalidate(*line);
-    } else if (msg.cmd == BusCmd::GetS) {
-        if (line->state == LineState::Modified) {
-            line->state = LineState::Owned;
-            backProbeL1s(*line, false);
+        return LineState::Invalid;
+    const LineState before = line->state;
+    if (remote) {
+        if (msg.cmd == BusCmd::GetM) {
+            backProbeL1s(*line, true);
+            array.invalidate(*line);
+        } else if (msg.cmd == BusCmd::GetS) {
+            if (before == LineState::Modified) {
+                line->state = LineState::Owned;
+                backProbeL1s(*line, false);
+            }
+            // Shared/Owned copies are unaffected by a remote GetS.
         }
-        // Shared/Owned copies are unaffected by a remote GetS.
     }
+    return before;
 }
 
 LineState

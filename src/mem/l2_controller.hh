@@ -16,7 +16,6 @@
 #ifndef VARSIM_MEM_L2_CONTROLLER_HH
 #define VARSIM_MEM_L2_CONTROLLER_HH
 
-#include <map>
 #include <utility>
 #include <vector>
 
@@ -61,6 +60,15 @@ class L2Controller : public sim::SimObject
 
     /** Bus: a remote node's request was ordered; apply transitions. */
     void handleRemoteSnoop(const BusMsg &msg);
+
+    /**
+     * Bus fast path: report this node's pre-transition stable state
+     * for @p msg's block and, when @p remote, apply the snoop
+     * transitions of handleRemoteSnoop() — all in a single tag walk
+     * (the broadcast bus otherwise probes every node's tags twice
+     * per ordered request: once to locate the owner, once to apply).
+     */
+    LineState snoopAndHandle(const BusMsg &msg, bool remote);
 
     /** Bus: our request collided with a busy block; retry later. */
     void handleNack(sim::Addr block_addr);
@@ -111,12 +119,27 @@ class L2Controller : public sim::SimObject
         bool needWritable;
     };
 
+    /**
+     * In-flight transactions live in a flat, unordered vector: only
+     * a handful are ever outstanding, lookups are by address (never
+     * iterated in a semantically meaningful order), and swap-remove
+     * erasure plus waiter-vector recycling keep the miss path free
+     * of per-transaction allocation.
+     */
     struct Tbe
     {
+        sim::Addr addr = sim::invalidAddr;
         BusCmd issued;
         bool prefetch = false; ///< no waiters; dropped on NACK
         std::vector<Waiter> waiters;
     };
+
+    Tbe *findTbe(sim::Addr block_addr);
+    Tbe &newTbe(sim::Addr block_addr, BusCmd cmd);
+    /** Swap-remove the slot at @p index, recycling its waiters. */
+    void eraseTbe(std::size_t index);
+    /** Return a waiter vector's capacity to the recycling pool. */
+    void releaseWaiters(std::vector<Waiter> &&waiters);
 
     void maybePrefetch(sim::Addr filled_block);
 
@@ -128,7 +151,8 @@ class L2Controller : public sim::SimObject
     CoherenceFabric &bus;
     int node;
     CacheArray array;
-    std::map<sim::Addr, Tbe> tbes;
+    std::vector<Tbe> tbes;
+    std::vector<std::vector<Waiter>> waiterPool;
     L1Cache *icache = nullptr;
     L1Cache *dcache = nullptr;
 

@@ -58,29 +58,29 @@ SnoopBus::snoop(BusMsg msg)
     VARSIM_ASSERT(src < nodes.size(), "snoop from unknown node %d",
                   msg.srcNode);
 
-    if (busy.count(msg.blockAddr)) {
+    if (busy.contains(msg.blockAddr)) {
         ++stats_.nacks;
         nodes[src]->handleNack(msg.blockAddr);
         return;
     }
 
-    // Locate the current owner, if any (at most one node holds the
-    // block in M or O — a protocol invariant).
+    // One tag walk per node: record the pre-transition owner (at
+    // most one node holds the block in M or O — a protocol
+    // invariant) and apply the order-point transitions on every
+    // non-source node. Transitions only mutate the snooped node's
+    // own state, so read-then-transition per node is equivalent to
+    // the read-all-then-transition-all sequence.
     int ownerNode = -1;
     for (std::size_t n = 0; n < nodes.size(); ++n) {
-        if (isOwnerState(nodes[n]->snoopState(msg.blockAddr))) {
+        const LineState s =
+            nodes[n]->snoopAndHandle(msg, n != src);
+        if (isOwnerState(s)) {
             VARSIM_ASSERT(ownerNode == -1,
                           "two owners for block %#llx",
                           static_cast<unsigned long long>(
                               msg.blockAddr));
             ownerNode = static_cast<int>(n);
         }
-    }
-
-    // Apply state transitions at the order point on all other nodes.
-    for (std::size_t n = 0; n < nodes.size(); ++n) {
-        if (n != src)
-            nodes[n]->handleRemoteSnoop(msg);
     }
 
     ++stats_.l2Misses;
@@ -106,7 +106,7 @@ SnoopBus::snoop(BusMsg msg)
         dataDelay = (dataReady - curTick()) + cfg.netTraversal + pert;
     }
 
-    busy.emplace(msg.blockAddr, true);
+    busy.insert(msg.blockAddr);
     L2Controller *requestor = nodes[src];
     const sim::Addr block = msg.blockAddr;
     callIn(

@@ -21,9 +21,9 @@
 #ifndef VARSIM_MEM_SNOOP_BUS_HH
 #define VARSIM_MEM_SNOOP_BUS_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "mem/addr_set.hh"
 #include "mem/dram.hh"
 #include "mem/fabric.hh"
 #include "sim/random.hh"
@@ -66,7 +66,7 @@ class SnoopBus : public sim::SimObject, public CoherenceFabric
     bool
     blockBusy(sim::Addr block_addr) const override
     {
-        return busy.count(block_addr) != 0;
+        return busy.contains(block_addr);
     }
 
     void drain() override;
@@ -80,7 +80,7 @@ class SnoopBus : public sim::SimObject, public CoherenceFabric
     sim::Random &pertRng;
     DramModel dram_;
     std::vector<L2Controller *> nodes;
-    std::unordered_map<sim::Addr, bool> busy;
+    AddrSet busy;
     sim::Tick nextOrderTick = 0;
     MemStats stats_;
 };

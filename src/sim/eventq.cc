@@ -14,6 +14,45 @@ Event::~Event()
 }
 
 void
+CallbackEvent::process()
+{
+    invoke_(storage_);
+    // The callable may have scheduled further one-shots (pulling from
+    // the free list); this event only becomes reusable now.
+    reset();
+    owner_.releaseCallback(this);
+}
+
+EventQueue::EventQueue()
+{
+    // One simulated coherence transaction schedules a handful of
+    // events; keep the steady-state heap free of regrowth.
+    heap.reserve(1024);
+}
+
+EventQueue::~EventQueue() = default;
+
+CallbackEvent *
+EventQueue::acquireCallback()
+{
+    if (freeCallbacks != nullptr) {
+        CallbackEvent *ev = freeCallbacks;
+        freeCallbacks = ev->nextFree_;
+        ev->nextFree_ = nullptr;
+        return ev;
+    }
+    callbackPool.emplace_back(new CallbackEvent(*this));
+    return callbackPool.back().get();
+}
+
+void
+EventQueue::releaseCallback(CallbackEvent *ev)
+{
+    ev->nextFree_ = freeCallbacks;
+    freeCallbacks = ev;
+}
+
+void
 EventQueue::schedule(Event *ev, Tick when)
 {
     VARSIM_ASSERT(ev != nullptr, "scheduling null event");
@@ -63,39 +102,30 @@ EventQueue::restoreTick(Tick t)
     curTick_ = t;
 }
 
+bool
+EventQueue::skimStale()
+{
+    // Discard tombstones left behind by deschedule()/reschedule().
+    while (!heap.empty()) {
+        const HeapEntry &top = heap.front();
+        if (top.ev->scheduled_ && top.ev->seq_ == top.seq)
+            return true;
+        popEntry();
+    }
+    return false;
+}
+
 Tick
 EventQueue::run(Tick stop_tick)
 {
-    while (!empty() && !stopRequested) {
-        // Peek: discard stale entries first.
-        while (!heap.empty()) {
-            const HeapEntry &top = heap.front();
-            if (!top.ev->scheduled_ || top.ev->seq_ != top.seq) {
-                popEntry();
-                continue;
-            }
+    while (!stopRequested) {
+        if (!skimStale() || heap.front().when > stop_tick)
             break;
-        }
-        if (heap.empty())
-            break;
-        if (heap.front().when > stop_tick)
-            break;
-        step();
-    }
-    return curTick_;
-}
 
-void
-EventQueue::step()
-{
-    while (true) {
-        VARSIM_ASSERT(!heap.empty(), "step() on empty event queue");
-        HeapEntry entry = popEntry();
+        // Dispatch inline: the top entry is known live, so the
+        // peek-then-step double walk of the heap is unnecessary.
+        const HeapEntry entry = popEntry();
         Event *ev = entry.ev;
-        // Skip stale entries from deschedule()/reschedule().
-        if (!ev->scheduled_ || ev->seq_ != entry.seq)
-            continue;
-
         VARSIM_ASSERT(entry.when >= curTick_,
                       "time went backwards dispatching '%s'",
                       ev->name().c_str());
@@ -105,8 +135,25 @@ EventQueue::step()
         --numPending;
         ++dispatched;
         ev->process();
-        return;
     }
+    return curTick_;
+}
+
+void
+EventQueue::step()
+{
+    VARSIM_ASSERT(skimStale(), "step() on empty event queue");
+    const HeapEntry entry = popEntry();
+    Event *ev = entry.ev;
+    VARSIM_ASSERT(entry.when >= curTick_,
+                  "time went backwards dispatching '%s'",
+                  ev->name().c_str());
+    curTick_ = entry.when;
+    ev->scheduled_ = false;
+    ev->queue_ = nullptr;
+    --numPending;
+    ++dispatched;
+    ev->process();
 }
 
 void

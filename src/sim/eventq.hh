@@ -18,7 +18,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <cstddef>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -111,6 +116,70 @@ class EventFunctionWrapper : public Event
 };
 
 /**
+ * A recyclable one-shot event with inline callable storage.
+ *
+ * Owned by an EventQueue and handed out by EventQueue::callAt(); after
+ * firing, the event returns to the queue's free list instead of the
+ * heap allocator. Together with the inline storage for the callable
+ * (no std::function, no captured-state allocation for callables up to
+ * inlineBytes) this makes the memory-system miss path — which
+ * schedules a handful of one-shot callbacks per coherence
+ * transaction — allocation-free in steady state.
+ */
+class CallbackEvent : public Event
+{
+  public:
+    ~CallbackEvent() override { reset(); }
+
+    void process() override;
+    std::string name() const override { return "callback"; }
+
+  private:
+    friend class EventQueue;
+
+    /** Covers every capture list in the simulator's hot paths. */
+    static constexpr std::size_t inlineBytes = 56;
+
+    explicit CallbackEvent(EventQueue &owner) : owner_(owner) {}
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(::max_align_t)) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        } else {
+            // Oversized callable: fall back to the heap (cold path).
+            ::new (static_cast<void *>(storage_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            invoke_ = [](void *p) { (**static_cast<Fn **>(p))(); };
+            destroy_ = [](void *p) { delete *static_cast<Fn **>(p); };
+        }
+    }
+
+    void
+    reset()
+    {
+        if (destroy_ != nullptr) {
+            destroy_(storage_);
+            destroy_ = nullptr;
+            invoke_ = nullptr;
+        }
+    }
+
+    EventQueue &owner_;
+    CallbackEvent *nextFree_ = nullptr;
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    alignas(::max_align_t) unsigned char storage_[inlineBytes];
+};
+
+/**
  * The event queue: a binary heap ordered by (tick, priority, seq).
  *
  * Each Simulation owns exactly one queue; there are no global queues,
@@ -121,8 +190,8 @@ class EventFunctionWrapper : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
-    ~EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -135,6 +204,23 @@ class EventQueue
 
     /** Deschedule (if pending) and schedule at a new tick. */
     void reschedule(Event *ev, Tick when);
+
+    /**
+     * Schedule a one-shot callable at absolute tick @p when. The
+     * event object comes from an internal free list and is recycled
+     * after firing: allocation-free in steady state, unlike
+     * heap-allocating a self-deleting Event per callback.
+     */
+    template <typename F>
+    void
+    callAt(Tick when, F &&fn,
+           Event::Priority pri = Event::defaultPri)
+    {
+        CallbackEvent *ev = acquireCallback();
+        ev->priority_ = pri;
+        ev->emplace(std::forward<F>(fn));
+        schedule(ev, when);
+    }
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
@@ -200,10 +286,18 @@ class EventQueue
         }
     };
 
+    friend class CallbackEvent;
+
     void siftUp(std::size_t i);
     void siftDown(std::size_t i);
     void pushEntry(const HeapEntry &e);
     HeapEntry popEntry();
+
+    /** Pop tombstoned entries off the top; true if a live one waits. */
+    bool skimStale();
+
+    CallbackEvent *acquireCallback();
+    void releaseCallback(CallbackEvent *ev);
 
     std::vector<HeapEntry> heap;
     Tick curTick_ = 0;
@@ -211,6 +305,11 @@ class EventQueue
     std::uint64_t dispatched = 0;
     std::size_t numPending = 0;
     bool stopRequested = false;
+
+    /** All pooled one-shot events this queue ever created. */
+    std::vector<std::unique_ptr<CallbackEvent>> callbackPool;
+    /** Intrusive free list threaded through CallbackEvent::nextFree_. */
+    CallbackEvent *freeCallbacks = nullptr;
 };
 
 } // namespace sim

@@ -62,32 +62,16 @@ class SimObject : public Serializable
 
     /**
      * Schedule a one-shot callable @p delta ticks from now. The event
-     * object is heap-allocated and deletes itself after firing; use
-     * member Event objects instead for recurring or cancellable work.
+     * object comes from the queue's recycled pool (allocation-free in
+     * steady state); use member Event objects instead for recurring
+     * or cancellable work.
      */
+    template <typename F>
     void
-    callIn(Tick delta, std::function<void()> fn,
+    callIn(Tick delta, F &&fn,
            Event::Priority pri = Event::defaultPri)
     {
-        class OneShot : public Event
-        {
-          public:
-            OneShot(std::function<void()> f, Priority p)
-                : Event(p), fn(std::move(f))
-            {}
-            void
-            process() override
-            {
-                fn();
-                delete this;
-            }
-            std::string name() const override { return "one-shot"; }
-
-          private:
-            std::function<void()> fn;
-        };
-        auto *ev = new OneShot(std::move(fn), pri);
-        scheduleIn(*ev, delta);
+        eventq_->callAt(curTick() + delta, std::forward<F>(fn), pri);
     }
 
     /**

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
+#include <stdexcept>
+#include <string>
 
 #include "sim/logging.hh"
 #include "workload/builders.hh"
@@ -74,6 +76,10 @@ std::unique_ptr<Workload>
 Workload::build(const WorkloadParams &params, os::Kernel &kernel,
                 std::size_t num_cpus, std::size_t block_bytes)
 {
+    if (!(params.scale > 0.0))
+        throw std::invalid_argument(
+            "workload scale must be positive, got " +
+            std::to_string(params.scale));
     auto wl = std::make_unique<Workload>(kindName(params.kind));
     BuildContext ctx{*wl, kernel, params, num_cpus, block_bytes};
     switch (params.kind) {

@@ -95,6 +95,8 @@ class Workload : public sim::Serializable
      *
      * @param num_cpus    processors in the target system
      * @param block_bytes cache block size (for layout alignment)
+     * @throws std::invalid_argument for invalid parameters
+     *         (scale <= 0 or NaN)
      */
     static std::unique_ptr<Workload>
     build(const WorkloadParams &params, os::Kernel &kernel,

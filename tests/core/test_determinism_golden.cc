@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Golden determinism pins: exact end-to-end results for a fixed set
+ * of (workload, seed) pairs, including an order-sensitive hash of
+ * the OS scheduling trace.
+ *
+ * These values are the regression oracle for every hot-path
+ * optimization: the simulator's contract is that a (configuration,
+ * workload, seed) triple produces bit-identical results on any host,
+ * with any thread count, in any build type. An optimization that
+ * changes any number below changed simulated behavior and is a bug
+ * (or a deliberate model change, in which case this table must be
+ * regenerated and the change called out in review).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/varsim.hh"
+
+namespace
+{
+
+using namespace varsim;
+
+core::SystemConfig
+goldenSys()
+{
+    core::SystemConfig sys = core::SystemConfig::testDefault();
+    sys.mem.perturbMaxNs = 4; // exercise the perturbation path
+    return sys;
+}
+
+workload::WorkloadParams
+goldenWl(workload::WorkloadKind kind)
+{
+    workload::WorkloadParams wl;
+    wl.kind = kind;
+    wl.threadsPerCpu = 2; // oversubscribed: scheduler in play
+    return wl;
+}
+
+core::RunConfig
+goldenRun(std::uint64_t seed)
+{
+    core::RunConfig rc;
+    rc.warmupTxns = 10;
+    rc.measureTxns = 40;
+    rc.perturbSeed = seed;
+    return rc;
+}
+
+/** FNV-1a over the 8 little-endian bytes of @p v. */
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct Golden
+{
+    workload::WorkloadKind kind;
+    std::uint64_t seed;
+    std::uint64_t runtimeTicks;
+    std::uint64_t txns;
+    std::uint64_t l2Misses;
+    std::uint64_t dispatches;
+    std::uint64_t instructions;
+    std::uint64_t traceHash;
+};
+
+// Regenerate by running this same configuration and printing the
+// fields (the table is the only thing that may change, never the
+// harness around it).
+const Golden goldenTable[] = {
+    {workload::WorkloadKind::Oltp, 11ull, 186781ull, 40ull, 3948ull,
+     43ull, 125432ull, 4213816009097953443ull},
+    {workload::WorkloadKind::Oltp, 12ull, 191206ull, 40ull, 4000ull,
+     46ull, 128712ull, 2780843790885583414ull},
+    {workload::WorkloadKind::Apache, 11ull, 41655ull, 40ull, 1011ull,
+     14ull, 32818ull, 2246365846492707887ull},
+    {workload::WorkloadKind::Apache, 12ull, 43228ull, 40ull, 1008ull,
+     18ull, 31370ull, 666379795687347554ull},
+    {workload::WorkloadKind::SpecJbb, 11ull, 64913ull, 40ull,
+     1745ull, 20ull, 46148ull, 10520078408481983755ull},
+    {workload::WorkloadKind::SpecJbb, 12ull, 65083ull, 40ull,
+     1748ull, 20ull, 46200ull, 5675638670245767231ull},
+};
+
+class GoldenDeterminism
+    : public ::testing::TestWithParam<Golden>
+{};
+
+TEST_P(GoldenDeterminism, MatchesPinnedValues)
+{
+    const Golden &g = GetParam();
+    const auto sys = goldenSys();
+    core::Simulation simn(sys, goldenWl(g.kind));
+    simn.seedPerturbation(g.seed);
+    simn.kernel().enableTrace(1u << 20);
+    const core::RunResult r =
+        core::measure(simn, goldenRun(g.seed), sys.numCpus());
+
+    EXPECT_EQ(r.runtimeTicks, g.runtimeTicks);
+    EXPECT_EQ(r.txns, g.txns);
+    EXPECT_EQ(r.mem.l2Misses, g.l2Misses);
+    EXPECT_EQ(r.os.dispatches, g.dispatches);
+    EXPECT_EQ(r.cpu.instructions, g.instructions);
+
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto &e : simn.kernel().traceEvents()) {
+        h = fnv1a(h, e.when);
+        h = fnv1a(h, static_cast<std::uint64_t>(e.cpu));
+        h = fnv1a(h, static_cast<std::uint64_t>(e.thread));
+        h = fnv1a(h, static_cast<std::uint64_t>(e.kind));
+    }
+    EXPECT_EQ(h, g.traceHash) << "scheduling trace diverged";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pinned, GoldenDeterminism, ::testing::ValuesIn(goldenTable),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(workload::kindName(info.param.kind)) +
+               "_seed" + std::to_string(info.param.seed);
+    });
+
+// Host parallelism must not leak into results: the same experiment
+// on 1 and on 4 host threads is element-wise identical.
+TEST(GoldenDeterminism, HostThreadCountInvariant)
+{
+    const auto sys = goldenSys();
+    const auto wl = goldenWl(workload::WorkloadKind::Oltp);
+    const auto rc = goldenRun(0); // per-run seed set by runMany
+
+    core::ExperimentConfig exp;
+    exp.numRuns = 2;
+    exp.baseSeed = 11;
+
+    exp.hostThreads = 1;
+    const auto serial = core::runMany(sys, wl, rc, exp);
+    exp.hostThreads = 4;
+    const auto parallel = core::runMany(sys, wl, rc, exp);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].runtimeTicks, parallel[i].runtimeTicks);
+        EXPECT_EQ(serial[i].txns, parallel[i].txns);
+        EXPECT_EQ(serial[i].mem.l2Misses,
+                  parallel[i].mem.l2Misses);
+        EXPECT_EQ(serial[i].cpu.instructions,
+                  parallel[i].cpu.instructions);
+    }
+    // And the first run must equal the single-run golden pin.
+    EXPECT_EQ(serial[0].runtimeTicks, goldenTable[0].runtimeTicks);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Host thread pool: scheduling, exception propagation, reuse.
+ *
+ * The historical bug being pinned here: a job exception thrown on a
+ * pool thread used to escape the thread's start function and
+ * std::terminate the whole process. The pool must instead capture
+ * the first exception, cancel unclaimed work, rethrow on the caller
+ * and remain usable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/thread_pool.hh"
+
+namespace
+{
+
+using varsim::core::HostThreadPool;
+
+TEST(HostThreadPool, RunsEveryIndexExactlyOnce)
+{
+    const std::size_t n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    HostThreadPool::instance().parallelFor(
+        n, 4, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(HostThreadPool, SingleWorkerRunsInline)
+{
+    // With one worker the calling thread does everything, in order.
+    std::vector<std::size_t> order;
+    HostThreadPool::instance().parallelFor(
+        5, 1, [&](std::size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(HostThreadPool, PropagatesJobException)
+{
+    EXPECT_THROW(
+        HostThreadPool::instance().parallelFor(
+            8, 4,
+            [](std::size_t i) {
+                if (i == 3)
+                    throw std::runtime_error("job 3 failed");
+            }),
+        std::runtime_error);
+}
+
+TEST(HostThreadPool, ExceptionCancelsUnclaimedWork)
+{
+    // Serial path: job 0 throws, so of 100 jobs only a handful (the
+    // ones already claimed by concurrent workers) may still run.
+    std::atomic<std::size_t> ran{0};
+    try {
+        HostThreadPool::instance().parallelFor(
+            100, 2, [&](std::size_t i) {
+                if (i == 0)
+                    throw std::runtime_error("first job failed");
+                ++ran;
+            });
+        FAIL() << "exception did not propagate";
+    } catch (const std::runtime_error &) {
+    }
+    // At most the other worker's in-flight job ran per thread; the
+    // bulk of the queue must have been cancelled.
+    EXPECT_LT(ran.load(), std::size_t{100});
+}
+
+TEST(HostThreadPool, UsableAfterException)
+{
+    auto &pool = HostThreadPool::instance();
+    EXPECT_THROW(pool.parallelFor(4, 4,
+                                  [](std::size_t) {
+                                      throw std::logic_error("boom");
+                                  }),
+                 std::logic_error);
+
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(10, 4, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), std::size_t{45});
+}
+
+TEST(HostThreadPool, ConcurrentIndicesAreDisjoint)
+{
+    // Each index is claimed exactly once even under heavy worker
+    // contention; collect them under a mutex and check the set.
+    std::mutex mu;
+    std::set<std::size_t> seen;
+    HostThreadPool::instance().parallelFor(
+        500, 8, [&](std::size_t i) {
+            std::lock_guard<std::mutex> lk(mu);
+            EXPECT_TRUE(seen.insert(i).second)
+                << "index " << i << " ran twice";
+        });
+    EXPECT_EQ(seen.size(), std::size_t{500});
+}
+
+// End to end: a workload that fails validation inside a pooled run
+// must surface as an exception from runMany on the caller, not as
+// std::terminate on a pool thread.
+TEST(RunManyExceptions, ThrowingWorkloadPropagates)
+{
+    varsim::core::SystemConfig sys =
+        varsim::core::SystemConfig::testDefault();
+    varsim::workload::WorkloadParams wl;
+    wl.kind = varsim::workload::WorkloadKind::Oltp;
+    wl.scale = -1.0; // invalid: Workload::build throws
+
+    varsim::core::RunConfig rc;
+    rc.warmupTxns = 0;
+    rc.measureTxns = 10;
+
+    varsim::core::ExperimentConfig exp;
+    exp.numRuns = 4;
+    exp.baseSeed = 1;
+    exp.hostThreads = 4;
+
+    EXPECT_THROW(varsim::core::runMany(sys, wl, rc, exp),
+                 std::invalid_argument);
+
+    // The serial path throws the same way.
+    exp.hostThreads = 1;
+    EXPECT_THROW(varsim::core::runMany(sys, wl, rc, exp),
+                 std::invalid_argument);
+}
+
+TEST(RunManyBatch, MatchesPerSpecRunMany)
+{
+    varsim::core::SystemConfig sysA =
+        varsim::core::SystemConfig::testDefault();
+    varsim::core::SystemConfig sysB = sysA;
+    sysB.mem.l2Assoc = 8;
+
+    varsim::workload::WorkloadParams wl;
+    wl.kind = varsim::workload::WorkloadKind::Apache;
+    wl.threadsPerCpu = 2;
+
+    varsim::core::RunConfig rc;
+    rc.warmupTxns = 5;
+    rc.measureTxns = 20;
+
+    varsim::core::ExperimentConfig exp;
+    exp.numRuns = 3;
+    exp.baseSeed = 42;
+    exp.hostThreads = 4;
+
+    const auto batched = varsim::core::runManyBatch(
+        {{sysA, wl, rc, exp}, {sysB, wl, rc, exp}});
+    const auto plainA = varsim::core::runMany(sysA, wl, rc, exp);
+    const auto plainB = varsim::core::runMany(sysB, wl, rc, exp);
+
+    ASSERT_EQ(batched.size(), std::size_t{2});
+    ASSERT_EQ(batched[0].size(), plainA.size());
+    ASSERT_EQ(batched[1].size(), plainB.size());
+    for (std::size_t i = 0; i < plainA.size(); ++i) {
+        EXPECT_EQ(batched[0][i].runtimeTicks,
+                  plainA[i].runtimeTicks);
+        EXPECT_EQ(batched[0][i].txns, plainA[i].txns);
+    }
+    for (std::size_t i = 0; i < plainB.size(); ++i) {
+        EXPECT_EQ(batched[1][i].runtimeTicks,
+                  plainB[i].runtimeTicks);
+        EXPECT_EQ(batched[1][i].txns, plainB[i].txns);
+    }
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare two bench_sim_throughput JSON emissions.
+
+Usage:
+    tools/perfcmp.py BASELINE.json CANDIDATE.json [--min-speedup X]
+
+Prints a per-row table of ticks/host-second speedups (candidate over
+baseline) and the geometric-mean speedup. Rows are matched on
+(workload, mode); rows present in only one file are reported and
+skipped. With --min-speedup, exits nonzero if any matched row's
+speedup falls below X — usable as a CI regression gate.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: {e}")
+    if data.get("bench") != "sim_throughput":
+        sys.exit(f"{path}: not a sim_throughput emission")
+    rows = {}
+    for row in data["results"]:
+        rows[(row["workload"], row["mode"])] = row
+    return rows, bool(data.get("quick", False))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail if any row is below this speedup")
+    args = ap.parse_args()
+
+    base, base_quick = load_rows(args.baseline)
+    cand, cand_quick = load_rows(args.candidate)
+    if base_quick != cand_quick:
+        print("warning: comparing a quick run against a full run",
+              file=sys.stderr)
+
+    matched = sorted(base.keys() & cand.keys())
+    for key in sorted(base.keys() - cand.keys()):
+        print(f"note: {key} only in baseline, skipped")
+    for key in sorted(cand.keys() - base.keys()):
+        print(f"note: {key} only in candidate, skipped")
+    if not matched:
+        sys.exit("no matching rows")
+
+    print(f"{'workload':<12} {'mode':<8} {'base Mt/s':>10} "
+          f"{'cand Mt/s':>10} {'speedup':>8}")
+    failed = []
+    log_sum = 0.0
+    for key in matched:
+        b = base[key]["ticks_per_sec"]
+        c = cand[key]["ticks_per_sec"]
+        speedup = c / b
+        log_sum += math.log(speedup)
+        print(f"{key[0]:<12} {key[1]:<8} {b / 1e6:>10.3f} "
+              f"{c / 1e6:>10.3f} {speedup:>7.2f}x")
+        if args.min_speedup is not None and \
+                speedup < args.min_speedup:
+            failed.append(key)
+
+    geomean = math.exp(log_sum / len(matched))
+    print(f"{'geomean':<21} {'':>21} {geomean:>7.2f}x")
+
+    if failed:
+        print(f"FAIL: {len(failed)} row(s) below "
+              f"{args.min_speedup:.2f}x: "
+              + ", ".join(f"{w}/{m}" for w, m in failed))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Build (if needed) and run the simulator-throughput benchmark,
+# leaving a machine-readable record in BENCH_throughput.json at the
+# repository root. Compare two records with tools/perfcmp.py.
+#
+# Usage:
+#   tools/run_throughput_bench.sh [output.json] [extra bench args...]
+#
+# Environment:
+#   BUILD_DIR     build tree (default: build)
+#   VARSIM_QUICK  =1 scales run lengths down ~4x
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${BUILD_DIR:-"$repo/build"}
+out=${1:-"$repo/BENCH_throughput.json"}
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+    cmake -B "$build" -S "$repo"
+fi
+cmake --build "$build" --target bench_sim_throughput -j
+
+# Best-of-3 timing: the default run lasts a few seconds and is
+# dominated by scheduler noise otherwise.
+"$build/bench/bench_sim_throughput" --json "$out" --repeat 3 "$@"
+echo "throughput record: $out"

@@ -227,10 +227,14 @@ cmdCompare(const Args &args)
 
     std::printf("comparing A vs B on %s, %zu runs each...\n",
                 workload::kindName(wl.kind), exp.numRuns);
-    const auto a = core::runMany(sysA, wl, rc, exp);
     core::ExperimentConfig expB = exp;
     expB.baseSeed = exp.baseSeed + 7919;
-    const auto b = core::runMany(sysB, wl, rc, expB);
+    // One interleaved batch: B's runs backfill host threads as A's
+    // drain instead of idling at a join barrier between the two.
+    const auto both = core::runManyBatch(
+        {{sysA, wl, rc, exp}, {sysB, wl, rc, expB}});
+    const auto &a = both[0];
+    const auto &b = both[1];
 
     const auto rep = core::compare(a, b, 0.95);
     std::printf("\n%s\n", rep.toString().c_str());
