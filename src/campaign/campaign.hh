@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Umbrella header: the campaign subsystem's public API.
+ *
+ * A campaign is the paper's methodology run as a closed loop:
+ * @code
+ *   using namespace varsim;
+ *   campaign::CampaignSpec spec;
+ *   spec.configs = {{"2-way", sysA}, {"4-way", sysB}};
+ *   spec.stop.alpha = 0.05;           // stop when the comparison
+ *   spec.stop.relativeError = 0.02;   // and the CIs are safe
+ *   auto outcome = campaign::runCampaign(spec, "oltp-assoc.camp");
+ *   std::puts(campaign::campaignReport("oltp-assoc.camp")
+ *                 .text.c_str());
+ * @endcode
+ *
+ * Kill the process at any point; rerunning runCampaign() resumes
+ * from the durable store without repeating completed runs.
+ */
+
+#ifndef VARSIM_CAMPAIGN_CAMPAIGN_HH
+#define VARSIM_CAMPAIGN_CAMPAIGN_HH
+
+#include "campaign/controller.hh"
+#include "campaign/engine.hh"
+#include "campaign/spec.hh"
+#include "campaign/store.hh"
+
+#endif // VARSIM_CAMPAIGN_CAMPAIGN_HH

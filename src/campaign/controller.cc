@@ -1,0 +1,120 @@
+#include "campaign/controller.hh"
+
+#include <algorithm>
+#include <span>
+
+#include "sim/logging.hh"
+#include "stats/inference.hh"
+#include "stats/summary.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+namespace
+{
+
+/** The pilot prefix of a group's metrics (empty if incomplete). */
+std::span<const double>
+pilotOf(const std::vector<double> &metric, std::size_t pilotRuns)
+{
+    if (metric.size() < pilotRuns)
+        return {};
+    return {metric.data(), pilotRuns};
+}
+
+} // anonymous namespace
+
+std::vector<GroupDecision>
+decideTargets(const CampaignSpec &spec,
+              const std::vector<std::vector<double>> &groupMetric)
+{
+    const StoppingRule &stop = spec.stop;
+    const std::size_t groups = spec.numGroups();
+    VARSIM_ASSERT(groupMetric.size() == groups,
+                  "metric vector count %zu != group count %zu",
+                  groupMetric.size(), groups);
+
+    std::vector<GroupDecision> out(groups);
+
+    if (stop.fixedRuns) {
+        for (GroupDecision &d : out) {
+            d.target = stop.fixedRuns;
+            d.reason = sim::format("fixed K=%zu", stop.fixedRuns);
+        }
+        return out;
+    }
+
+    for (std::size_t g = 0; g < groups; ++g) {
+        GroupDecision &d = out[g];
+        const auto pilot =
+            pilotOf(groupMetric[g], stop.pilotRuns);
+        if (pilot.empty()) {
+            d.target = stop.pilotRuns;
+            d.reason = sim::format(
+                "pilot (%zu/%zu runs recorded)",
+                groupMetric[g].size(), stop.pilotRuns);
+            continue;
+        }
+
+        const stats::Summary s = stats::summarize(pilot);
+        const double cov =
+            s.mean != 0.0 ? s.stddev / s.mean : 0.0;
+        d.covPercent = 100.0 * cov;
+
+        std::size_t need = stop.pilotRuns;
+
+        // Section 5.1.1: runs for the target mean precision.
+        if (stop.relativeError > 0.0 && cov > 0.0) {
+            d.needPrecision = stats::meanPrecisionSampleSize(
+                cov, stop.relativeError, stop.confidence);
+            need = std::max(need, d.needPrecision);
+        }
+
+        // Section 5.1.2 / Table 5: runs for every comparison this
+        // group participates in (same starting point, every other
+        // configuration) to clear the significance bar.
+        if (stop.alpha > 0.0) {
+            const std::size_t ckpt = spec.ckptOf(g);
+            for (std::size_t c2 = 0; c2 < spec.configs.size();
+                 ++c2) {
+                if (c2 == spec.configOf(g))
+                    continue;
+                const std::size_t g2 = spec.groupIndex(c2, ckpt);
+                const auto other =
+                    pilotOf(groupMetric[g2], stop.pilotRuns);
+                if (other.empty())
+                    continue; // partner pilot pending: next round
+                const stats::Summary so = stats::summarize(other);
+                const double diff = s.mean > so.mean
+                                        ? s.mean - so.mean
+                                        : so.mean - s.mean;
+                // Indistinguishable pilots cannot bound the
+                // wrong-conclusion probability at any sample size:
+                // run the cap (the conservative reading of the
+                // paper's "not statistically significant").
+                const std::size_t n =
+                    diff > 0.0
+                        ? stats::runsNeededForSignificance(
+                              diff, s.stddev * s.stddev,
+                              so.stddev * so.stddev, stop.alpha,
+                              stop.maxRuns)
+                        : stop.maxRuns;
+                d.needPairwise = std::max(d.needPairwise, n);
+            }
+            need = std::max(need, d.needPairwise);
+        }
+
+        d.target = std::clamp(need, stop.pilotRuns, stop.maxRuns);
+        d.reason = sim::format(
+            "pilot CoV %.2f%%; precision wants %zu, comparisons "
+            "want %zu -> target %zu",
+            d.covPercent, d.needPrecision, d.needPairwise,
+            d.target);
+    }
+    return out;
+}
+
+} // namespace campaign
+} // namespace varsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The adaptive stopping controller: the paper's Section 5.1
+ * sample-size machinery applied after each group's pilot batch.
+ *
+ * Given the metric values recorded so far, decideTargets() returns
+ * the number of runs every cell group should end up with. The
+ * decision for a group uses ONLY its (and its comparison partners')
+ * pilot prefix — the first StoppingRule::pilotRuns run indices — so
+ * the decision is a pure function of data that is identical whether
+ * the campaign ran straight through or was killed and resumed. That
+ * invariant is what makes resumed campaigns reproduce uninterrupted
+ * ones bit for bit.
+ */
+
+#ifndef VARSIM_CAMPAIGN_CONTROLLER_HH
+#define VARSIM_CAMPAIGN_CONTROLLER_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+/** One group's verdict from the controller. */
+struct GroupDecision
+{
+    /** Total runs this group should have. */
+    std::size_t target = 0;
+
+    /** Pilot coefficient of variation, percent (0 until pilot). */
+    double covPercent = 0.0;
+
+    /** Demand of the mean-precision criterion (0 = inactive). */
+    std::size_t needPrecision = 0;
+
+    /** Demand of the pairwise t-test criterion (0 = inactive). */
+    std::size_t needPairwise = 0;
+
+    /** Human-readable one-line rationale. */
+    std::string reason;
+};
+
+/**
+ * Decide per-group run targets from recorded metrics.
+ *
+ * @p groupMetric holds, per group, the contiguous run-index prefix
+ * of recorded metric values (ResultStore::groupMetric). Groups whose
+ * pilot is incomplete get target = pilotRuns (or fixedRuns); groups
+ * with a complete pilot get the larger of the mean-precision and
+ * pairwise-significance demands, clamped to [pilotRuns, maxRuns].
+ */
+std::vector<GroupDecision>
+decideTargets(const CampaignSpec &spec,
+              const std::vector<std::vector<double>> &groupMetric);
+
+} // namespace campaign
+} // namespace varsim
+
+#endif // VARSIM_CAMPAIGN_CONTROLLER_HH

@@ -1,0 +1,415 @@
+#include "campaign/engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "core/analysis.hh"
+#include "core/experiment.hh"
+#include "core/simulation.hh"
+#include "core/thread_pool.hh"
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+namespace
+{
+
+/**
+ * Seed-space layout beyond the cell groups (all derived through
+ * CampaignSpec::groupSeed so the overflow checks apply): pseudo
+ * groups [numGroups, numGroups+8) seed the budget-planning pilots,
+ * [numGroups+8, ...) seed the per-config checkpoint warmers.
+ */
+constexpr std::size_t kBudgetPilotGroups = 8;
+
+StoreHeader
+headerFor(const CampaignSpec &spec)
+{
+    StoreHeader h;
+    h.fingerprint = spec.fingerprint();
+    h.numGroups = spec.numGroups();
+    h.numCheckpoints = spec.numCheckpoints;
+    h.workload = workload::kindName(spec.wl.kind);
+    for (const ConfigVariant &cv : spec.configs)
+        h.configNames.push_back(cv.name);
+    return h;
+}
+
+/**
+ * Measure CoV pilots at a few run lengths and let the planner split
+ * the budget; the decision is recorded so a resumed campaign reuses
+ * it instead of re-measuring.
+ */
+PlanRecord
+planTheBudget(const CampaignSpec &spec, ResultStore &store,
+              const CampaignOptions &opt)
+{
+    if (store.plan().valid)
+        return store.plan();
+
+    // Three pilot lengths spanning ~1.5 decades of the budget.
+    std::vector<std::uint64_t> lengths;
+    for (std::uint64_t div : {64u, 16u, 4u}) {
+        const std::uint64_t len =
+            std::max<std::uint64_t>(10, spec.budgetTxns / div /
+                                            spec.stop.pilotRuns);
+        if (lengths.empty() || lengths.back() < len)
+            lengths.push_back(len);
+    }
+
+    if (opt.verbose)
+        std::printf("campaign: measuring %zu budget pilots...\n",
+                    lengths.size());
+
+    std::vector<std::pair<std::uint64_t, double>> pilots;
+    for (std::size_t li = 0; li < lengths.size(); ++li) {
+        core::RunConfig rc = spec.run;
+        rc.measureTxns = lengths[li];
+        core::ExperimentConfig exp;
+        exp.numRuns = spec.stop.pilotRuns;
+        exp.baseSeed = spec.groupSeed(spec.numGroups() + li, 0);
+        exp.hostThreads = opt.hostThreads;
+        const auto rep = core::analyze(core::runMany(
+            spec.configs.front().sys, spec.wl, rc, exp));
+        pilots.emplace_back(lengths[li],
+                            rep.coefficientOfVariation);
+        if (opt.verbose)
+            std::printf("  pilot %llu txns: CoV %.2f%%\n",
+                        static_cast<unsigned long long>(
+                            lengths[li]),
+                        rep.coefficientOfVariation);
+    }
+    if (pilots.size() < 2) {
+        // Degenerate budget: every length collapsed to the floor.
+        pilots.emplace_back(pilots.front().first + 1,
+                            pilots.front().second);
+    }
+
+    const core::BudgetPlan bp = core::planBudget(
+        pilots, spec.budgetTxns,
+        std::max<std::size_t>(2, spec.stop.pilotRuns),
+        spec.stop.confidence);
+    if (opt.verbose)
+        std::printf("campaign: budget plan: %s\n",
+                    bp.toString().c_str());
+
+    PlanRecord rec;
+    rec.runLength = bp.runLength;
+    rec.numRuns = bp.numRuns;
+    store.appendPlan(rec);
+    return store.plan();
+}
+
+/** The spec actually executed, after the budget plan is applied. */
+CampaignSpec
+effectiveSpec(const CampaignSpec &spec, const PlanRecord &plan)
+{
+    CampaignSpec eff = spec;
+    if (!plan.valid)
+        return eff;
+    eff.run.measureTxns = plan.runLength;
+    if (eff.stop.fixedRuns) {
+        eff.stop.fixedRuns =
+            std::min(eff.stop.fixedRuns, plan.numRuns);
+    } else if (eff.stop.relativeError == 0.0 &&
+               eff.stop.alpha == 0.0) {
+        // No adaptive criterion: the plan's run count is the rule.
+        eff.stop.fixedRuns =
+            std::max<std::size_t>(2, plan.numRuns);
+    } else {
+        eff.stop.maxRuns = std::clamp(plan.numRuns,
+                                      eff.stop.pilotRuns,
+                                      eff.stop.maxRuns);
+    }
+    return eff;
+}
+
+/**
+ * Warm one simulation per configuration and checkpoint it at the
+ * planned positions. Re-derived identically on every invocation —
+ * the warmers are deterministic — so resume sees the same starting
+ * states without persisting multi-megabyte checkpoints.
+ */
+std::vector<std::vector<core::Checkpoint>>
+buildCheckpoints(const CampaignSpec &spec,
+                 const CampaignOptions &opt)
+{
+    std::vector<std::vector<core::Checkpoint>> cps;
+    if (!spec.numCheckpoints)
+        return cps;
+
+    const auto positions = core::planCheckpoints(
+        spec.strategy,
+        spec.checkpointStep * spec.numCheckpoints,
+        spec.numCheckpoints, spec.baseSeed);
+
+    cps.resize(spec.configs.size());
+    for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+        if (opt.verbose)
+            std::printf("campaign: warming %zu checkpoints for "
+                        "%s...\n", positions.size(),
+                        spec.configs[c].name.c_str());
+        core::Simulation warmer(spec.configs[c].sys, spec.wl);
+        warmer.seedPerturbation(spec.groupSeed(
+            spec.numGroups() + kBudgetPilotGroups + c, 0));
+        std::uint64_t done = 0;
+        for (std::uint64_t pos : positions) {
+            warmer.runTransactions(pos - done);
+            done = pos;
+            cps[c].push_back(warmer.checkpoint());
+        }
+    }
+    return cps;
+}
+
+struct Cell
+{
+    std::size_t group;
+    std::size_t runIdx;
+};
+
+} // anonymous namespace
+
+CampaignOutcome
+runCampaign(const CampaignSpec &spec, const std::string &dir,
+            const CampaignOptions &opt)
+{
+    spec.validate();
+    if (opt.shardCount == 0 || opt.shardIndex >= opt.shardCount)
+        sim::fatal("bad shard %zu/%zu", opt.shardIndex,
+                   opt.shardCount);
+
+    auto store = ResultStore::openOrCreate(dir, headerFor(spec));
+
+    PlanRecord plan;
+    if (spec.budgetTxns)
+        plan = planTheBudget(spec, *store, opt);
+    const CampaignSpec eff = effectiveSpec(spec, plan);
+
+    const auto checkpoints = buildCheckpoints(eff, opt);
+
+    const std::size_t groups = eff.numGroups();
+    // Stable cell ids for sharding: group-major with the per-group
+    // cap as the stride (constant for the life of the store).
+    const std::size_t cellStride =
+        std::max(eff.stop.fixedRuns, eff.stop.maxRuns);
+
+    std::atomic<bool> interrupted{false};
+    std::atomic<std::size_t> newRecords{0};
+    std::vector<GroupDecision> decisions;
+
+    for (;;) {
+        std::vector<std::vector<double>> metrics(groups);
+        for (std::size_t g = 0; g < groups; ++g)
+            metrics[g] = store->groupMetric(g);
+        decisions = decideTargets(eff, metrics);
+
+        std::vector<Cell> work;
+        for (std::size_t g = 0; g < groups; ++g) {
+            for (std::size_t i = 0; i < decisions[g].target; ++i) {
+                if (store->hasRun(g, i))
+                    continue;
+                const std::size_t cellId = g * cellStride + i;
+                if (cellId % opt.shardCount != opt.shardIndex)
+                    continue;
+                work.push_back({g, i});
+            }
+        }
+        if (work.empty() || interrupted.load())
+            break;
+
+        if (opt.verbose) {
+            std::printf("campaign: scheduling %zu run(s):\n",
+                        work.size());
+            for (std::size_t g = 0; g < groups; ++g)
+                std::printf("  %-24s %zu/%zu recorded (%s)\n",
+                            eff.groupName(g).c_str(),
+                            metrics[g].size(),
+                            decisions[g].target,
+                            decisions[g].reason.c_str());
+        }
+
+        core::HostThreadPool::instance().parallelFor(
+            work.size(), opt.hostThreads, [&](std::size_t k) {
+                if (interrupted.load())
+                    return; // unclaimed cells die with the "kill"
+                const Cell cell = work[k];
+                const std::size_t cfg = eff.configOf(cell.group);
+                const std::size_t ck = eff.ckptOf(cell.group);
+
+                core::RunConfig rc = eff.run;
+                rc.perturbSeed =
+                    eff.groupSeed(cell.group, cell.runIdx);
+
+                core::RunResult res;
+                if (eff.numCheckpoints) {
+                    rc.warmupTxns = 0; // the checkpoint warmed up
+                    res = core::runFromCheckpoint(
+                        eff.configs[cfg].sys, eff.wl,
+                        checkpoints[cfg][ck], rc);
+                } else {
+                    res = core::runOnce(eff.configs[cfg].sys,
+                                        eff.wl, rc);
+                }
+
+                RunRecord rec;
+                rec.group = cell.group;
+                rec.configIdx = cfg;
+                rec.ckptIdx = ck;
+                rec.runIdx = cell.runIdx;
+                rec.seed = rc.perturbSeed;
+                rec.cyclesPerTxn = res.cyclesPerTxn;
+                rec.runtimeTicks =
+                    static_cast<std::uint64_t>(res.runtimeTicks);
+                rec.txns = res.txns;
+                store->appendRun(rec);
+
+                const std::size_t mine =
+                    newRecords.fetch_add(1) + 1;
+                if (opt.interruptAfter &&
+                    mine >= opt.interruptAfter)
+                    interrupted.store(true);
+            });
+
+        if (interrupted.load())
+            break;
+    }
+
+    CampaignOutcome out;
+    out.runsExecuted = newRecords.load();
+    out.runsRecorded = store->totalRuns();
+    out.interrupted = interrupted.load();
+    out.targetRuns.resize(groups);
+    out.recordedRuns.resize(groups);
+    out.complete = true;
+    for (std::size_t g = 0; g < groups; ++g) {
+        out.targetRuns[g] = decisions[g].target;
+        out.recordedRuns[g] = store->runsInGroup(g);
+        if (out.recordedRuns[g] < out.targetRuns[g])
+            out.complete = false;
+    }
+    return out;
+}
+
+std::string
+CampaignStatus::toString() const
+{
+    std::string s = sim::format(
+        "campaign store: %zu group(s), %zu run(s) recorded "
+        "(workload %s%s)\n",
+        header.numGroups, totalRuns, header.workload.c_str(),
+        header.numCheckpoints
+            ? sim::format(", %zu checkpoints",
+                          header.numCheckpoints)
+                  .c_str()
+            : "");
+    if (plan.valid)
+        s += sim::format(
+            "budget plan: %zu runs of %llu txns per group\n",
+            plan.numRuns,
+            static_cast<unsigned long long>(plan.runLength));
+    for (std::size_t g = 0; g < runsPerGroup.size(); ++g)
+        s += sim::format("  %-24s %zu run(s)\n",
+                         groupNames[g].c_str(), runsPerGroup[g]);
+    return s;
+}
+
+CampaignStatus
+campaignStatus(const std::string &dir)
+{
+    auto store = ResultStore::open(dir);
+    CampaignStatus st;
+    st.header = store->header();
+    st.plan = store->plan();
+    st.totalRuns = store->totalRuns();
+    const std::size_t slots =
+        st.header.numCheckpoints ? st.header.numCheckpoints : 1;
+    for (std::size_t g = 0; g < st.header.numGroups; ++g) {
+        st.runsPerGroup.push_back(store->runsInGroup(g));
+        std::string name = g / slots < st.header.configNames.size()
+                               ? st.header.configNames[g / slots]
+                               : sim::format("config%zu", g / slots);
+        if (st.header.numCheckpoints)
+            name += sim::format(" @ckpt%zu", g % slots);
+        st.groupNames.push_back(name);
+    }
+    return st;
+}
+
+CampaignReport
+campaignReport(const std::string &dir, double confidence)
+{
+    auto store = ResultStore::open(dir);
+    const StoreHeader &h = store->header();
+    const std::size_t slots =
+        h.numCheckpoints ? h.numCheckpoints : 1;
+    const std::size_t numConfigs =
+        slots ? h.numGroups / slots : 0;
+
+    auto nameOf = [&](std::size_t cfg, std::size_t ck) {
+        std::string name = cfg < h.configNames.size()
+                               ? h.configNames[cfg]
+                               : sim::format("config%zu", cfg);
+        if (h.numCheckpoints)
+            name += sim::format(" @ckpt%zu", ck);
+        return name;
+    };
+
+    CampaignReport rep;
+    rep.text = sim::format(
+        "campaign report (%zu run(s), workload %s)\n",
+        store->totalRuns(), h.workload.c_str());
+
+    for (std::size_t g = 0; g < h.numGroups; ++g) {
+        const auto xs = store->groupMetric(g);
+        rep.text += sim::format("\n%s:\n",
+                                nameOf(g / slots, g % slots)
+                                    .c_str());
+        if (xs.size() < 2) {
+            rep.text += sim::format("  %zu run(s): too few for "
+                                    "statistics\n", xs.size());
+            continue;
+        }
+        rep.text +=
+            "  " + core::analyze(xs).toString() + "\n";
+        const auto ci =
+            stats::meanConfidenceInterval(xs, confidence);
+        rep.text += sim::format(
+            "  %.0f%% CI for the mean: [%.0f, %.0f]\n",
+            100.0 * confidence, ci.lo, ci.hi);
+    }
+
+    bool anyPair = false;
+    for (std::size_t ck = 0; ck < slots; ++ck) {
+        for (std::size_t a = 0; a < numConfigs; ++a) {
+            for (std::size_t b = a + 1; b < numConfigs; ++b) {
+                const auto xa =
+                    store->groupMetric(a * slots + ck);
+                const auto xb =
+                    store->groupMetric(b * slots + ck);
+                if (xa.size() < 2 || xb.size() < 2)
+                    continue;
+                if (!anyPair) {
+                    rep.text += sim::format(
+                        "\ncomparisons (at %.0f%% confidence):\n",
+                        100.0 * confidence);
+                    anyPair = true;
+                }
+                const auto cmp =
+                    core::compare(xa, xb, confidence);
+                rep.text += sim::format(
+                    "  %s vs %s:\n    %s\n",
+                    nameOf(a, ck).c_str(), nameOf(b, ck).c_str(),
+                    cmp.verdict().c_str());
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace campaign
+} // namespace varsim

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The campaign engine: turns a CampaignSpec into recorded runs.
+ *
+ * runCampaign() is idempotent and restartable: it opens (or creates)
+ * the durable result store, asks the store which (group, run) cells
+ * already exist, and schedules only the missing cells below the
+ * stopping controller's targets onto the persistent host thread
+ * pool. Killing the process at any point loses at most the runs in
+ * flight; invoking runCampaign() again with the same spec finishes
+ * the remainder without repeating completed work, and the final
+ * statistics are bit-identical to an uninterrupted campaign's.
+ *
+ * Multi-host operation: cells are striped across shards by cell
+ * index; shard i of N (CampaignOptions::shardIndex/shardCount) only
+ * executes its own stripe, so N processes pointed at N stores (or,
+ * on one filesystem, run sequentially against one store) partition
+ * the campaign. Adaptive extension beyond the pilot happens once
+ * every group's pilot prefix is present in the store an invocation
+ * can see.
+ */
+
+#ifndef VARSIM_CAMPAIGN_ENGINE_HH
+#define VARSIM_CAMPAIGN_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/controller.hh"
+#include "campaign/spec.hh"
+#include "campaign/store.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+/** Per-invocation knobs (nothing here changes results). */
+struct CampaignOptions
+{
+    /** Host threads for the run pool (0 = hardware concurrency). */
+    std::size_t hostThreads = 0;
+
+    /** This process's stripe: executes cells with id % count == index. */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
+
+    /**
+     * Testing/demo hook: behave as if the process were killed after
+     * this many newly recorded runs (0 = never). In-flight runs
+     * still complete and record, exactly like a real SIGKILL whose
+     * victims had already fsync'd.
+     */
+    std::size_t interruptAfter = 0;
+
+    /** Print per-round progress to stdout. */
+    bool verbose = false;
+};
+
+/** What one runCampaign() invocation did. */
+struct CampaignOutcome
+{
+    /** Runs newly executed and recorded by this invocation. */
+    std::size_t runsExecuted = 0;
+
+    /** Total runs in the store afterwards. */
+    std::size_t runsRecorded = 0;
+
+    /** True if every group meets its target (all shards' cells). */
+    bool complete = false;
+
+    /** True if the interruptAfter hook fired. */
+    bool interrupted = false;
+
+    /** The controller's final per-group targets. */
+    std::vector<std::size_t> targetRuns;
+
+    /** Recorded runs per group afterwards. */
+    std::vector<std::size_t> recordedRuns;
+};
+
+/**
+ * Execute (or resume) the campaign described by @p spec against the
+ * store at @p dir. Creates the store on first use; on reuse the
+ * spec's fingerprint must match the store's.
+ */
+CampaignOutcome runCampaign(const CampaignSpec &spec,
+                            const std::string &dir,
+                            const CampaignOptions &opt = {});
+
+/** Store-only progress view (no spec needed). */
+struct CampaignStatus
+{
+    StoreHeader header;
+    PlanRecord plan;
+    std::size_t totalRuns = 0;
+    std::vector<std::size_t> runsPerGroup;
+    std::vector<std::string> groupNames;
+
+    std::string toString() const;
+};
+
+CampaignStatus campaignStatus(const std::string &dir);
+
+/**
+ * Store-only statistical report: per-group variability summaries
+ * plus the full Section 5 comparison for every configuration pair
+ * at every starting point with enough runs.
+ */
+struct CampaignReport
+{
+    std::string text;
+};
+
+CampaignReport campaignReport(const std::string &dir,
+                              double confidence = 0.95);
+
+} // namespace campaign
+} // namespace varsim
+
+#endif // VARSIM_CAMPAIGN_ENGINE_HH

@@ -1,0 +1,272 @@
+#include "campaign/jsonl.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace varsim
+{
+namespace campaign
+{
+
+namespace
+{
+
+/** Skip spaces/tabs; newlines never occur inside a line. */
+void
+skipWs(const std::string &s, std::size_t &i)
+{
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t'))
+        ++i;
+}
+
+/**
+ * Parse a quoted string starting at s[i] == '"'; leaves i one past
+ * the closing quote. Returns false on damage.
+ */
+bool
+parseString(const std::string &s, std::size_t &i, std::string &out)
+{
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        const char c = s[i++];
+        if (c == '"')
+            return true;
+        if (c == '\\') {
+            if (i >= s.size())
+                return false;
+            const char e = s[i++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              default: return false; // \uXXXX etc.: never emitted
+            }
+        } else {
+            out += c;
+        }
+    }
+    return false; // unterminated: torn line
+}
+
+/** Parse a bare number token (anything strtod accepts). */
+bool
+parseNumber(const std::string &s, std::size_t &i, std::string &out)
+{
+    const std::size_t start = i;
+    // Accept digit/sign/exponent characters plus inf/nan letters;
+    // strtod below re-validates the whole token.
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) ||
+            s[i] == '-' || s[i] == '+' || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == 'i' ||
+            s[i] == 'n' || s[i] == 'f' || s[i] == 'a'))
+        ++i;
+    out = s.substr(start, i - start);
+    if (out.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(out.c_str(), &end);
+    return end == out.c_str() + out.size();
+}
+
+} // anonymous namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+bool
+JsonLine::parse(const std::string &line)
+{
+    scalars.clear();
+    arrays.clear();
+    std::size_t i = 0;
+    skipWs(line, i);
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipWs(line, i);
+    if (i < line.size() && line[i] == '}')
+        return true; // empty object
+    while (true) {
+        skipWs(line, i);
+        std::string key;
+        if (!parseString(line, i, key))
+            return false;
+        skipWs(line, i);
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        skipWs(line, i);
+        if (i >= line.size())
+            return false;
+        if (line[i] == '"') {
+            std::string value;
+            if (!parseString(line, i, value))
+                return false;
+            scalars[key] = value;
+        } else if (line[i] == '[') {
+            ++i;
+            std::vector<std::string> items;
+            skipWs(line, i);
+            if (i < line.size() && line[i] == ']') {
+                ++i;
+            } else {
+                while (true) {
+                    skipWs(line, i);
+                    std::string item;
+                    if (i < line.size() && line[i] == '"') {
+                        if (!parseString(line, i, item))
+                            return false;
+                    } else if (!parseNumber(line, i, item)) {
+                        return false;
+                    }
+                    items.push_back(item);
+                    skipWs(line, i);
+                    if (i >= line.size())
+                        return false;
+                    if (line[i] == ',') {
+                        ++i;
+                        continue;
+                    }
+                    if (line[i] == ']') {
+                        ++i;
+                        break;
+                    }
+                    return false;
+                }
+            }
+            arrays[key] = items;
+        } else {
+            std::string value;
+            if (!parseNumber(line, i, value))
+                return false;
+            scalars[key] = value;
+        }
+        skipWs(line, i);
+        if (i >= line.size())
+            return false;
+        if (line[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (line[i] == '}')
+            return true;
+        return false;
+    }
+}
+
+bool
+JsonLine::has(const std::string &key) const
+{
+    return scalars.count(key) > 0 || arrays.count(key) > 0;
+}
+
+std::string
+JsonLine::str(const std::string &key, const std::string &dflt) const
+{
+    auto it = scalars.find(key);
+    return it != scalars.end() ? it->second : dflt;
+}
+
+std::uint64_t
+JsonLine::num(const std::string &key, std::uint64_t dflt) const
+{
+    auto it = scalars.find(key);
+    if (it == scalars.end())
+        return dflt;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double
+JsonLine::real(const std::string &key, double dflt) const
+{
+    auto it = scalars.find(key);
+    if (it == scalars.end())
+        return dflt;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::vector<std::string>
+JsonLine::list(const std::string &key) const
+{
+    auto it = arrays.find(key);
+    return it != arrays.end() ? it->second
+                              : std::vector<std::string>{};
+}
+
+void
+JsonWriter::sep()
+{
+    if (body.size() > 1)
+        body += ',';
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, const std::string &value)
+{
+    sep();
+    body += '"' + jsonEscape(key) + "\":\"" + jsonEscape(value) +
+            '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, std::uint64_t value)
+{
+    sep();
+    body += '"' + jsonEscape(key) +
+            "\":" + std::to_string(value);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key, double value)
+{
+    // %.17g round-trips IEEE754 doubles exactly: replayed metrics
+    // are bit-identical to the ones the simulator produced.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    sep();
+    body += '"' + jsonEscape(key) + "\":" + buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &key,
+                  const std::vector<std::string> &values)
+{
+    sep();
+    body += '"' + jsonEscape(key) + "\":[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i)
+            body += ',';
+        body += '"' + jsonEscape(values[i]) + '"';
+    }
+    body += ']';
+    return *this;
+}
+
+} // namespace campaign
+} // namespace varsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal flat-JSON line codec for the campaign result store.
+ *
+ * The manifest is JSON Lines: one object per line, values limited to
+ * numbers, strings, and arrays of strings — exactly what the store
+ * writes. This is deliberately not a general JSON parser; it accepts
+ * the store's own output (and reasonable hand edits) and reports
+ * anything else as malformed so the replay logic can stop at a torn
+ * tail instead of guessing.
+ */
+
+#ifndef VARSIM_CAMPAIGN_JSONL_HH
+#define VARSIM_CAMPAIGN_JSONL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace varsim
+{
+namespace campaign
+{
+
+/** Escape a string for embedding in a JSON value. */
+std::string jsonEscape(const std::string &s);
+
+/** One parsed flat JSON object. */
+class JsonLine
+{
+  public:
+    /** Parse one line; returns false (object unusable) on damage. */
+    bool parse(const std::string &line);
+
+    bool has(const std::string &key) const;
+
+    /** String value of @p key; @p dflt when absent. */
+    std::string str(const std::string &key,
+                    const std::string &dflt = "") const;
+
+    /** Unsigned value of @p key; @p dflt when absent/non-numeric. */
+    std::uint64_t num(const std::string &key,
+                      std::uint64_t dflt = 0) const;
+
+    /** Double value of @p key (round-trips %.17g exactly). */
+    double real(const std::string &key, double dflt = 0.0) const;
+
+    /** Array-of-strings value of @p key (empty when absent). */
+    std::vector<std::string>
+    list(const std::string &key) const;
+
+  private:
+    /** Scalar values by key; raw (unescaped) text. */
+    std::map<std::string, std::string> scalars;
+    std::map<std::string, std::vector<std::string>> arrays;
+};
+
+/**
+ * Incremental builder for one JSON line. Keys are emitted in call
+ * order; the caller terminates with str().
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &field(const std::string &key,
+                      const std::string &value);
+    JsonWriter &field(const std::string &key, std::uint64_t value);
+    JsonWriter &field(const std::string &key, double value);
+    JsonWriter &field(const std::string &key,
+                      const std::vector<std::string> &values);
+
+    /** The finished object, no trailing newline. */
+    std::string str() const { return body + "}"; }
+
+  private:
+    void sep();
+    std::string body = "{";
+};
+
+} // namespace campaign
+} // namespace varsim
+
+#endif // VARSIM_CAMPAIGN_JSONL_HH

@@ -1,0 +1,175 @@
+#include "campaign/spec.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+namespace
+{
+
+/** FNV-1a over the bytes of a string. */
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Append one "key=value;" token to the canonical spec string. */
+template <typename T>
+void
+field(std::string &out, const char *key, T value)
+{
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+    out += ';';
+}
+
+void
+field(std::string &out, const char *key, const std::string &value)
+{
+    out += key;
+    out += '=';
+    out += value;
+    out += ';';
+}
+
+/** Canonical string of the knobs experiments actually vary. */
+void
+systemFields(std::string &out, const core::SystemConfig &sys)
+{
+    field(out, "nodes", sys.mem.numNodes);
+    field(out, "block", sys.mem.blockBytes);
+    field(out, "l1", sys.mem.l1Size);
+    field(out, "l1w", sys.mem.l1Assoc);
+    field(out, "l2", sys.mem.l2Size);
+    field(out, "l2w", sys.mem.l2Assoc);
+    field(out, "dram", static_cast<unsigned long long>(
+                           sys.mem.dramLatency));
+    field(out, "perturb", static_cast<unsigned long long>(
+                              sys.mem.perturbMaxNs));
+    field(out, "proto", static_cast<int>(sys.mem.protocol));
+    field(out, "prefetch", sys.mem.l2NextLinePrefetch ? 1 : 0);
+    field(out, "model", static_cast<int>(sys.cpu.model));
+    field(out, "rob", sys.cpu.robEntries);
+    field(out, "quantum",
+          static_cast<unsigned long long>(sys.os.quantum));
+}
+
+} // anonymous namespace
+
+std::string
+CampaignSpec::groupName(std::size_t group) const
+{
+    std::string name = configs.at(configOf(group)).name;
+    if (numCheckpoints)
+        name += sim::format(" @ckpt%zu", ckptOf(group));
+    return name;
+}
+
+std::uint64_t
+CampaignSpec::groupSeed(std::size_t group, std::size_t runIdx) const
+{
+    VARSIM_ASSERT(runIdx < seedStride,
+                  "run index %zu exceeds the seed stride %llu: "
+                  "group seed ranges would collide",
+                  runIdx,
+                  static_cast<unsigned long long>(seedStride));
+    const std::uint64_t offset =
+        static_cast<std::uint64_t>(group) * seedStride +
+        static_cast<std::uint64_t>(runIdx);
+    VARSIM_ASSERT(offset / seedStride ==
+                          static_cast<std::uint64_t>(group) &&
+                      baseSeed <= UINT64_MAX - offset,
+                  "campaign seed space overflows 64 bits "
+                  "(baseSeed %llu, group %zu, stride %llu)",
+                  static_cast<unsigned long long>(baseSeed), group,
+                  static_cast<unsigned long long>(seedStride));
+    return baseSeed + offset;
+}
+
+std::uint64_t
+CampaignSpec::fingerprint() const
+{
+    std::string canon;
+    canon.reserve(512);
+    for (const ConfigVariant &cv : configs) {
+        field(canon, "name", cv.name);
+        systemFields(canon, cv.sys);
+    }
+    field(canon, "wl", static_cast<int>(wl.kind));
+    field(canon, "wlseed",
+          static_cast<unsigned long long>(wl.seed));
+    field(canon, "tpc", wl.threadsPerCpu);
+    field(canon, "warmup",
+          static_cast<unsigned long long>(run.warmupTxns));
+    field(canon, "txns",
+          static_cast<unsigned long long>(run.measureTxns));
+    field(canon, "window",
+          static_cast<unsigned long long>(run.windowTxns));
+    field(canon, "ckpts", numCheckpoints);
+    field(canon, "step",
+          static_cast<unsigned long long>(checkpointStep));
+    field(canon, "strategy", static_cast<int>(strategy));
+    field(canon, "seed",
+          static_cast<unsigned long long>(baseSeed));
+    field(canon, "stride",
+          static_cast<unsigned long long>(seedStride));
+    field(canon, "fixed", stop.fixedRuns);
+    field(canon, "pilot", stop.pilotRuns);
+    field(canon, "max", stop.maxRuns);
+    field(canon, "relerr", sim::format("%.9g", stop.relativeError));
+    field(canon, "alpha", sim::format("%.9g", stop.alpha));
+    field(canon, "conf", sim::format("%.9g", stop.confidence));
+    field(canon, "budget",
+          static_cast<unsigned long long>(budgetTxns));
+    return fnv1a(1469598103934665603ull, canon);
+}
+
+void
+CampaignSpec::validate() const
+{
+    if (configs.empty())
+        sim::fatal("campaign spec has no configurations");
+    for (const ConfigVariant &cv : configs)
+        if (cv.name.empty())
+            sim::fatal("campaign configuration without a name");
+    if (numCheckpoints && checkpointStep == 0)
+        sim::fatal("campaign with checkpoints needs a nonzero "
+                   "checkpoint step");
+    if (stop.fixedRuns == 0) {
+        if (stop.pilotRuns < 2)
+            sim::fatal("adaptive campaigns need pilotRuns >= 2 "
+                       "(got %zu)", stop.pilotRuns);
+        if (stop.maxRuns < stop.pilotRuns)
+            sim::fatal("maxRuns (%zu) below pilotRuns (%zu)",
+                       stop.maxRuns, stop.pilotRuns);
+    }
+    const std::size_t perGroup =
+        stop.fixedRuns ? stop.fixedRuns : stop.maxRuns;
+    if (perGroup == 0)
+        sim::fatal("campaign would run zero runs per group");
+    if (perGroup > seedStride)
+        sim::fatal("per-group run cap %zu exceeds the seed stride "
+                   "%llu; seeds would collide between groups",
+                   perGroup,
+                   static_cast<unsigned long long>(seedStride));
+    if (stop.relativeError < 0.0 || stop.alpha < 0.0 ||
+        stop.alpha >= 1.0)
+        sim::fatal("nonsensical stopping thresholds (relative "
+                   "error %g, alpha %g)", stop.relativeError,
+                   stop.alpha);
+    if (stop.confidence <= 0.0 || stop.confidence >= 1.0)
+        sim::fatal("confidence must be in (0, 1), got %g",
+                   stop.confidence);
+}
+
+} // namespace campaign
+} // namespace varsim

@@ -1,0 +1,315 @@
+#include "campaign/store.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "campaign/jsonl.hh"
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+namespace
+{
+
+std::string
+manifestPath(const std::string &dir)
+{
+    return dir + "/manifest.jsonl";
+}
+
+/** fsync a directory so a freshly created manifest survives a crash. */
+void
+syncDirectory(const std::string &dir)
+{
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0)
+        return; // best effort: not all filesystems allow this
+    ::fsync(dfd);
+    ::close(dfd);
+}
+
+std::string
+headerLine(const StoreHeader &h)
+{
+    JsonWriter w;
+    w.field("type", std::string("header"));
+    w.field("version", static_cast<std::uint64_t>(h.version));
+    w.field("fingerprint", sim::format(
+                               "%016llx",
+                               static_cast<unsigned long long>(
+                                   h.fingerprint)));
+    w.field("groups", static_cast<std::uint64_t>(h.numGroups));
+    w.field("checkpoints",
+            static_cast<std::uint64_t>(h.numCheckpoints));
+    w.field("workload", h.workload);
+    w.field("configs", h.configNames);
+    return w.str();
+}
+
+} // anonymous namespace
+
+std::unique_ptr<ResultStore>
+ResultStore::openOrCreate(const std::string &dir,
+                          const StoreHeader &header)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        sim::fatal("cannot create campaign directory %s: %s",
+                   dir.c_str(), ec.message().c_str());
+
+    std::unique_ptr<ResultStore> store(new ResultStore);
+    store->dir_ = dir;
+    const std::string path = manifestPath(dir);
+    const bool existed = std::filesystem::exists(path);
+    store->fd = ::open(path.c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (store->fd < 0)
+        sim::fatal("cannot open %s: %s", path.c_str(),
+                   std::strerror(errno));
+
+    if (existed) {
+        store->replay(path);
+        if (store->header_.fingerprint != header.fingerprint)
+            sim::fatal(
+                "campaign store %s was created for a different "
+                "spec (fingerprint %016llx, expected %016llx); "
+                "refusing to mix results",
+                dir.c_str(),
+                static_cast<unsigned long long>(
+                    store->header_.fingerprint),
+                static_cast<unsigned long long>(
+                    header.fingerprint));
+    } else {
+        store->header_ = header;
+        std::lock_guard<std::mutex> lock(store->mu);
+        store->appendLine(headerLine(header));
+        syncDirectory(dir);
+    }
+    return store;
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::open(const std::string &dir)
+{
+    const std::string path = manifestPath(dir);
+    if (!std::filesystem::exists(path))
+        sim::fatal("no campaign store at %s (missing %s)",
+                   dir.c_str(), path.c_str());
+    std::unique_ptr<ResultStore> store(new ResultStore);
+    store->dir_ = dir;
+    store->fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+    if (store->fd < 0)
+        sim::fatal("cannot open %s: %s", path.c_str(),
+                   std::strerror(errno));
+    store->replay(path);
+    return store;
+}
+
+void
+ResultStore::replay(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        sim::fatal("cannot read %s", path.c_str());
+    const std::string data(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    bool sawHeader = false;
+    std::size_t lineNo = 0;
+    std::size_t dropped = 0;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        ++lineNo;
+        const std::size_t nl = data.find('\n', pos);
+        if (nl == std::string::npos) {
+            // An unterminated final line is a torn append: the
+            // single write(2) behind it never completed, so the
+            // record was never acknowledged. Discard it and
+            // truncate it away so the next append starts on a
+            // clean line instead of gluing onto the debris.
+            sim::warn("%s: discarding torn final line %zu "
+                      "(crash during append)", path.c_str(),
+                      lineNo);
+            if (::ftruncate(fd, static_cast<off_t>(pos)) != 0)
+                sim::fatal("cannot truncate torn tail of %s: %s",
+                           path.c_str(), std::strerror(errno));
+            break;
+        }
+        const std::string line = data.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        JsonLine obj;
+        if (!obj.parse(line)) {
+            // Newline-terminated damage is not a torn append; the
+            // records around it are still genuine — keep going,
+            // but tell the user.
+            sim::warn("%s:%zu: malformed record skipped",
+                      path.c_str(), lineNo);
+            ++dropped;
+            continue;
+        }
+        const std::string type = obj.str("type");
+        if (type == "header") {
+            header_.version = static_cast<int>(obj.num("version"));
+            header_.fingerprint = std::strtoull(
+                obj.str("fingerprint").c_str(), nullptr, 16);
+            header_.numGroups = obj.num("groups");
+            header_.numCheckpoints = obj.num("checkpoints");
+            header_.workload = obj.str("workload");
+            header_.configNames = obj.list("configs");
+            sawHeader = true;
+        } else if (type == "plan") {
+            plan_.valid = true;
+            plan_.runLength = obj.num("run_length");
+            plan_.numRuns = obj.num("num_runs");
+        } else if (type == "run") {
+            RunRecord r;
+            r.group = obj.num("group");
+            r.configIdx = obj.num("config");
+            r.ckptIdx = obj.num("checkpoint");
+            r.runIdx = obj.num("run");
+            r.seed = obj.num("seed");
+            r.cyclesPerTxn = obj.real("cycles_per_txn");
+            r.runtimeTicks = obj.num("runtime_ticks");
+            r.txns = obj.num("txns");
+            runs.try_emplace({r.group, r.runIdx}, r);
+        } else {
+            sim::warn("%s:%zu: unknown record type '%s' skipped",
+                      path.c_str(), lineNo, type.c_str());
+        }
+    }
+    if (!sawHeader)
+        sim::fatal("%s has no header record; not a campaign store",
+                   path.c_str());
+    if (dropped)
+        sim::warn("%s: %zu malformed mid-file record(s); the "
+                  "manifest may have been edited", path.c_str(),
+                  dropped);
+}
+
+void
+ResultStore::appendLine(const std::string &line)
+{
+    const std::string out = line + "\n";
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(fd, out.data() + off, out.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            sim::fatal("write to campaign manifest failed: %s",
+                       std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0)
+        sim::fatal("fsync of campaign manifest failed: %s",
+                   std::strerror(errno));
+}
+
+bool
+ResultStore::hasRun(std::size_t group, std::size_t runIdx) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return runs.count({group, runIdx}) > 0;
+}
+
+std::size_t
+ResultStore::runsInGroup(std::size_t group) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto lo = runs.lower_bound({group, 0});
+    const auto hi = runs.lower_bound({group + 1, 0});
+    return static_cast<std::size_t>(std::distance(lo, hi));
+}
+
+std::size_t
+ResultStore::totalRuns() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return runs.size();
+}
+
+std::vector<double>
+ResultStore::groupMetric(std::size_t group) const
+{
+    std::vector<double> xs;
+    for (const RunRecord &r : groupRuns(group))
+        xs.push_back(r.cyclesPerTxn);
+    return xs;
+}
+
+std::vector<RunRecord>
+ResultStore::groupRuns(std::size_t group) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<RunRecord> out;
+    for (std::size_t i = 0;; ++i) {
+        const auto it = runs.find({group, i});
+        if (it == runs.end())
+            break;
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+void
+ResultStore::appendRun(const RunRecord &rec)
+{
+    JsonWriter w;
+    w.field("type", std::string("run"));
+    w.field("group", static_cast<std::uint64_t>(rec.group));
+    w.field("config", static_cast<std::uint64_t>(rec.configIdx));
+    w.field("checkpoint", static_cast<std::uint64_t>(rec.ckptIdx));
+    w.field("run", static_cast<std::uint64_t>(rec.runIdx));
+    w.field("seed", rec.seed);
+    w.field("cycles_per_txn", rec.cyclesPerTxn);
+    w.field("runtime_ticks", rec.runtimeTicks);
+    w.field("txns", rec.txns);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (!runs.try_emplace({rec.group, rec.runIdx}, rec).second) {
+        sim::warn("duplicate run record (group %zu, run %zu) "
+                  "dropped — two shards with the same index?",
+                  rec.group, rec.runIdx);
+        return;
+    }
+    appendLine(w.str());
+}
+
+void
+ResultStore::appendPlan(const PlanRecord &plan)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    VARSIM_ASSERT(!plan_.valid,
+                  "budget plan recorded twice in one store");
+    JsonWriter w;
+    w.field("type", std::string("plan"));
+    w.field("run_length", plan.runLength);
+    w.field("num_runs", static_cast<std::uint64_t>(plan.numRuns));
+    appendLine(w.str());
+    plan_ = plan;
+    plan_.valid = true;
+}
+
+ResultStore::~ResultStore()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace campaign
+} // namespace varsim

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Durable, append-only result store for campaigns.
+ *
+ * One directory per campaign holding a single `manifest.jsonl`:
+ * a header record identifying the spec, an optional budget-plan
+ * record, and one record per completed run. Appends are single
+ * `write(2)` calls followed by `fsync(2)`, so a record is either
+ * fully on disk or absent; replay on open tolerates a torn final
+ * line (the signature of a crash mid-append) by discarding it.
+ *
+ * The store is the campaign's only authority on what has already
+ * happened: the scheduler asks it which (group, run) cells exist and
+ * schedules only the rest, which is what makes kill-and-resume free
+ * of duplicated work, and the aggregate statistics are computed from
+ * replayed records (metric doubles round-trip %.17g exactly), which
+ * is what makes a resumed campaign's statistics bit-identical to an
+ * uninterrupted one's.
+ */
+
+#ifndef VARSIM_CAMPAIGN_STORE_HH
+#define VARSIM_CAMPAIGN_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace varsim
+{
+namespace campaign
+{
+
+/** Identity record written when a store is created. */
+struct StoreHeader
+{
+    int version = 1;
+    std::uint64_t fingerprint = 0;
+    std::size_t numGroups = 0;
+    std::size_t numCheckpoints = 0; ///< 0 = fresh-start campaign
+    std::string workload;
+    std::vector<std::string> configNames;
+};
+
+/** One completed run of one cell. */
+struct RunRecord
+{
+    std::size_t group = 0;
+    std::size_t configIdx = 0;
+    std::size_t ckptIdx = 0;
+    std::size_t runIdx = 0;
+    std::uint64_t seed = 0;
+    double cyclesPerTxn = 0.0;
+    std::uint64_t runtimeTicks = 0;
+    std::uint64_t txns = 0;
+};
+
+/** The budget planner's recorded decision (empty until planned). */
+struct PlanRecord
+{
+    bool valid = false;
+    std::uint64_t runLength = 0;
+    std::size_t numRuns = 0;
+};
+
+class ResultStore
+{
+  public:
+    /**
+     * Open @p dir, creating directory and manifest (with @p header)
+     * if absent. When the manifest exists, its header must match
+     * @p header's fingerprint — resuming under a different spec is
+     * a user error (fatal).
+     */
+    static std::unique_ptr<ResultStore>
+    openOrCreate(const std::string &dir, const StoreHeader &header);
+
+    /** Open an existing store read-write; fatal if absent. */
+    static std::unique_ptr<ResultStore>
+    open(const std::string &dir);
+
+    const StoreHeader &header() const { return header_; }
+    const std::string &directory() const { return dir_; }
+
+    /** True if (group, runIdx) already has a recorded run. */
+    bool hasRun(std::size_t group, std::size_t runIdx) const;
+
+    /** Recorded runs of @p group (any run indices). */
+    std::size_t runsInGroup(std::size_t group) const;
+
+    /** All recorded runs. */
+    std::size_t totalRuns() const;
+
+    /**
+     * Metric values of @p group ordered by run index. Only the
+     * contiguous prefix starting at run 0 is returned: a gap (a run
+     * another shard has not recorded yet) ends the sequence, so
+     * every consumer sees a deterministic prefix of the group's
+     * seed sequence.
+     */
+    std::vector<double> groupMetric(std::size_t group) const;
+
+    /** Full records of @p group's contiguous prefix, by run index. */
+    std::vector<RunRecord> groupRuns(std::size_t group) const;
+
+    /**
+     * Durably append one run record (thread-safe). A duplicate
+     * (group, runIdx) — possible when two shards of the same index
+     * race — keeps the first record and drops this one.
+     */
+    void appendRun(const RunRecord &rec);
+
+    const PlanRecord &plan() const { return plan_; }
+
+    /** Durably record the budget plan (once per store). */
+    void appendPlan(const PlanRecord &plan);
+
+    ~ResultStore();
+
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+  private:
+    ResultStore() = default;
+
+    /** Replay manifest lines into the in-memory index. */
+    void replay(const std::string &path);
+
+    /** Write one line + '\n' with fsync; requires mu held. */
+    void appendLine(const std::string &line);
+
+    std::string dir_;
+    int fd = -1;
+    StoreHeader header_;
+    PlanRecord plan_;
+
+    mutable std::mutex mu;
+    std::map<std::pair<std::size_t, std::size_t>, RunRecord> runs;
+};
+
+} // namespace campaign
+} // namespace varsim
+
+#endif // VARSIM_CAMPAIGN_STORE_HH

@@ -27,10 +27,27 @@ parallelFor(std::size_t n, std::size_t host_threads,
 
 } // anonymous namespace
 
+void
+ExperimentConfig::validate() const
+{
+    if (numRuns == 0)
+        sim::fatal("ExperimentConfig::numRuns is 0: an experiment "
+                   "must run at least one simulation");
+    // Seeds are baseSeed + i for i in [0, numRuns); wraparound would
+    // alias two runs onto one seed and silently destroy the "N
+    // independent perturbed runs" premise.
+    if (baseSeed > UINT64_MAX - (numRuns - 1))
+        sim::fatal("experiment seed range [%llu, +%zu) wraps "
+                   "around 2^64; lower baseSeed or numRuns",
+                   static_cast<unsigned long long>(baseSeed),
+                   numRuns);
+}
+
 std::vector<RunResult>
 runMany(const SystemConfig &sys, const workload::WorkloadParams &wl,
         const RunConfig &run, const ExperimentConfig &exp)
 {
+    exp.validate();
     std::vector<RunResult> results(exp.numRuns);
     parallelFor(exp.numRuns, exp.hostThreads, [&](std::size_t i) {
         RunConfig r = run;
@@ -46,6 +63,7 @@ runManyFromCheckpoint(const SystemConfig &sys,
                       const Checkpoint &cp, const RunConfig &run,
                       const ExperimentConfig &exp)
 {
+    exp.validate();
     std::vector<RunResult> results(exp.numRuns);
     parallelFor(exp.numRuns, exp.hostThreads, [&](std::size_t i) {
         RunConfig r = run;
@@ -65,6 +83,7 @@ runManyBatch(const std::vector<ExperimentSpec> &specs)
     std::size_t hostThreads = 1;
     bool useHardware = false;
     for (std::size_t s = 0; s < specs.size(); ++s) {
+        specs[s].exp.validate();
         offsets[s + 1] = offsets[s] + specs[s].exp.numRuns;
         const std::size_t ht = specs[s].exp.hostThreads;
         // 0 means "hardware concurrency": let it dominate the max.

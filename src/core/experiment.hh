@@ -19,7 +19,19 @@ namespace varsim
 namespace core
 {
 
-/** Parameters of a multi-run experiment. */
+/**
+ * Parameters of a multi-run experiment.
+ *
+ * Seed policy: run i (0-based) uses perturbation seed baseSeed + i,
+ * so an experiment's seeds are the contiguous range
+ * [baseSeed, baseSeed + numRuns). Callers that partition a larger
+ * seed space (e.g. campaign cells) can therefore assert uniqueness
+ * by spacing their base seeds at least numRuns apart. validate()
+ * rejects numRuns == 0 (an experiment with no runs is always a
+ * caller bug) and a range that would wrap around 2^64 (two runs
+ * would silently share a seed); every runMany* entry point calls
+ * it.
+ */
 struct ExperimentConfig
 {
     /** Runs per configuration (the paper typically uses 20). */
@@ -30,6 +42,10 @@ struct ExperimentConfig
 
     /** Host threads (0 = hardware concurrency). */
     std::size_t hostThreads = 0;
+
+    /** fatal() unless the seed range [baseSeed, baseSeed+numRuns)
+     *  is non-empty and free of 64-bit wraparound. */
+    void validate() const;
 };
 
 /**

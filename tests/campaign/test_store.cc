@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Durability tests of the campaign result store: exact record
+ * round-trips, torn-tail crash recovery, duplicate suppression, and
+ * the contiguous-prefix contract behind resume determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/store.hh"
+
+namespace
+{
+
+using namespace varsim::campaign;
+
+std::string
+freshDir(const std::string &name)
+{
+    const auto p = std::filesystem::temp_directory_path() /
+                   ("varsim_test_store_" + name + ".camp");
+    std::filesystem::remove_all(p);
+    return p.string();
+}
+
+StoreHeader
+twoGroupHeader()
+{
+    StoreHeader h;
+    h.fingerprint = 0xfeedfaceull;
+    h.numGroups = 2;
+    h.workload = "OLTP";
+    h.configNames = {"a", "b"};
+    return h;
+}
+
+RunRecord
+record(std::size_t group, std::size_t run, double metric)
+{
+    RunRecord r;
+    r.group = group;
+    r.configIdx = group;
+    r.runIdx = run;
+    r.seed = 1000 + group * 100 + run;
+    r.cyclesPerTxn = metric;
+    r.runtimeTicks = 7777 + run;
+    r.txns = 40;
+    return r;
+}
+
+TEST(ResultStore, RoundTripsRecordsExactly)
+{
+    const std::string dir = freshDir("roundtrip");
+    // Metrics chosen so sloppy formatting would lose bits.
+    const double awkward[] = {1.0 / 3.0, 26809.123456789012,
+                              1e-17 + 2.0};
+    {
+        auto store = ResultStore::openOrCreate(dir,
+                                               twoGroupHeader());
+        for (int i = 0; i < 3; ++i)
+            store->appendRun(record(0, i, awkward[i]));
+        store->appendRun(record(1, 0, 4.25));
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->header().fingerprint, 0xfeedfaceull);
+    EXPECT_EQ(store->header().numGroups, 2u);
+    EXPECT_EQ(store->header().workload, "OLTP");
+    ASSERT_EQ(store->header().configNames.size(), 2u);
+    EXPECT_EQ(store->header().configNames[1], "b");
+    EXPECT_EQ(store->totalRuns(), 4u);
+
+    const auto xs = store->groupMetric(0);
+    ASSERT_EQ(xs.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(xs[i], awkward[i]) << "double round-trip lost "
+                                        "bits at index " << i;
+    const auto recs = store->groupRuns(0);
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[2].seed, 1002u);
+    EXPECT_EQ(recs[2].runtimeTicks, 7779u);
+    EXPECT_EQ(recs[2].txns, 40u);
+}
+
+TEST(ResultStore, GroupMetricReturnsContiguousPrefixOnly)
+{
+    const std::string dir = freshDir("prefix");
+    auto store = ResultStore::openOrCreate(dir, twoGroupHeader());
+    store->appendRun(record(0, 0, 1.0));
+    store->appendRun(record(0, 1, 2.0));
+    store->appendRun(record(0, 3, 4.0)); // gap at run 2
+
+    EXPECT_EQ(store->runsInGroup(0), 3u);
+    EXPECT_TRUE(store->hasRun(0, 3));
+    EXPECT_FALSE(store->hasRun(0, 2));
+    // The prefix stops at the gap: statistics never see run 3 until
+    // run 2 exists, so every reader agrees on the sample.
+    EXPECT_EQ(store->groupMetric(0),
+              (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ResultStore, DuplicateAppendKeepsFirstRecord)
+{
+    const std::string dir = freshDir("dup");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        store->appendRun(record(0, 0, 10.0));
+        store->appendRun(record(0, 0, 99.0)); // racing shard
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 1u);
+    EXPECT_EQ(store->groupMetric(0),
+              (std::vector<double>{10.0}));
+}
+
+TEST(ResultStore, ToleratesTornFinalLine)
+{
+    const std::string dir = freshDir("torn");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        store->appendRun(record(0, 0, 5.5));
+        store->appendRun(record(0, 1, 6.5));
+    }
+    {
+        // A crash mid-append leaves a partial line with no newline.
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"type\":\"run\",\"group\":0,\"ru";
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 2u);
+    EXPECT_EQ(store->groupMetric(0),
+              (std::vector<double>{5.5, 6.5}));
+    // The store must still be appendable after recovery.
+    store->appendRun(record(0, 2, 7.5));
+    EXPECT_EQ(store->groupMetric(0),
+              (std::vector<double>{5.5, 6.5, 7.5}));
+}
+
+TEST(ResultStore, TornLineRecoveryIsDurable)
+{
+    // After recovery + append, a second replay sees clean records:
+    // the torn bytes must not corrupt the following line.
+    const std::string dir = freshDir("torn2");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        store->appendRun(record(0, 0, 5.5));
+    }
+    {
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"type\":\"run\",\"gro";
+    }
+    {
+        auto store = ResultStore::open(dir);
+        store->appendRun(record(0, 1, 6.5));
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 2u);
+    EXPECT_EQ(store->groupMetric(0),
+              (std::vector<double>{5.5, 6.5}));
+}
+
+TEST(ResultStore, PlanRecordRoundTrips)
+{
+    const std::string dir = freshDir("plan");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        EXPECT_FALSE(store->plan().valid);
+        PlanRecord p;
+        p.valid = true;
+        p.runLength = 2500;
+        p.numRuns = 12;
+        store->appendPlan(p);
+    }
+    auto store = ResultStore::open(dir);
+    ASSERT_TRUE(store->plan().valid);
+    EXPECT_EQ(store->plan().runLength, 2500u);
+    EXPECT_EQ(store->plan().numRuns, 12u);
+}
+
+TEST(ResultStoreDeathTest, FingerprintMismatchIsFatal)
+{
+    const std::string dir = freshDir("mismatch");
+    { ResultStore::openOrCreate(dir, twoGroupHeader()); }
+    StoreHeader other = twoGroupHeader();
+    other.fingerprint = 0xdeadbeefull;
+    EXPECT_DEATH(ResultStore::openOrCreate(dir, other),
+                 "fingerprint");
+}
+
+TEST(ResultStoreDeathTest, OpenMissingStoreIsFatal)
+{
+    const std::string dir = freshDir("absent");
+    EXPECT_DEATH(ResultStore::open(dir), "");
+}
+
+} // namespace

@@ -67,6 +67,44 @@ TEST(Sampling, StratifiedCoversEveryStratum)
     }
 }
 
+TEST(Sampling, StratifiedIsDeterministicPerSeed)
+{
+    const auto a =
+        planCheckpoints(SamplingStrategy::Stratified, 9000, 6, 21);
+    const auto b =
+        planCheckpoints(SamplingStrategy::Stratified, 9000, 6, 21);
+    const auto c =
+        planCheckpoints(SamplingStrategy::Stratified, 9000, 6, 22);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(Sampling, StratifiedExactlyOnePerStratum)
+{
+    // Across many seeds, every stratum must hold exactly one point;
+    // a clustering failure would put two points in one stratum and
+    // none in another.
+    const std::uint64_t lifetime = 12000;
+    const std::size_t samples = 12;
+    const std::uint64_t stratum = lifetime / samples;
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        const auto pts = planCheckpoints(
+            SamplingStrategy::Stratified, lifetime, samples, seed);
+        ASSERT_EQ(pts.size(), samples);
+        std::vector<std::size_t> perStratum(samples, 0);
+        for (const std::uint64_t p : pts) {
+            ASSERT_GE(p, 1u);
+            ASSERT_LE(p, lifetime);
+            // Point p lands in stratum floor((p-1)/stratum) since
+            // stratum i covers (stratum*i, stratum*(i+1)].
+            ++perStratum[(p - 1) / stratum];
+        }
+        for (std::size_t i = 0; i < samples; ++i)
+            EXPECT_EQ(perStratum[i], 1u)
+                << "stratum " << i << " at seed " << seed;
+    }
+}
+
 TEST(Sampling, SingleSampleWorks)
 {
     for (auto strat :
@@ -133,6 +171,24 @@ TEST(Budget, PlanBeatsNaiveExtremesInPredictedWidth)
     const double extreme2 = width(10, budget / 10);
     EXPECT_LE(plan.predictedHalfWidth,
               std::max(extreme1, extreme2) + 1e-9);
+}
+
+TEST(Budget, HalfWidthMonotoneInPilotCov)
+{
+    // Noisier pilots can only predict wider intervals: scaling every
+    // pilot CoV by a constant scales the fitted a and b, and the
+    // objective t * CoV / sqrt(k) is linear in them.
+    double prev = 0.0;
+    for (const double scale : {1.0, 2.0, 4.0, 8.0}) {
+        std::vector<std::pair<std::uint64_t, double>> pilots = {
+            {100, 5.0 * scale},
+            {400, 2.7 * scale},
+            {1600, 1.6 * scale}};
+        const BudgetPlan plan = planBudget(pilots, 8000, 3, 0.95);
+        EXPECT_GT(plan.predictedHalfWidth, prev)
+            << "at pilot-CoV scale " << scale;
+        prev = plan.predictedHalfWidth;
+    }
 }
 
 TEST(DifferenceCI, BoundsKnownDifference)

@@ -21,12 +21,29 @@ def load_rows(path):
     try:
         with open(path) as f:
             data = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: {path}: no such file (generate it with "
+                 f"build/bench/bench_sim_throughput --json {path})")
     except (OSError, json.JSONDecodeError) as e:
-        sys.exit(f"{path}: {e}")
-    if data.get("bench") != "sim_throughput":
-        sys.exit(f"{path}: not a sim_throughput emission")
+        sys.exit(f"error: {path}: {e}")
+    if not isinstance(data, dict) or \
+            data.get("bench") != "sim_throughput":
+        sys.exit(f"error: {path}: not a sim_throughput emission "
+                 '(expected a JSON object with '
+                 '"bench": "sim_throughput")')
+    results = data.get("results")
+    if not isinstance(results, list) or not results:
+        sys.exit(f"error: {path}: no \"results\" rows; the file "
+                 "looks truncated or came from an older emitter")
     rows = {}
-    for row in data["results"]:
+    for i, row in enumerate(results):
+        if not isinstance(row, dict):
+            sys.exit(f"error: {path}: results[{i}] is not an "
+                     "object")
+        for field in ("workload", "mode", "ticks_per_sec"):
+            if field not in row:
+                sys.exit(f"error: {path}: results[{i}] lacks "
+                         f'"{field}"')
         rows[(row["workload"], row["mode"])] = row
     return rows, bool(data.get("quick", False))
 
@@ -51,7 +68,9 @@ def main():
     for key in sorted(cand.keys() - base.keys()):
         print(f"note: {key} only in candidate, skipped")
     if not matched:
-        sys.exit("no matching rows")
+        sys.exit(f"error: {args.baseline} and {args.candidate} "
+                 "have no (workload, mode) rows in common - they "
+                 "measure disjoint sets and cannot be compared")
 
     print(f"{'workload':<12} {'mode':<8} {'base Mt/s':>10} "
           f"{'cand Mt/s':>10} {'speedup':>8}")
@@ -60,6 +79,9 @@ def main():
     for key in matched:
         b = base[key]["ticks_per_sec"]
         c = cand[key]["ticks_per_sec"]
+        if not b:
+            sys.exit(f"error: baseline row {key} has zero "
+                     "ticks_per_sec; cannot compute a speedup")
         speedup = c / b
         log_sum += math.log(speedup)
         print(f"{key[0]:<12} {key[1]:<8} {b / 1e6:>10.3f} "

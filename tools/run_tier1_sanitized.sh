@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# and run the tier-1 test suite under it. A clean pass means the suite
+# is free of heap errors, leaks-at-exit in test paths, and UB that the
+# instrumented build can detect — run this before merging changes that
+# touch memory handling or concurrency.
+#
+# Usage: tools/run_tier1_sanitized.sh [build-dir]
+#   build-dir defaults to build-san (kept separate from the normal
+#   build/ so the two configurations never share object files).
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-san}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$repo" -B "$build" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVARSIM_SANITIZE=address,undefined
+cmake --build "$build" -j "$jobs"
+
+# halt_on_error makes UBSan failures fatal instead of log-and-continue,
+# so ctest actually reports them.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+
+ctest --test-dir "$build" --output-on-failure -j "$jobs"
+echo "tier-1 suite clean under address,undefined sanitizers"

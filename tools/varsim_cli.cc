@@ -12,6 +12,9 @@
  *                             over checkpoints
  *   plan     [options]        fixed-budget run-length/run-count
  *                             advice from self-measured pilots
+ *   campaign <run|resume|status|report> --dir <path> [options]
+ *                             durable, resumable, adaptively-stopped
+ *                             experiment orchestration (see below)
  *
  * Common options:
  *   --workload <name>      oltp|apache|specjbb|slashcode|ecperf|
@@ -33,18 +36,44 @@
  *                 --strategy systematic|random|stratified
  * plan options:   --budget <txns> [--pilot <len>]...
  *
+ * campaign options (run/resume; status/report need only --dir):
+ *   --dir <path>           the durable result store (required)
+ *   --vary <knob>=<v,...>  one configuration per value; repeatable
+ *                          flags form a cartesian grid. Knobs:
+ *                          l2-assoc l2-size dram perturb rob quantum
+ *                          model protocol prefetch
+ *   --runs <n>             fixed K per group (disables adaptation)
+ *   --pilot-runs <n>       pilot batch size        (default 6)
+ *   --max-runs <n>         adaptive per-group cap  (default 32)
+ *   --rel-err <frac>       target CI half-width    (default 0.02)
+ *   --alpha <frac>         comparison significance (default 0.05
+ *                          when >= 2 configs)
+ *   --budget <txns>        fixed budget: planBudget picks the
+ *                          run-length/run-count split
+ *   --checkpoints <n> --step <txns> --strategy <s>
+ *                          multi-starting-point sampling (§5.2)
+ *   --shard <i>/<N>        execute only this process's cell stripe
+ *   --host-threads <n>     worker threads (0 = hardware)
+ *   --interrupt-after <n>  stop as if killed after n new runs
+ *                          (resume walkthroughs, tests)
+ *
  * Examples:
  *   varsim run --workload slashcode --runs 20
  *   varsim compare --l2-assoc-a 1 --l2-assoc-b 4 --runs 15
  *   varsim anova --workload specjbb --checkpoints 5 --step 800
  *   varsim plan --budget 20000
+ *   varsim campaign run --dir assoc.camp --vary l2-assoc=1,2,4
+ *   varsim campaign status --dir assoc.camp
+ *   varsim campaign report --dir assoc.camp
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "campaign/campaign.hh"
 #include "core/varsim.hh"
 
 using namespace varsim;
@@ -93,6 +122,14 @@ class Args
         return std::strtoull(str(key, "").c_str(), nullptr, 10);
     }
 
+    double
+    real(const std::string &key, double dflt) const
+    {
+        if (!has(key))
+            return dflt;
+        return std::strtod(str(key, "").c_str(), nullptr);
+    }
+
     /** All values given for a repeatable flag. */
     std::vector<std::uint64_t>
     all(const std::string &key) const
@@ -102,6 +139,17 @@ class Args
         for (auto it = range.first; it != range.second; ++it)
             out.push_back(
                 std::strtoull(it->second.c_str(), nullptr, 10));
+        return out;
+    }
+
+    /** All string values given for a repeatable flag, in order. */
+    std::vector<std::string>
+    allStr(const std::string &key) const
+    {
+        std::vector<std::string> out;
+        auto range = values.equal_range(key);
+        for (auto it = range.first; it != range.second; ++it)
+            out.push_back(it->second);
         return out;
     }
 
@@ -338,11 +386,198 @@ cmdPlan(const Args &args)
     return 0;
 }
 
+/** Apply one "--vary" knob value to a configuration. */
+void
+applyKnob(core::SystemConfig &sys, const std::string &knob,
+          const std::string &value)
+{
+    auto n = [&] {
+        return std::strtoull(value.c_str(), nullptr, 10);
+    };
+    if (knob == "l2-assoc") {
+        sys.mem.l2Assoc = n();
+    } else if (knob == "l2-size") {
+        sys.mem.l2Size = n();
+    } else if (knob == "dram") {
+        sys.mem.dramLatency = n();
+    } else if (knob == "perturb") {
+        sys.mem.perturbMaxNs = n();
+    } else if (knob == "rob") {
+        sys.cpu.robEntries = static_cast<std::uint32_t>(n());
+    } else if (knob == "quantum") {
+        sys.os.quantum = n();
+    } else if (knob == "model") {
+        if (value == "ooo")
+            sys.cpu.model = cpu::CpuConfig::Model::OutOfOrder;
+        else if (value == "simple")
+            sys.cpu.model = cpu::CpuConfig::Model::Simple;
+        else
+            sim::fatal("unknown CPU model '%s'", value.c_str());
+    } else if (knob == "protocol") {
+        if (value == "directory")
+            sys.mem.protocol = mem::CoherenceProtocol::Directory;
+        else if (value == "snooping")
+            sys.mem.protocol = mem::CoherenceProtocol::Snooping;
+        else
+            sim::fatal("unknown protocol '%s'", value.c_str());
+    } else if (knob == "prefetch") {
+        sys.mem.l2NextLinePrefetch = value == "on";
+    } else {
+        sim::fatal("unknown --vary knob '%s' (see the campaign "
+                   "flag list)", knob.c_str());
+    }
+}
+
+/** Split "knob=v1,v2,v3" into (knob, values). */
+std::pair<std::string, std::vector<std::string>>
+parseVary(const std::string &arg)
+{
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= arg.size())
+        sim::fatal("--vary wants knob=v1,v2,... (got '%s')",
+                   arg.c_str());
+    const std::string knob = arg.substr(0, eq);
+    std::vector<std::string> values;
+    std::string rest = arg.substr(eq + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+        const auto comma = rest.find(',', pos);
+        const auto end =
+            comma == std::string::npos ? rest.size() : comma;
+        if (end > pos)
+            values.push_back(rest.substr(pos, end - pos));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (values.empty())
+        sim::fatal("--vary %s has no values", knob.c_str());
+    return {knob, values};
+}
+
+/** Build the campaign configuration grid from base + --vary flags. */
+std::vector<campaign::ConfigVariant>
+configGridFromArgs(const Args &args)
+{
+    const core::SystemConfig base = systemFromArgs(args, "");
+    std::vector<campaign::ConfigVariant> grid = {{"base", base}};
+    for (const std::string &vary : args.allStr("vary")) {
+        const auto [knob, values] = parseVary(vary);
+        std::vector<campaign::ConfigVariant> next;
+        for (const auto &cv : grid) {
+            for (const std::string &v : values) {
+                campaign::ConfigVariant out = cv;
+                applyKnob(out.sys, knob, v);
+                out.name = cv.name == "base"
+                               ? knob + "=" + v
+                               : cv.name + "," + knob + "=" + v;
+                next.push_back(out);
+            }
+        }
+        grid = std::move(next);
+    }
+    return grid;
+}
+
+campaign::CampaignSpec
+campaignSpecFromArgs(const Args &args)
+{
+    campaign::CampaignSpec spec;
+    spec.configs = configGridFromArgs(args);
+    spec.wl = workloadFromArgs(args);
+    spec.run = runFromArgs(args);
+    spec.baseSeed = args.num("seed", 1000);
+    spec.numCheckpoints = args.num("checkpoints", 0);
+    spec.checkpointStep = args.num("step", 400);
+    const std::string stratName =
+        args.str("strategy", "systematic");
+    if (stratName == "random")
+        spec.strategy = core::SamplingStrategy::Random;
+    else if (stratName == "stratified")
+        spec.strategy = core::SamplingStrategy::Stratified;
+    else if (stratName != "systematic")
+        sim::fatal("unknown strategy '%s'", stratName.c_str());
+
+    spec.stop.fixedRuns = args.num("runs", 0);
+    spec.stop.pilotRuns = args.num("pilot-runs", 6);
+    spec.stop.maxRuns = args.num("max-runs", 32);
+    spec.stop.relativeError = args.real("rel-err", 0.02);
+    spec.stop.alpha = args.real(
+        "alpha", spec.configs.size() >= 2 ? 0.05 : 0.0);
+    spec.budgetTxns = args.num("budget", 0);
+    return spec;
+}
+
+int
+cmdCampaign(const std::string &action, const Args &args)
+{
+    if (action == "status" || action == "report") {
+        const std::string dir = args.str("dir", "");
+        if (dir.empty())
+            sim::fatal("campaign %s needs --dir", action.c_str());
+        if (action == "status")
+            std::printf("%s",
+                        campaign::campaignStatus(dir)
+                            .toString()
+                            .c_str());
+        else
+            std::printf("%s\n",
+                        campaign::campaignReport(dir).text.c_str());
+        return 0;
+    }
+    if (action != "run" && action != "resume") {
+        sim::fatal("unknown campaign action '%s' (run, resume, "
+                   "status, report)", action.c_str());
+    }
+
+    const std::string dir = args.str("dir", "");
+    if (dir.empty())
+        sim::fatal("campaign %s needs --dir", action.c_str());
+
+    const auto spec = campaignSpecFromArgs(args);
+
+    campaign::CampaignOptions opt;
+    opt.hostThreads = args.num("host-threads", 0);
+    opt.interruptAfter = args.num("interrupt-after", 0);
+    opt.verbose = true;
+    const std::string shard = args.str("shard", "1/1");
+    if (std::sscanf(shard.c_str(), "%zu/%zu", &opt.shardIndex,
+                    &opt.shardCount) != 2 ||
+        opt.shardCount == 0 || opt.shardIndex < 1 ||
+        opt.shardIndex > opt.shardCount)
+        sim::fatal("--shard wants i/N with 1 <= i <= N (got "
+                   "'%s')", shard.c_str());
+    opt.shardIndex -= 1; // user-facing shards are 1-based
+
+    const auto outcome = campaign::runCampaign(spec, dir, opt);
+    std::printf("\n%s", campaign::campaignStatus(dir)
+                            .toString()
+                            .c_str());
+    if (outcome.interrupted) {
+        std::printf("interrupted after %zu new run(s); resume "
+                    "with: varsim campaign resume --dir %s ...\n",
+                    outcome.runsExecuted, dir.c_str());
+        return 0;
+    }
+    std::printf("executed %zu new run(s); campaign is %s\n",
+                outcome.runsExecuted,
+                outcome.complete ? "complete"
+                                 : "waiting on other shards");
+    if (outcome.complete)
+        std::printf("\n%s\n",
+                    campaign::campaignReport(dir).text.c_str());
+    return 0;
+}
+
 void
 usage()
 {
-    std::printf("usage: varsim <list|run|compare|anova|plan> "
+    std::printf("usage: varsim "
+                "<list|run|compare|anova|plan|campaign> "
                 "[--flag value]...\n"
+                "       varsim campaign <run|resume|status|report> "
+                "--dir DIR [--flag value]...\n"
                 "see the header of tools/varsim_cli.cc or "
                 "README.md for the full flag list\n");
 }
@@ -357,6 +592,15 @@ main(int argc, char **argv)
         return 1;
     }
     const std::string cmd = argv[1];
+    if (cmd == "campaign") {
+        if (argc < 3) {
+            usage();
+            return 1;
+        }
+        // Flags start after the action word, so hand the parser a
+        // view of argv shifted by one.
+        return cmdCampaign(argv[2], Args(argc - 1, argv + 1));
+    }
     Args args(argc, argv);
     if (cmd == "list")
         return cmdList();
