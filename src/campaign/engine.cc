@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 
+#include "ckpt/library.hh"
 #include "core/analysis.hh"
 #include "core/experiment.hh"
 #include "core/simulation.hh"
@@ -129,42 +130,135 @@ effectiveSpec(const CampaignSpec &spec, const PlanRecord &plan)
 }
 
 /**
- * Warm one simulation per configuration and checkpoint it at the
- * planned positions. Re-derived identically on every invocation —
- * the warmers are deterministic — so resume sees the same starting
- * states without persisting multi-megabyte checkpoints.
+ * Lazy, library-backed supplier of warm-up checkpoints.
+ *
+ * A configuration is warmed only when ensureConfig() is called for
+ * it — the scheduler calls it for exactly the configurations whose
+ * cells this shard owns this round, so a shard whose stripe misses a
+ * configuration never pays its warm-up, and a completed campaign's
+ * re-invocation warms nothing at all.
+ *
+ * With a library attached, every planned position is first looked up
+ * on disk; the warmer only simulates from the last restorable
+ * snapshot onward (a snapshot carries the perturbation RNG, so the
+ * continued trajectory is bit-identical to the original warmer's)
+ * and publishes whatever it had to build. The warmers are
+ * deterministic, so all of this — lazily, from disk, or re-derived —
+ * yields byte-identical starting states.
  */
-std::vector<std::vector<core::Checkpoint>>
-buildCheckpoints(const CampaignSpec &spec,
-                 const CampaignOptions &opt)
+class CheckpointWarmer
 {
-    std::vector<std::vector<core::Checkpoint>> cps;
-    if (!spec.numCheckpoints)
-        return cps;
+  public:
+    CheckpointWarmer(const CampaignSpec &spec,
+                     const CampaignOptions &opt)
+        : spec(spec), opt(opt)
+    {
+        if (!spec.numCheckpoints)
+            return;
+        positions = core::planCheckpoints(
+            spec.strategy,
+            spec.checkpointStep * spec.numCheckpoints,
+            spec.numCheckpoints, spec.baseSeed);
+        cps.resize(spec.configs.size());
+        ready.assign(spec.configs.size(), 0);
+        if (!opt.ckptDir.empty())
+            lib = ckpt::CheckpointLibrary::open(opt.ckptDir);
+    }
 
-    const auto positions = core::planCheckpoints(
-        spec.strategy,
-        spec.checkpointStep * spec.numCheckpoints,
-        spec.numCheckpoints, spec.baseSeed);
+    /** Make config @p c's checkpoints available (serial caller). */
+    void
+    ensureConfig(std::size_t c)
+    {
+        if (!spec.numCheckpoints || ready[c])
+            return;
+        ready[c] = 1;
+        const std::uint64_t warmSeed = spec.groupSeed(
+            spec.numGroups() + kBudgetPilotGroups + c, 0);
+        auto &dst = cps[c];
+        dst.resize(positions.size());
 
-    cps.resize(spec.configs.size());
-    for (std::size_t c = 0; c < spec.configs.size(); ++c) {
+        // Longest restorable prefix. A hit beyond a miss is unusable:
+        // the warmer must re-simulate *through* the missing position,
+        // which re-derives the later ones anyway.
+        std::size_t prefix = 0;
+        while (lib && prefix < positions.size() &&
+               lib->fetch(keyFor(c, warmSeed, positions[prefix]),
+                          dst[prefix]))
+            ++prefix;
+        restored += prefix;
+        if (prefix == positions.size()) {
+            if (opt.verbose)
+                std::printf("campaign: restored %zu checkpoint(s) "
+                            "for %s from %s\n", prefix,
+                            spec.configs[c].name.c_str(),
+                            opt.ckptDir.c_str());
+            return;
+        }
+
         if (opt.verbose)
-            std::printf("campaign: warming %zu checkpoints for "
-                        "%s...\n", positions.size(),
-                        spec.configs[c].name.c_str());
-        core::Simulation warmer(spec.configs[c].sys, spec.wl);
-        warmer.seedPerturbation(spec.groupSeed(
-            spec.numGroups() + kBudgetPilotGroups + c, 0));
+            std::printf("campaign: warming %zu checkpoint(s) for "
+                        "%s (%zu restored)...\n",
+                        positions.size() - prefix,
+                        spec.configs[c].name.c_str(), prefix);
+        std::unique_ptr<core::Simulation> warmer;
         std::uint64_t done = 0;
-        for (std::uint64_t pos : positions) {
-            warmer.runTransactions(pos - done);
-            done = pos;
-            cps[c].push_back(warmer.checkpoint());
+        if (prefix) {
+            warmer = core::Simulation::restore(
+                spec.configs[c].sys, spec.wl, dst[prefix - 1]);
+            done = positions[prefix - 1];
+        } else {
+            warmer = std::make_unique<core::Simulation>(
+                spec.configs[c].sys, spec.wl);
+            warmer->seedPerturbation(warmSeed);
+        }
+        for (std::size_t i = prefix; i < positions.size(); ++i) {
+            warmer->runTransactions(positions[i] - done);
+            done = positions[i];
+            dst[i] = warmer->checkpoint();
+            ++warmed;
+            if (lib)
+                lib->publish(keyFor(c, warmSeed, positions[i]),
+                             dst[i]);
         }
     }
-    return cps;
-}
+
+    /** Checkpoint of (config, position); ensureConfig'd first. */
+    const core::Checkpoint &
+    get(std::size_t config, std::size_t ck) const
+    {
+        VARSIM_ASSERT(ready[config],
+                      "checkpoint for config %zu requested before "
+                      "it was warmed", config);
+        return cps[config][ck];
+    }
+
+    ckpt::CheckpointLibrary *library() const { return lib.get(); }
+
+    std::size_t restoredCount() const { return restored; }
+    std::size_t warmedCount() const { return warmed; }
+
+  private:
+    ckpt::CheckpointKey
+    keyFor(std::size_t c, std::uint64_t warmSeed,
+           std::uint64_t position) const
+    {
+        ckpt::CheckpointKey key;
+        key.sys = spec.configs[c].sys;
+        key.wl = spec.wl;
+        key.warmupSeed = warmSeed;
+        key.position = position;
+        return key;
+    }
+
+    const CampaignSpec &spec;
+    const CampaignOptions &opt;
+    std::vector<std::uint64_t> positions;
+    std::vector<std::vector<core::Checkpoint>> cps;
+    std::vector<char> ready;
+    std::unique_ptr<ckpt::CheckpointLibrary> lib;
+    std::size_t restored = 0;
+    std::size_t warmed = 0;
+};
 
 struct Cell
 {
@@ -173,6 +267,30 @@ struct Cell
 };
 
 } // anonymous namespace
+
+WarmupResult
+warmCampaignCheckpoints(const CampaignSpec &spec,
+                        const CampaignOptions &opt)
+{
+    spec.validate();
+    if (!spec.numCheckpoints)
+        sim::fatal("this campaign plans no checkpoints; nothing to "
+                   "pre-warm (set a checkpoint count)");
+    if (opt.ckptDir.empty())
+        sim::fatal("pre-warming needs a library directory");
+
+    CheckpointWarmer warmer(spec, opt);
+    for (std::size_t c = 0; c < spec.configs.size(); ++c)
+        warmer.ensureConfig(c);
+
+    WarmupResult r;
+    r.restored = warmer.restoredCount();
+    r.warmed = warmer.warmedCount();
+    const auto st = warmer.library()->stats();
+    r.libraryEntries = st.entries;
+    r.libraryBytes = st.bytes;
+    return r;
+}
 
 CampaignOutcome
 runCampaign(const CampaignSpec &spec, const std::string &dir,
@@ -190,7 +308,7 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
         plan = planTheBudget(spec, *store, opt);
     const CampaignSpec eff = effectiveSpec(spec, plan);
 
-    const auto checkpoints = buildCheckpoints(eff, opt);
+    CheckpointWarmer warmer(eff, opt);
 
     const std::size_t groups = eff.numGroups();
     // Stable cell ids for sharding: group-major with the per-group
@@ -222,6 +340,18 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
         if (work.empty() || interrupted.load())
             break;
 
+        // Warm (or restore) only the configurations this round's
+        // owned cells actually start from, serially — the library
+        // and the warmers are not touched from worker threads.
+        if (eff.numCheckpoints) {
+            std::vector<char> needed(eff.configs.size(), 0);
+            for (const Cell &cell : work)
+                needed[eff.configOf(cell.group)] = 1;
+            for (std::size_t c = 0; c < needed.size(); ++c)
+                if (needed[c])
+                    warmer.ensureConfig(c);
+        }
+
         if (opt.verbose) {
             std::printf("campaign: scheduling %zu run(s):\n",
                         work.size());
@@ -250,7 +380,7 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                     rc.warmupTxns = 0; // the checkpoint warmed up
                     res = core::runFromCheckpoint(
                         eff.configs[cfg].sys, eff.wl,
-                        checkpoints[cfg][ck], rc);
+                        warmer.get(cfg, ck), rc);
                 } else {
                     res = core::runOnce(eff.configs[cfg].sys,
                                         eff.wl, rc);
@@ -279,10 +409,23 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
             break;
     }
 
+    if (warmer.library()) {
+        const auto st = warmer.library()->stats();
+        CkptStatsRecord rec;
+        rec.dir = opt.ckptDir;
+        rec.restored = warmer.restoredCount();
+        rec.warmed = warmer.warmedCount();
+        rec.entries = st.entries;
+        rec.bytes = st.bytes;
+        store->appendCkptStats(rec);
+    }
+
     CampaignOutcome out;
     out.runsExecuted = newRecords.load();
     out.runsRecorded = store->totalRuns();
     out.interrupted = interrupted.load();
+    out.checkpointsRestored = warmer.restoredCount();
+    out.checkpointsWarmed = warmer.warmedCount();
     out.targetRuns.resize(groups);
     out.recordedRuns.resize(groups);
     out.complete = true;
@@ -312,6 +455,14 @@ CampaignStatus::toString() const
             "budget plan: %zu runs of %llu txns per group\n",
             plan.numRuns,
             static_cast<unsigned long long>(plan.runLength));
+    if (ckpt.valid)
+        s += sim::format(
+            "checkpoint library %s: %zu entr%s, %llu byte(s); last "
+            "run restored %zu, warmed %zu\n",
+            ckpt.dir.c_str(), ckpt.entries,
+            ckpt.entries == 1 ? "y" : "ies",
+            static_cast<unsigned long long>(ckpt.bytes),
+            ckpt.restored, ckpt.warmed);
     for (std::size_t g = 0; g < runsPerGroup.size(); ++g)
         s += sim::format("  %-24s %zu run(s)\n",
                          groupNames[g].c_str(), runsPerGroup[g]);
@@ -325,6 +476,7 @@ campaignStatus(const std::string &dir)
     CampaignStatus st;
     st.header = store->header();
     st.plan = store->plan();
+    st.ckpt = store->ckptStats();
     st.totalRuns = store->totalRuns();
     const std::size_t slots =
         st.header.numCheckpoints ? st.header.numCheckpoints : 1;
@@ -363,6 +515,14 @@ campaignReport(const std::string &dir, double confidence)
     rep.text = sim::format(
         "campaign report (%zu run(s), workload %s)\n",
         store->totalRuns(), h.workload.c_str());
+    // Presence only, no counts: resumed and uninterrupted campaigns
+    // warm different amounts yet must report byte-identically.
+    if (store->ckptStats().valid)
+        rep.text += sim::format(
+            "note: warm-up checkpoints served from library %s "
+            "(restored snapshots are bit-identical to re-warmed "
+            "ones)\n",
+            store->ckptStats().dir.c_str());
 
     for (std::size_t g = 0; g < h.numGroups; ++g) {
         const auto xs = store->groupMetric(g);

@@ -53,6 +53,17 @@ struct CampaignOptions
      */
     std::size_t interruptAfter = 0;
 
+    /**
+     * Persistent checkpoint-library directory. Empty: warm-up
+     * checkpoints are rebuilt in memory per invocation (classic
+     * behavior). Set: the library is consulted before any warm-up
+     * re-simulation and misses are published for the next process;
+     * safe to share between concurrent shards. Never changes run
+     * results — a restored snapshot is bit-identical to a re-warmed
+     * one.
+     */
+    std::string ckptDir;
+
     /** Print per-round progress to stdout. */
     bool verbose = false;
 };
@@ -77,6 +88,12 @@ struct CampaignOutcome
 
     /** Recorded runs per group afterwards. */
     std::vector<std::size_t> recordedRuns;
+
+    /** Warm-up checkpoints restored from the library (hits). */
+    std::size_t checkpointsRestored = 0;
+
+    /** Warm-up checkpoints built by re-simulation this invocation. */
+    std::size_t checkpointsWarmed = 0;
 };
 
 /**
@@ -88,11 +105,37 @@ CampaignOutcome runCampaign(const CampaignSpec &spec,
                             const std::string &dir,
                             const CampaignOptions &opt = {});
 
+/**
+ * Pre-populate the checkpoint library for @p spec: warm every
+ * (configuration, position) cell the campaign would need and publish
+ * each snapshot, restoring whatever the library already holds. This
+ * is `varsim ckpt create` — run it once (or per shard; publication
+ * races are benign) and every later `campaign run` skips straight to
+ * measurement. Requires spec.numCheckpoints > 0 and a nonempty
+ * opt.ckptDir.
+ */
+struct WarmupResult
+{
+    /** Checkpoints served from the library. */
+    std::size_t restored = 0;
+
+    /** Checkpoints built by re-simulation. */
+    std::size_t warmed = 0;
+
+    /** Library entry count / byte size afterwards. */
+    std::size_t libraryEntries = 0;
+    std::uint64_t libraryBytes = 0;
+};
+
+WarmupResult warmCampaignCheckpoints(const CampaignSpec &spec,
+                                     const CampaignOptions &opt);
+
 /** Store-only progress view (no spec needed). */
 struct CampaignStatus
 {
     StoreHeader header;
     PlanRecord plan;
+    CkptStatsRecord ckpt;
     std::size_t totalRuns = 0;
     std::vector<std::size_t> runsPerGroup;
     std::vector<std::string> groupNames;

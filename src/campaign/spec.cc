@@ -1,5 +1,6 @@
 #include "campaign/spec.hh"
 
+#include "ckpt/key.hh"
 #include "sim/logging.hh"
 
 namespace varsim
@@ -10,57 +11,23 @@ namespace campaign
 namespace
 {
 
-/** FNV-1a over the bytes of a string. */
-std::uint64_t
-fnv1a(std::uint64_t h, const std::string &s)
-{
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-/** Append one "key=value;" token to the canonical spec string. */
+/**
+ * Append one "key=value;" token to the canonical spec string. The
+ * rendering (and the system-knob subset, ckpt::appendSystemFields)
+ * is shared with the checkpoint-library key so a spec fingerprint
+ * and a checkpoint digest canonicalize configurations identically.
+ */
 template <typename T>
 void
 field(std::string &out, const char *key, T value)
 {
-    out += key;
-    out += '=';
-    out += std::to_string(value);
-    out += ';';
+    ckpt::appendField(out, key, std::to_string(value));
 }
 
 void
 field(std::string &out, const char *key, const std::string &value)
 {
-    out += key;
-    out += '=';
-    out += value;
-    out += ';';
-}
-
-/** Canonical string of the knobs experiments actually vary. */
-void
-systemFields(std::string &out, const core::SystemConfig &sys)
-{
-    field(out, "nodes", sys.mem.numNodes);
-    field(out, "block", sys.mem.blockBytes);
-    field(out, "l1", sys.mem.l1Size);
-    field(out, "l1w", sys.mem.l1Assoc);
-    field(out, "l2", sys.mem.l2Size);
-    field(out, "l2w", sys.mem.l2Assoc);
-    field(out, "dram", static_cast<unsigned long long>(
-                           sys.mem.dramLatency));
-    field(out, "perturb", static_cast<unsigned long long>(
-                              sys.mem.perturbMaxNs));
-    field(out, "proto", static_cast<int>(sys.mem.protocol));
-    field(out, "prefetch", sys.mem.l2NextLinePrefetch ? 1 : 0);
-    field(out, "model", static_cast<int>(sys.cpu.model));
-    field(out, "rob", sys.cpu.robEntries);
-    field(out, "quantum",
-          static_cast<unsigned long long>(sys.os.quantum));
+    ckpt::appendField(out, key, value);
 }
 
 } // anonymous namespace
@@ -102,7 +69,7 @@ CampaignSpec::fingerprint() const
     canon.reserve(512);
     for (const ConfigVariant &cv : configs) {
         field(canon, "name", cv.name);
-        systemFields(canon, cv.sys);
+        ckpt::appendSystemFields(canon, cv.sys);
     }
     field(canon, "wl", static_cast<int>(wl.kind));
     field(canon, "wlseed",
@@ -130,7 +97,7 @@ CampaignSpec::fingerprint() const
     field(canon, "conf", sim::format("%.9g", stop.confidence));
     field(canon, "budget",
           static_cast<unsigned long long>(budgetTxns));
-    return fnv1a(1469598103934665603ull, canon);
+    return ckpt::fnv1a64(ckpt::kFnvOffsetBasis, canon);
 }
 
 void

@@ -9,13 +9,16 @@
 #include <fstream>
 #include <iterator>
 
-#include "campaign/jsonl.hh"
+#include "sim/jsonl.hh"
 #include "sim/logging.hh"
 
 namespace varsim
 {
 namespace campaign
 {
+
+using sim::JsonLine;
+using sim::JsonWriter;
 
 namespace
 {
@@ -174,6 +177,13 @@ ResultStore::replay(const std::string &path)
             plan_.valid = true;
             plan_.runLength = obj.num("run_length");
             plan_.numRuns = obj.num("num_runs");
+        } else if (type == "ckpt_stats") {
+            ckpt_.valid = true;
+            ckpt_.dir = obj.str("dir");
+            ckpt_.restored = obj.num("restored");
+            ckpt_.warmed = obj.num("warmed");
+            ckpt_.entries = obj.num("entries");
+            ckpt_.bytes = obj.num("bytes");
         } else if (type == "run") {
             RunRecord r;
             r.group = obj.num("group");
@@ -303,6 +313,23 @@ ResultStore::appendPlan(const PlanRecord &plan)
     appendLine(w.str());
     plan_ = plan;
     plan_.valid = true;
+}
+
+void
+ResultStore::appendCkptStats(const CkptStatsRecord &rec)
+{
+    JsonWriter w;
+    w.field("type", std::string("ckpt_stats"));
+    w.field("dir", rec.dir);
+    w.field("restored", static_cast<std::uint64_t>(rec.restored));
+    w.field("warmed", static_cast<std::uint64_t>(rec.warmed));
+    w.field("entries", static_cast<std::uint64_t>(rec.entries));
+    w.field("bytes", rec.bytes);
+
+    std::lock_guard<std::mutex> lock(mu);
+    appendLine(w.str());
+    ckpt_ = rec;
+    ckpt_.valid = true;
 }
 
 ResultStore::~ResultStore()

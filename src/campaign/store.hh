@@ -65,6 +65,29 @@ struct PlanRecord
     std::size_t numRuns = 0;
 };
 
+/**
+ * Checkpoint-library traffic of a campaign invocation. Appended once
+ * per invocation that used a library; on replay the latest record
+ * wins, so status always shows the most recent run's hit/miss split.
+ */
+struct CkptStatsRecord
+{
+    bool valid = false;
+
+    /** Library directory the campaign consulted. */
+    std::string dir;
+
+    /** Warm-up checkpoints restored from disk (library hits). */
+    std::size_t restored = 0;
+
+    /** Warm-up checkpoints built by re-simulation (misses). */
+    std::size_t warmed = 0;
+
+    /** Library size after the invocation. */
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+};
+
 class ResultStore
 {
   public:
@@ -117,6 +140,12 @@ class ResultStore
     /** Durably record the budget plan (once per store). */
     void appendPlan(const PlanRecord &plan);
 
+    /** Latest checkpoint-library statistics (invalid when unused). */
+    const CkptStatsRecord &ckptStats() const { return ckpt_; }
+
+    /** Durably record a checkpoint-library statistics snapshot. */
+    void appendCkptStats(const CkptStatsRecord &rec);
+
     ~ResultStore();
 
     ResultStore(const ResultStore &) = delete;
@@ -135,6 +164,7 @@ class ResultStore
     int fd = -1;
     StoreHeader header_;
     PlanRecord plan_;
+    CkptStatsRecord ckpt_;
 
     mutable std::mutex mu;
     std::map<std::pair<std::size_t, std::size_t>, RunRecord> runs;

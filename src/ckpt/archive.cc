@@ -1,0 +1,288 @@
+#include "ckpt/archive.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <type_traits>
+
+#include "ckpt/key.hh"
+#include "sim/jsonl.hh"
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace ckpt
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'V', 'S', 'I', 'M', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kSectionMeta = 1;
+constexpr std::uint32_t kSectionPayload = 2;
+constexpr std::size_t kMaxSections = 16;
+
+/** FNV-1a 64 over raw bytes. */
+std::uint64_t
+fnv1aBytes(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+template <typename T>
+void
+putLe(std::vector<std::uint8_t> &out, T v)
+{
+    static_assert(std::is_unsigned_v<T>);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+template <typename T>
+T
+getLe(const std::uint8_t *p)
+{
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(p[i]) << (8 * i);
+    return v;
+}
+
+/** The metadata section: one JSON line, parseable without aborting. */
+std::string
+metaJson(const ArchiveMeta &meta)
+{
+    sim::JsonWriter w;
+    w.field("key", meta.keyCanonical);
+    w.field("digest",
+            sim::format("%016llx", static_cast<unsigned long long>(
+                                       meta.digest)));
+    w.field("position", meta.position);
+    w.field("seed", meta.warmupSeed);
+    return w.str();
+}
+
+LoadResult
+failure(const std::string &why)
+{
+    LoadResult r;
+    r.error = why;
+    return r;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+buildArchive(const ArchiveMeta &meta,
+             const std::vector<std::uint8_t> &payload)
+{
+    const std::string mj = metaJson(meta);
+
+    std::vector<std::uint8_t> out;
+    out.reserve(24 + 24 + mj.size() + payload.size() + 8);
+    for (char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    putLe<std::uint32_t>(out, kArchiveVersion);
+    putLe<std::uint32_t>(out, 2); // section count
+    putLe<std::uint32_t>(out, kSectionMeta);
+    putLe<std::uint64_t>(out, mj.size());
+    putLe<std::uint32_t>(out, kSectionPayload);
+    putLe<std::uint64_t>(out, payload.size());
+    out.insert(out.end(), mj.begin(), mj.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+    putLe<std::uint64_t>(out, fnv1aBytes(out.data(), out.size()));
+    return out;
+}
+
+LoadResult
+parseArchive(const std::vector<std::uint8_t> &bytes)
+{
+    // Fixed header: magic + version + section count.
+    if (bytes.size() < 16 + 8)
+        return failure(sim::format("file too small (%zu bytes)",
+                                   bytes.size()));
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        return failure("bad magic (not a varsim checkpoint archive)");
+    const auto version = getLe<std::uint32_t>(bytes.data() + 8);
+    if (version != kArchiveVersion)
+        return failure(sim::format(
+            "unsupported format version %u (this build reads %u)",
+            version, kArchiveVersion));
+    const auto sections = getLe<std::uint32_t>(bytes.data() + 12);
+    if (sections == 0 || sections > kMaxSections)
+        return failure(sim::format("implausible section count %u",
+                                   sections));
+
+    // Section table must fit, and the declared lengths must exactly
+    // tile the bytes between the table and the trailing checksum.
+    const std::size_t tableEnd =
+        16 + static_cast<std::size_t>(sections) * 12;
+    if (tableEnd + 8 > bytes.size())
+        return failure("truncated inside the section table");
+    std::size_t bodyRemaining = bytes.size() - tableEnd - 8;
+
+    struct Section
+    {
+        std::uint32_t id;
+        std::size_t offset;
+        std::size_t length;
+    };
+    std::vector<Section> table;
+    std::size_t offset = tableEnd;
+    for (std::uint32_t s = 0; s < sections; ++s) {
+        const std::uint8_t *ent = bytes.data() + 16 + s * 12;
+        const auto id = getLe<std::uint32_t>(ent);
+        const auto len = getLe<std::uint64_t>(ent + 4);
+        if (len > bodyRemaining)
+            return failure(sim::format(
+                "section %u declares %llu bytes but only %zu remain",
+                id, static_cast<unsigned long long>(len),
+                bodyRemaining));
+        table.push_back({id, offset, static_cast<std::size_t>(len)});
+        offset += static_cast<std::size_t>(len);
+        bodyRemaining -= static_cast<std::size_t>(len);
+    }
+    if (bodyRemaining != 0)
+        return failure(sim::format(
+            "%zu byte(s) not covered by any section", bodyRemaining));
+
+    // Whole-archive checksum: catches any bit flip or truncation the
+    // structural checks above happened to leave consistent.
+    const std::uint64_t want =
+        getLe<std::uint64_t>(bytes.data() + bytes.size() - 8);
+    const std::uint64_t got =
+        fnv1aBytes(bytes.data(), bytes.size() - 8);
+    if (want != got)
+        return failure(sim::format(
+            "checksum mismatch (stored %016llx, computed %016llx)",
+            static_cast<unsigned long long>(want),
+            static_cast<unsigned long long>(got)));
+
+    const Section *metaSec = nullptr;
+    const Section *paySec = nullptr;
+    for (const Section &s : table) {
+        if (s.id == kSectionMeta)
+            metaSec = metaSec ? metaSec : &s;
+        else if (s.id == kSectionPayload)
+            paySec = paySec ? paySec : &s;
+    }
+    if (!metaSec || !paySec)
+        return failure("missing metadata or payload section");
+
+    sim::JsonLine obj;
+    if (!obj.parse(std::string(
+            reinterpret_cast<const char *>(bytes.data()) +
+                metaSec->offset,
+            metaSec->length)))
+        return failure("metadata section is not a JSON object");
+
+    LoadResult r;
+    r.meta.keyCanonical = obj.str("key");
+    r.meta.digest =
+        std::strtoull(obj.str("digest").c_str(), nullptr, 16);
+    r.meta.position = obj.num("position");
+    r.meta.warmupSeed = obj.num("seed");
+    if (r.meta.digest !=
+        fnv1a64(kFnvOffsetBasis, r.meta.keyCanonical))
+        return failure("metadata digest does not match its key");
+
+    r.payload.assign(bytes.begin() + paySec->offset,
+                     bytes.begin() + paySec->offset + paySec->length);
+    r.ok = true;
+    return r;
+}
+
+LoadResult
+loadArchiveFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return failure(sim::format("cannot read %s", path.c_str()));
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    LoadResult r = parseArchive(bytes);
+    if (!r.ok)
+        r.error = path + ": " + r.error;
+    return r;
+}
+
+bool
+writeFileAtomic(const std::string &dir, const std::string &name,
+                const std::vector<std::uint8_t> &bytes,
+                std::string *error)
+{
+    // Unique per process and per call: concurrent shards writing the
+    // same object never collide on the temporary, and rename(2) makes
+    // whichever finishes last win with identical bytes.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp = sim::format(
+        "%s/%s.tmp.%d.%llu", dir.c_str(), name.c_str(),
+        static_cast<int>(::getpid()),
+        static_cast<unsigned long long>(counter.fetch_add(1)));
+    const std::string final = dir + "/" + name;
+
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = sim::format("cannot create %s: %s", tmp.c_str(),
+                                 std::strerror(errno));
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = sim::format("write to %s failed: %s",
+                                     tmp.c_str(),
+                                     std::strerror(errno));
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        if (error)
+            *error = sim::format("fsync of %s failed: %s",
+                                 tmp.c_str(), std::strerror(errno));
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), final.c_str()) != 0) {
+        if (error)
+            *error = sim::format("rename %s -> %s failed: %s",
+                                 tmp.c_str(), final.c_str(),
+                                 std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd); // best effort, as the campaign store does
+        ::close(dfd);
+    }
+    return true;
+}
+
+} // namespace ckpt
+} // namespace varsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The on-disk checkpoint archive format.
+ *
+ * Layout (all integers little-endian, fixed width):
+ *
+ *     offset  size  field
+ *     0       8     magic "VSIMCKPT"
+ *     8       4     format version (currently 1)
+ *     12      4     section count S
+ *     16      12*S  section table: {u32 id, u64 length} per section
+ *     ...           section payloads, in table order
+ *     end-8   8     FNV-1a 64 checksum over every preceding byte
+ *
+ * Section 1 is the metadata (a sim::CheckpointOut archive holding the
+ * key's canonical string, digest, position, and warm-up seed);
+ * section 2 is the raw core::Checkpoint payload. The section table's
+ * lengths must exactly tile the file and the trailing checksum must
+ * match, so a truncated or bit-flipped file is rejected with a
+ * description instead of being misdeserialized. Parsing never
+ * aborts the process: verify/gc want to report damage, not die on it.
+ *
+ * Archives are fully deterministic — no timestamps or host identity —
+ * so the same key and payload always produce the same bytes, which is
+ * what lets concurrent shard processes publish the same object
+ * without coordination.
+ */
+
+#ifndef VARSIM_CKPT_ARCHIVE_HH
+#define VARSIM_CKPT_ARCHIVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace varsim
+{
+namespace ckpt
+{
+
+constexpr std::uint32_t kArchiveVersion = 1;
+
+/** Metadata stored alongside the snapshot payload. */
+struct ArchiveMeta
+{
+    /** The checkpoint key's canonical "k=v;" string. */
+    std::string keyCanonical;
+
+    /** FNV-1a digest of keyCanonical (the content address). */
+    std::uint64_t digest = 0;
+
+    /** Transaction position of the snapshot. */
+    std::uint64_t position = 0;
+
+    /** Perturbation seed of the warming run. */
+    std::uint64_t warmupSeed = 0;
+};
+
+/** Serialize metadata + checkpoint payload into archive bytes. */
+std::vector<std::uint8_t>
+buildArchive(const ArchiveMeta &meta,
+             const std::vector<std::uint8_t> &payload);
+
+/** Outcome of parsing an archive; never aborts on damage. */
+struct LoadResult
+{
+    bool ok = false;
+
+    /** Human-readable reason when !ok. */
+    std::string error;
+
+    ArchiveMeta meta;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Validate and unpack archive bytes. */
+LoadResult parseArchive(const std::vector<std::uint8_t> &bytes);
+
+/** Read @p path and parse it; I/O errors land in LoadResult. */
+LoadResult loadArchiveFile(const std::string &path);
+
+/**
+ * Durably write @p bytes as @p dir/@p name: write to a unique
+ * temporary in the same directory, fsync, rename(2) over the final
+ * name, fsync the directory. Readers see either nothing or the whole
+ * file; a killed writer leaves only a ".tmp." file that gc sweeps.
+ * Returns false (with @p error set) on failure.
+ */
+bool writeFileAtomic(const std::string &dir, const std::string &name,
+                     const std::vector<std::uint8_t> &bytes,
+                     std::string *error);
+
+} // namespace ckpt
+} // namespace varsim
+
+#endif // VARSIM_CKPT_ARCHIVE_HH

@@ -1,0 +1,93 @@
+#include "ckpt/key.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace ckpt
+{
+
+std::uint64_t
+fnv1a64(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+appendField(std::string &out, const char *key,
+            const std::string &value)
+{
+    out += key;
+    out += '=';
+    out += value;
+    out += ';';
+}
+
+namespace
+{
+
+template <typename T>
+void
+field(std::string &out, const char *key, T value)
+{
+    appendField(out, key, std::to_string(value));
+}
+
+} // anonymous namespace
+
+void
+appendSystemFields(std::string &out, const core::SystemConfig &sys)
+{
+    field(out, "nodes", sys.mem.numNodes);
+    field(out, "block", sys.mem.blockBytes);
+    field(out, "l1", sys.mem.l1Size);
+    field(out, "l1w", sys.mem.l1Assoc);
+    field(out, "l2", sys.mem.l2Size);
+    field(out, "l2w", sys.mem.l2Assoc);
+    field(out, "dram", static_cast<unsigned long long>(
+                           sys.mem.dramLatency));
+    field(out, "perturb", static_cast<unsigned long long>(
+                              sys.mem.perturbMaxNs));
+    field(out, "proto", static_cast<int>(sys.mem.protocol));
+    field(out, "prefetch", sys.mem.l2NextLinePrefetch ? 1 : 0);
+    field(out, "model", static_cast<int>(sys.cpu.model));
+    field(out, "rob", sys.cpu.robEntries);
+    field(out, "quantum",
+          static_cast<unsigned long long>(sys.os.quantum));
+}
+
+std::string
+CheckpointKey::canonical() const
+{
+    std::string out;
+    out.reserve(256);
+    appendSystemFields(out, sys);
+    field(out, "wl", static_cast<int>(wl.kind));
+    field(out, "wlseed", static_cast<unsigned long long>(wl.seed));
+    field(out, "tpc", wl.threadsPerCpu);
+    appendField(out, "scale", sim::format("%.17g", wl.scale));
+    field(out, "warmseed",
+          static_cast<unsigned long long>(warmupSeed));
+    field(out, "pos", static_cast<unsigned long long>(position));
+    return out;
+}
+
+std::uint64_t
+CheckpointKey::digest() const
+{
+    return fnv1a64(kFnvOffsetBasis, canonical());
+}
+
+std::string
+CheckpointKey::digestHex() const
+{
+    return sim::format("%016llx",
+                       static_cast<unsigned long long>(digest()));
+}
+
+} // namespace ckpt
+} // namespace varsim

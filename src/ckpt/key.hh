@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Identity of a warm-up checkpoint in the persistent library.
+ *
+ * A stored snapshot is only reusable when *everything* that shaped
+ * the warmer's trajectory matches: the system configuration, the
+ * workload (kind, op-stream seed, threads, scale), the perturbation
+ * seed the warmer ran under, and the transaction position at which
+ * the snapshot was taken. The key canonicalizes those knobs into a
+ * "k=v;" string and content-addresses it with FNV-1a, the same hash
+ * family the campaign spec fingerprint uses.
+ */
+
+#ifndef VARSIM_CKPT_KEY_HH
+#define VARSIM_CKPT_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "workload/workload.hh"
+
+namespace varsim
+{
+namespace ckpt
+{
+
+/** FNV-1a offset basis (64-bit). */
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+/** Continue an FNV-1a 64-bit hash over the bytes of @p s. */
+std::uint64_t fnv1a64(std::uint64_t h, const std::string &s);
+
+/** Append one "key=value;" token to a canonical string. */
+void appendField(std::string &out, const char *key,
+                 const std::string &value);
+
+/**
+ * Canonical "k=v;" rendering of the system knobs experiments vary.
+ * Shared with CampaignSpec::fingerprint(): the output format is part
+ * of every existing store's identity and must never change shape.
+ */
+void appendSystemFields(std::string &out,
+                        const core::SystemConfig &sys);
+
+/** Everything that determines a warm-up checkpoint's bytes. */
+struct CheckpointKey
+{
+    core::SystemConfig sys;
+    workload::WorkloadParams wl;
+
+    /** Perturbation seed the warming simulation ran under. */
+    std::uint64_t warmupSeed = 0;
+
+    /** Transaction count at which the snapshot was taken. */
+    std::uint64_t position = 0;
+
+    /** The full "k=v;" identity string. */
+    std::string canonical() const;
+
+    /** FNV-1a digest of canonical(). */
+    std::uint64_t digest() const;
+
+    /** digest() as 16 lowercase hex digits (the object file name). */
+    std::string digestHex() const;
+};
+
+} // namespace ckpt
+} // namespace varsim
+
+#endif // VARSIM_CKPT_KEY_HH

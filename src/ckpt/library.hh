@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Content-addressed persistent library of warm-up checkpoints.
+ *
+ * Layout of a library directory:
+ *
+ *     <dir>/objects/<digest>.vckpt   one archive per checkpoint
+ *     <dir>/index.jsonl              append-only entry manifest
+ *
+ * The object file name is the key digest, so a fetch never needs the
+ * index: it stats the object directly, which is what makes the
+ * library safe to share between concurrent `--shard i/N` processes
+ * without locks. Publication is atomic (temp + rename, see
+ * writeFileAtomic); two shards warming the same configuration race
+ * benignly because identical keys produce byte-identical archives.
+ * The index exists for enumeration (ls, gc, stats); a crash between
+ * rename and index append leaves a valid but unindexed object that
+ * verify() re-indexes.
+ *
+ * The paper's methodology (Section 3.2.2) restores one Simics
+ * checkpoint many times with different perturbation seeds; this
+ * library is that facility made durable: `campaign run` consults it
+ * before re-simulating any warm-up, so the grid's warming cost is
+ * paid once per (config, position), not once per process invocation.
+ */
+
+#ifndef VARSIM_CKPT_LIBRARY_HH
+#define VARSIM_CKPT_LIBRARY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/key.hh"
+#include "core/simulation.hh"
+
+namespace varsim
+{
+namespace ckpt
+{
+
+/** One indexed checkpoint, as `ls` shows it. */
+struct LibraryEntry
+{
+    std::string digestHex;
+    std::uint64_t position = 0;
+    std::uint64_t warmupSeed = 0;
+    std::uint64_t bytes = 0;
+
+    /** The key's canonical string (what the digest hashes). */
+    std::string key;
+};
+
+/** Aggregate counters: persistent size plus this-session traffic. */
+struct LibraryStats
+{
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+
+    /** fetch() calls served from disk this session. */
+    std::size_t hits = 0;
+
+    /** fetch() calls that found nothing usable this session. */
+    std::size_t misses = 0;
+
+    /** publish() calls that wrote a new object this session. */
+    std::size_t published = 0;
+};
+
+/** What verify() found (and repaired). */
+struct VerifyReport
+{
+    std::size_t checked = 0;
+    std::size_t ok = 0;
+    std::size_t corrupt = 0;
+
+    /** Valid objects that were missing from the index (repaired). */
+    std::size_t reindexed = 0;
+
+    /** Index entries whose object file has disappeared. */
+    std::size_t missing = 0;
+
+    std::vector<std::string> problems;
+
+    /** True when every object is intact and indexed. */
+    bool clean() const { return corrupt == 0 && missing == 0; }
+
+    std::string toString() const;
+};
+
+/** What gc() removed. */
+struct GcReport
+{
+    std::size_t removedTmp = 0;
+    std::size_t removedCorrupt = 0;
+    std::size_t evicted = 0;
+    std::uint64_t bytesFreed = 0;
+    std::uint64_t bytesKept = 0;
+
+    std::string toString() const;
+};
+
+class CheckpointLibrary
+{
+  public:
+    /** Open @p dir, creating the layout on first use. */
+    static std::unique_ptr<CheckpointLibrary>
+    open(const std::string &dir);
+
+    const std::string &directory() const { return dir_; }
+
+    /**
+     * Look up @p key; on a hit, fill @p cp with the stored snapshot
+     * and return true. A corrupt or mismatched object is a miss
+     * (with a warning), never an abort: the caller re-warms.
+     */
+    bool fetch(const CheckpointKey &key, core::Checkpoint &cp);
+
+    /**
+     * Store @p cp under @p key. Returns true when a new object was
+     * written, false when the object already existed (another shard
+     * won the race, or a re-run republished).
+     */
+    bool publish(const CheckpointKey &key, const core::Checkpoint &cp);
+
+    /** Indexed entries in publication order. */
+    std::vector<LibraryEntry> entries() const;
+
+    LibraryStats stats() const;
+
+    /**
+     * Re-parse every object on disk: counts intact and corrupt
+     * archives, repairs index entries for unindexed valid objects,
+     * reports index entries whose object vanished.
+     */
+    VerifyReport verify();
+
+    /**
+     * Sweep temporary debris from killed writers and corrupt
+     * objects; when @p maxBytes is nonzero, evict oldest-published
+     * entries until the library fits. Rewrites a compacted index.
+     */
+    GcReport gc(std::uint64_t maxBytes = 0);
+
+    ~CheckpointLibrary();
+
+    CheckpointLibrary(const CheckpointLibrary &) = delete;
+    CheckpointLibrary &operator=(const CheckpointLibrary &) = delete;
+
+  private:
+    CheckpointLibrary() = default;
+
+    std::string objectsDir() const { return dir_ + "/objects"; }
+    std::string indexPath() const { return dir_ + "/index.jsonl"; }
+    std::string objectPath(const std::string &digestHex) const;
+
+    /** Load index.jsonl into the entry list (dedup on digest). */
+    void replayIndex();
+
+    /** Append one entry line to the index (requires mu held). */
+    void appendIndexLine(const LibraryEntry &e);
+
+    /** Record @p e in memory unless already present (mu held). */
+    bool remember(const LibraryEntry &e);
+
+    /** Atomically rewrite the whole index from entries_ (mu held). */
+    void rewriteIndex();
+
+    std::string dir_;
+    int indexFd = -1;
+
+    mutable std::mutex mu;
+    std::vector<LibraryEntry> entries_;
+    std::map<std::string, std::size_t> byDigest;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t published = 0;
+};
+
+} // namespace ckpt
+} // namespace varsim
+
+#endif // VARSIM_CKPT_LIBRARY_HH

@@ -99,6 +99,11 @@ BaseCpu::serialize(sim::CheckpointOut &cp) const
 {
     cp.put(stats_);
     cp.put(nextTag);
+    // A drain can begin with a quantum preemption already pending;
+    // the CPU parks at its op boundary without consuming the flag.
+    // Dropping it across a restore would skip that context switch
+    // and fork the schedule from the original's.
+    cp.put(preemptPending);
 }
 
 void
@@ -106,6 +111,7 @@ BaseCpu::unserialize(sim::CheckpointIn &cp)
 {
     cp.get(stats_);
     cp.get(nextTag);
+    cp.get(preemptPending);
 }
 
 } // namespace cpu

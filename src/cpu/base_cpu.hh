@@ -164,13 +164,18 @@ class BaseCpu : public sim::SimObject, public mem::MemClient
     /**
      * Re-attach a thread without dispatch accounting or a kick; used
      * when restoring a checkpoint. Follow with resumeFromDrain().
+     *
+     * Deliberately does NOT reset the pipeline: the CPU's own
+     * unserialize() already did, and then reinstated serialized
+     * residue (e.g. the OoO model's partial-issue carry) that a
+     * second reset here would destroy, forking the restored timing
+     * from the original's.
      */
     void
     attachThread(ThreadContext *tc)
     {
         tc_ = tc;
         idle_ = tc == nullptr;
-        resetPipeline();
     }
 
     /** The attached thread (may be non-null while idle is false). */

@@ -1,4 +1,4 @@
-#include "campaign/jsonl.hh"
+#include "sim/jsonl.hh"
 
 #include <cctype>
 #include <cstdio>
@@ -6,7 +6,7 @@
 
 namespace varsim
 {
-namespace campaign
+namespace sim
 {
 
 namespace
@@ -268,5 +268,5 @@ JsonWriter::field(const std::string &key,
     return *this;
 }
 
-} // namespace campaign
+} // namespace sim
 } // namespace varsim

@@ -1,17 +1,18 @@
 /**
  * @file
- * Minimal flat-JSON line codec for the campaign result store.
+ * Minimal flat-JSON line codec shared by the durable manifests in
+ * this tree (campaign result store, checkpoint library index).
  *
- * The manifest is JSON Lines: one object per line, values limited to
- * numbers, strings, and arrays of strings — exactly what the store
- * writes. This is deliberately not a general JSON parser; it accepts
- * the store's own output (and reasonable hand edits) and reports
- * anything else as malformed so the replay logic can stop at a torn
+ * A manifest is JSON Lines: one object per line, values limited to
+ * numbers, strings, and arrays of strings — exactly what the writers
+ * emit. This is deliberately not a general JSON parser; it accepts
+ * the writers' own output (and reasonable hand edits) and reports
+ * anything else as malformed so replay logic can stop at a torn
  * tail instead of guessing.
  */
 
-#ifndef VARSIM_CAMPAIGN_JSONL_HH
-#define VARSIM_CAMPAIGN_JSONL_HH
+#ifndef VARSIM_SIM_JSONL_HH
+#define VARSIM_SIM_JSONL_HH
 
 #include <cstdint>
 #include <map>
@@ -20,7 +21,7 @@
 
 namespace varsim
 {
-namespace campaign
+namespace sim
 {
 
 /** Escape a string for embedding in a JSON value. */
@@ -78,7 +79,7 @@ class JsonWriter
     std::string body = "{";
 };
 
-} // namespace campaign
+} // namespace sim
 } // namespace varsim
 
-#endif // VARSIM_CAMPAIGN_JSONL_HH
+#endif // VARSIM_SIM_JSONL_HH

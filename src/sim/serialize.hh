@@ -147,9 +147,21 @@ class CheckpointIn
         checkTag(0xfe);
         std::uint64_t n = 0;
         get(n);
-        need(n * sizeof(T));
+        // Divide rather than multiply: a corrupted length prefix must
+        // not overflow n * sizeof(T) into a small in-bounds value.
+        if (n > (buffer.size() - pos) / sizeof(T)) {
+            panic("checkpoint underrun: need %llu elements of %zu "
+                  "bytes at offset %zu, have %zu bytes total",
+                  static_cast<unsigned long long>(n), sizeof(T), pos,
+                  buffer.size());
+        }
         values.resize(n);
-        std::memcpy(values.data(), buffer.data() + pos, n * sizeof(T));
+        // n == 0 leaves values.data() null; memcpy's arguments are
+        // declared nonnull even for zero lengths.
+        if (n > 0) {
+            std::memcpy(values.data(), buffer.data() + pos,
+                        n * sizeof(T));
+        }
         pos += n * sizeof(T);
     }
 
@@ -180,11 +192,15 @@ class CheckpointIn
     }
 
     void
-    need(std::size_t n)
+    need(std::uint64_t n)
     {
-        if (pos + n > buffer.size()) {
-            panic("checkpoint underrun: need %zu bytes at offset %zu, "
-                  "have %zu total", n, pos, buffer.size());
+        // pos <= buffer.size() always; compare against the remainder
+        // so a huge corrupted n cannot wrap pos + n around zero.
+        if (n > buffer.size() - pos) {
+            panic("checkpoint underrun: need %llu bytes at offset "
+                  "%zu, have %zu total",
+                  static_cast<unsigned long long>(n), pos,
+                  buffer.size());
         }
     }
 

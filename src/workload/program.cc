@@ -1,5 +1,7 @@
 #include "workload/program.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace varsim
@@ -55,7 +57,17 @@ SyntheticProgram::serialize(sim::CheckpointOut &cp) const
 {
     rng.serialize(cp);
     cp.put(txnIndex_);
-    cp.put(buf);
+    // Field-wise, not a raw vector dump: Op has interior padding,
+    // and snapshot bytes must be a pure function of simulated state
+    // (the persistent library content-addresses them; two shards
+    // warming the same key must publish byte-identical archives).
+    cp.put<std::uint64_t>(buf.size());
+    for (const cpu::Op &op : buf) {
+        cp.put(op.kind);
+        cp.put(op.count);
+        cp.put(op.addr);
+        cp.put(op.id);
+    }
     cp.put<std::uint64_t>(pos);
 }
 
@@ -64,7 +76,21 @@ SyntheticProgram::unserialize(sim::CheckpointIn &cp)
 {
     rng.unserialize(cp);
     cp.get(txnIndex_);
-    cp.get(buf);
+    std::uint64_t n = 0;
+    cp.get(n);
+    buf.clear();
+    // Clamp the reservation: a corrupt length must hit the reader's
+    // underrun check, not a giant allocation.
+    buf.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, 4096)));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        cpu::Op op;
+        cp.get(op.kind);
+        cp.get(op.count);
+        cp.get(op.addr);
+        cp.get(op.id);
+        buf.push_back(op);
+    }
     std::uint64_t p = 0;
     cp.get(p);
     pos = static_cast<std::size_t>(p);

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Checkpoint-library tests: content-addressed publish/fetch, reopen
+ * persistence, crash-safety (a killed writer leaves only swept-away
+ * temporaries, never a corrupt published object), index self-repair,
+ * and gc eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/archive.hh"
+#include "ckpt/library.hh"
+#include "core/varsim.hh"
+
+namespace
+{
+
+using namespace varsim;
+
+std::string
+freshDir(const std::string &name)
+{
+    const auto p = std::filesystem::temp_directory_path() /
+                   ("varsim_test_ckptlib_" + name + ".ckpt");
+    std::filesystem::remove_all(p);
+    return p.string();
+}
+
+/**
+ * A key whose identity knobs are easy to vary. The library never
+ * inspects payload bytes beyond storing them, so tests use small
+ * synthetic snapshots instead of multi-megabyte real ones.
+ */
+ckpt::CheckpointKey
+makeKey(std::uint64_t position = 15, std::uint64_t seed = 7,
+        std::uint32_t l2AssocShift = 0)
+{
+    ckpt::CheckpointKey key;
+    key.sys = core::SystemConfig::testDefault();
+    key.sys.mem.l2Assoc <<= l2AssocShift;
+    key.wl.kind = workload::WorkloadKind::Oltp;
+    key.wl.threadsPerCpu = 2;
+    key.warmupSeed = seed;
+    key.position = position;
+    return key;
+}
+
+core::Checkpoint
+makeSnapshot(std::uint8_t tag = 0xa5)
+{
+    core::Checkpoint cp;
+    for (int i = 0; i < 48; ++i)
+        cp.bytes.push_back(static_cast<std::uint8_t>(tag ^ i));
+    return cp;
+}
+
+std::string
+soleObjectPath(const std::string &dir)
+{
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir + "/objects"))
+        return e.path().string();
+    ADD_FAILURE() << "no object file in " << dir;
+    return "";
+}
+
+TEST(CkptLibrary, PublishThenFetchRoundTrips)
+{
+    const std::string dir = freshDir("roundtrip");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+
+    const auto key = makeKey();
+    const auto cp = makeSnapshot();
+    EXPECT_TRUE(lib->publish(key, cp));
+
+    core::Checkpoint got;
+    ASSERT_TRUE(lib->fetch(key, got));
+    EXPECT_EQ(got.bytes, cp.bytes);
+
+    const auto st = lib->stats();
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_EQ(st.published, 1u);
+    EXPECT_EQ(st.hits, 1u);
+    EXPECT_EQ(st.misses, 0u);
+    EXPECT_GT(st.bytes, cp.bytes.size());
+}
+
+TEST(CkptLibrary, AnyKeyDeltaIsAMiss)
+{
+    const std::string dir = freshDir("keydelta");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(), makeSnapshot());
+
+    core::Checkpoint got;
+    EXPECT_FALSE(lib->fetch(makeKey(16, 7, 0), got)); // position
+    EXPECT_FALSE(lib->fetch(makeKey(15, 8, 0), got)); // warm seed
+    EXPECT_FALSE(lib->fetch(makeKey(15, 7, 1), got)); // system knob
+    EXPECT_EQ(lib->stats().misses, 3u);
+}
+
+TEST(CkptLibrary, ReopenSeesPublishedEntries)
+{
+    const std::string dir = freshDir("reopen");
+    {
+        auto lib = ckpt::CheckpointLibrary::open(dir);
+        lib->publish(makeKey(10), makeSnapshot(0x10));
+        lib->publish(makeKey(20), makeSnapshot(0x20));
+    }
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    const auto entries = lib->entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].position, 10u);
+    EXPECT_EQ(entries[1].position, 20u);
+
+    core::Checkpoint got;
+    ASSERT_TRUE(lib->fetch(makeKey(20), got));
+    EXPECT_EQ(got.bytes, makeSnapshot(0x20).bytes);
+}
+
+TEST(CkptLibrary, RepublishAndCrossProcessRaceReturnFalse)
+{
+    const std::string dir = freshDir("race");
+    auto a = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_TRUE(a->publish(makeKey(), makeSnapshot()));
+    EXPECT_FALSE(a->publish(makeKey(), makeSnapshot()));
+
+    // A second handle on the same directory — another shard — loses
+    // the race benignly: the object already exists.
+    auto b = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_FALSE(b->publish(makeKey(), makeSnapshot()));
+    EXPECT_EQ(b->stats().entries, 1u);
+}
+
+TEST(CkptLibrary, FetchNeedsNoIndexAndVerifyRebuildsIt)
+{
+    const std::string dir = freshDir("noindex");
+    {
+        auto lib = ckpt::CheckpointLibrary::open(dir);
+        lib->publish(makeKey(), makeSnapshot());
+    }
+    // Losing the index (crash between rename and append, or a
+    // deleted file) must not lose the object.
+    std::filesystem::remove(dir + "/index.jsonl");
+
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_TRUE(lib->entries().empty());
+
+    core::Checkpoint got;
+    EXPECT_TRUE(lib->fetch(makeKey(), got));
+
+    const auto rep = lib->verify();
+    EXPECT_TRUE(rep.clean()) << rep.toString();
+    EXPECT_EQ(rep.reindexed, 1u);
+    EXPECT_EQ(lib->entries().size(), 1u);
+}
+
+TEST(CkptLibrary, CorruptObjectIsAMissNeverAnAbort)
+{
+    const std::string dir = freshDir("corrupt");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(), makeSnapshot());
+
+    // Flip one payload byte on disk.
+    const std::string obj = soleObjectPath(dir);
+    {
+        std::fstream f(obj, std::ios::in | std::ios::out |
+                                std::ios::binary);
+        f.seekp(40);
+        f.put('\x77');
+    }
+
+    core::Checkpoint got;
+    EXPECT_FALSE(lib->fetch(makeKey(), got));
+
+    auto rep = lib->verify();
+    EXPECT_FALSE(rep.clean());
+    EXPECT_EQ(rep.corrupt, 1u);
+
+    // gc sweeps the corrupt object; afterwards the library is clean
+    // (and empty) again.
+    const auto gc = lib->gc();
+    EXPECT_EQ(gc.removedCorrupt, 1u);
+    EXPECT_FALSE(std::filesystem::exists(obj));
+    EXPECT_TRUE(lib->verify().clean());
+    EXPECT_TRUE(lib->entries().empty());
+}
+
+TEST(CkptLibrary, TruncatedObjectIsAMiss)
+{
+    const std::string dir = freshDir("truncobj");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(), makeSnapshot());
+
+    const std::string obj = soleObjectPath(dir);
+    const auto size = std::filesystem::file_size(obj);
+    std::filesystem::resize_file(obj, size / 2);
+
+    core::Checkpoint got;
+    EXPECT_FALSE(lib->fetch(makeKey(), got));
+    EXPECT_EQ(lib->verify().corrupt, 1u);
+}
+
+TEST(CkptLibrary, KilledWriterLeavesOnlySweptTemporaries)
+{
+    const std::string dir = freshDir("killed");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(), makeSnapshot());
+
+    // A writer killed before rename(2) leaves a ".tmp." file and
+    // nothing else — published objects are never half-written.
+    const std::string debris =
+        dir + "/objects/deadbeef.vckpt.tmp.1234.0";
+    std::ofstream(debris, std::ios::binary) << "partial";
+    ASSERT_TRUE(std::filesystem::exists(debris));
+
+    // The debris is invisible to fetch and verify...
+    core::Checkpoint got;
+    EXPECT_TRUE(lib->fetch(makeKey(), got));
+    EXPECT_TRUE(lib->verify().clean());
+
+    // ...and gc sweeps it.
+    const auto gc = lib->gc();
+    EXPECT_EQ(gc.removedTmp, 1u);
+    EXPECT_FALSE(std::filesystem::exists(debris));
+    EXPECT_TRUE(lib->fetch(makeKey(), got));
+}
+
+TEST(CkptLibrary, VerifyReportsVanishedObjects)
+{
+    const std::string dir = freshDir("vanished");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(), makeSnapshot());
+    std::filesystem::remove(soleObjectPath(dir));
+
+    const auto rep = lib->verify();
+    EXPECT_FALSE(rep.clean());
+    EXPECT_EQ(rep.missing, 1u);
+}
+
+TEST(CkptLibrary, GcEvictsOldestBeyondTheByteBudget)
+{
+    const std::string dir = freshDir("evict");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(10), makeSnapshot(0x10));
+    lib->publish(makeKey(20), makeSnapshot(0x20));
+    lib->publish(makeKey(30), makeSnapshot(0x30));
+
+    const auto entries = lib->entries();
+    ASSERT_EQ(entries.size(), 3u);
+    const std::uint64_t keepTwo =
+        entries[1].bytes + entries[2].bytes;
+
+    const auto gc = lib->gc(keepTwo);
+    EXPECT_EQ(gc.evicted, 1u);
+    EXPECT_LE(gc.bytesKept, keepTwo);
+
+    // Oldest-published gone, newer two still served.
+    core::Checkpoint got;
+    EXPECT_FALSE(lib->fetch(makeKey(10), got));
+    EXPECT_TRUE(lib->fetch(makeKey(20), got));
+    EXPECT_TRUE(lib->fetch(makeKey(30), got));
+
+    // The compacted index survives a reopen.
+    auto again = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_EQ(again->entries().size(), 2u);
+}
+
+TEST(CkptLibrary, TornIndexTailIsIgnoredButObjectStillServes)
+{
+    const std::string dir = freshDir("tornindex");
+    {
+        auto lib = ckpt::CheckpointLibrary::open(dir);
+        lib->publish(makeKey(), makeSnapshot());
+    }
+    // Simulate a crash mid-append: an unterminated half line.
+    {
+        std::ofstream f(dir + "/index.jsonl",
+                        std::ios::binary | std::ios::app);
+        f << "{\"digest\":\"0000";
+    }
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_EQ(lib->entries().size(), 1u);
+    core::Checkpoint got;
+    EXPECT_TRUE(lib->fetch(makeKey(), got));
+}
+
+} // namespace

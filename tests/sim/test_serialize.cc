@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "sim/serialize.hh"
 
 namespace varsim
@@ -95,6 +97,76 @@ TEST(Checkpoint, UnderrunDies)
     std::uint8_t v = 0;
     in.get(v);
     EXPECT_DEATH(in.get(v), "underrun");
+}
+
+TEST(Checkpoint, HugeStringLengthPrefixDies)
+{
+    // A corrupted length prefix near UINT64_MAX must fail the bounds
+    // check, not wrap the cursor around zero and read out of bounds.
+    CheckpointOut out;
+    out.put(std::string("abc"));
+    auto bytes = out.bytes();
+    // Layout: 0xff tag, u64 tag (8), u64 length, payload. Smash the
+    // length to an enormous value.
+    for (std::size_t i = 2; i < 10; ++i)
+        bytes[i] = 0xff;
+    CheckpointIn in(std::move(bytes));
+    std::string s;
+    EXPECT_DEATH(in.get(s), "underrun");
+}
+
+TEST(Checkpoint, HugeVectorLengthPrefixDies)
+{
+    // Same attack on the vector path: n * sizeof(T) must not overflow
+    // into a small in-bounds byte count.
+    CheckpointOut out;
+    out.put(std::vector<std::uint64_t>{1, 2, 3});
+    auto bytes = out.bytes();
+    for (std::size_t i = 2; i < 10; ++i)
+        bytes[i] = 0xff;
+    CheckpointIn in(std::move(bytes));
+    std::vector<std::uint64_t> v;
+    EXPECT_DEATH(in.get(v), "underrun");
+}
+
+TEST(Checkpoint, VectorLengthOverflowMultipleDies)
+{
+    // n chosen so n * sizeof(u64) wraps to a tiny value in 64 bits:
+    // 0x2000000000000001 * 8 == 8 (mod 2^64).
+    CheckpointOut out;
+    out.put(std::vector<std::uint64_t>{7});
+    auto bytes = out.bytes();
+    const std::uint64_t evil = 0x2000000000000001ull;
+    std::memcpy(bytes.data() + 2, &evil, sizeof(evil));
+    CheckpointIn in(std::move(bytes));
+    std::vector<std::uint64_t> v;
+    EXPECT_DEATH(in.get(v), "underrun");
+}
+
+TEST(Checkpoint, TruncatedAtEveryByteDiesCleanly)
+{
+    // Truncating a well-formed archive at any byte must die with a
+    // checkpoint error (tag check or bounds check), never UB.
+    CheckpointOut out;
+    out.put<std::uint32_t>(0xdeadbeef);
+    out.put(std::string("payload"));
+    out.put(std::vector<std::uint16_t>{1, 2, 3, 4});
+    const auto &whole = out.bytes();
+    for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+        std::vector<std::uint8_t> part(whole.begin(),
+                                       whole.begin() + cut);
+        EXPECT_DEATH(
+            {
+                CheckpointIn in(std::move(part));
+                std::uint32_t a = 0;
+                std::string s;
+                std::vector<std::uint16_t> v;
+                in.get(a);
+                in.get(s);
+                in.get(v);
+            },
+            "checkpoint");
+    }
 }
 
 TEST(Checkpoint, StructRoundTrip)

@@ -1,8 +1,12 @@
 #!/usr/bin/env python3
-"""Compare two bench_sim_throughput JSON emissions.
+"""Compare two benchmark JSON emissions of the same kind.
 
 Usage:
     tools/perfcmp.py BASELINE.json CANDIDATE.json [--min-speedup X]
+
+Accepts any emitter that follows the bench_sim_throughput schema
+(bench_sim_throughput, bench_ckpt_restore, ...); both files must
+come from the same emitter ("bench" fields must match).
 
 Prints a per-row table of ticks/host-second speedups (candidate over
 baseline) and the geometric-mean speedup. Rows are matched on
@@ -23,14 +27,14 @@ def load_rows(path):
             data = json.load(f)
     except FileNotFoundError:
         sys.exit(f"error: {path}: no such file (generate it with "
-                 f"build/bench/bench_sim_throughput --json {path})")
+                 f"build/bench/bench_<name> --json {path})")
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: {path}: {e}")
     if not isinstance(data, dict) or \
-            data.get("bench") != "sim_throughput":
-        sys.exit(f"error: {path}: not a sim_throughput emission "
-                 '(expected a JSON object with '
-                 '"bench": "sim_throughput")')
+            not isinstance(data.get("bench"), str) or \
+            not data["bench"]:
+        sys.exit(f"error: {path}: not a benchmark emission "
+                 '(expected a JSON object with a "bench" name)')
     results = data.get("results")
     if not isinstance(results, list) or not results:
         sys.exit(f"error: {path}: no \"results\" rows; the file "
@@ -45,7 +49,7 @@ def load_rows(path):
                 sys.exit(f"error: {path}: results[{i}] lacks "
                          f'"{field}"')
         rows[(row["workload"], row["mode"])] = row
-    return rows, bool(data.get("quick", False))
+    return rows, bool(data.get("quick", False)), data["bench"]
 
 
 def main():
@@ -56,8 +60,13 @@ def main():
                     help="fail if any row is below this speedup")
     args = ap.parse_args()
 
-    base, base_quick = load_rows(args.baseline)
-    cand, cand_quick = load_rows(args.candidate)
+    base, base_quick, base_bench = load_rows(args.baseline)
+    cand, cand_quick, cand_bench = load_rows(args.candidate)
+    if base_bench != cand_bench:
+        sys.exit(f"error: benchmark kinds differ: {args.baseline} "
+                 f"is \"{base_bench}\", {args.candidate} is "
+                 f"\"{cand_bench}\" - their rows measure different "
+                 "things and cannot be compared")
     if base_quick != cand_quick:
         print("warning: comparing a quick run against a full run",
               file=sys.stderr)

@@ -20,6 +20,17 @@ cmake -S "$repo" -B "$build" \
     -DVARSIM_SANITIZE=address,undefined
 cmake --build "$build" -j "$jobs"
 
+# ctest discovers suites from the build, so a CMake wiring mistake
+# would silently drop one; assert the binaries this gate exists to
+# run (serialization and the persistent checkpoint library lean the
+# hardest on the sanitizers) are actually present.
+for t in test_sim test_ckpt; do
+    [ -x "$build/tests/$t" ] || {
+        echo "error: $build/tests/$t was not built" >&2
+        exit 1
+    }
+done
+
 # halt_on_error makes UBSan failures fatal instead of log-and-continue,
 # so ctest actually reports them.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"

@@ -15,6 +15,9 @@
  *   campaign <run|resume|status|report> --dir <path> [options]
  *                             durable, resumable, adaptively-stopped
  *                             experiment orchestration (see below)
+ *   ckpt <create|ls|verify|gc> --dir <path> [options]
+ *                             the persistent warm-up checkpoint
+ *                             library campaigns restore from
  *
  * Common options:
  *   --workload <name>      oltp|apache|specjbb|slashcode|ecperf|
@@ -56,6 +59,22 @@
  *   --host-threads <n>     worker threads (0 = hardware)
  *   --interrupt-after <n>  stop as if killed after n new runs
  *                          (resume walkthroughs, tests)
+ *   --ckpt-dir <path>      persistent checkpoint library: warm-ups
+ *                          are restored from it when present and
+ *                          published to it when rebuilt (results are
+ *                          bit-identical either way)
+ *
+ * ckpt options:
+ *   create: --dir <library> plus the campaign flags above (the same
+ *           grid/seed/checkpoint flags the campaign will use; needs
+ *           --checkpoints >= 1) — pre-warms every snapshot
+ *   ls:     --dir <library>            list stored checkpoints
+ *   verify: --dir <library>            integrity-check every object,
+ *                                      re-index strays; exit 1 on
+ *                                      damage
+ *   gc:     --dir <library> [--max-bytes <n>]
+ *                                      sweep debris/corruption and
+ *                                      evict oldest over the cap
  *
  * Examples:
  *   varsim run --workload slashcode --runs 20
@@ -65,6 +84,11 @@
  *   varsim campaign run --dir assoc.camp --vary l2-assoc=1,2,4
  *   varsim campaign status --dir assoc.camp
  *   varsim campaign report --dir assoc.camp
+ *   varsim ckpt create --dir ckpts --checkpoints 4 --step 300 \
+ *          --vary l2-assoc=2,4
+ *   varsim campaign run --dir a.camp --ckpt-dir ckpts \
+ *          --checkpoints 4 --step 300 --vary l2-assoc=2,4
+ *   varsim ckpt verify --dir ckpts
  */
 
 #include <cstdio>
@@ -74,6 +98,7 @@
 #include <string>
 
 #include "campaign/campaign.hh"
+#include "ckpt/library.hh"
 #include "core/varsim.hh"
 
 using namespace varsim;
@@ -540,6 +565,7 @@ cmdCampaign(const std::string &action, const Args &args)
     campaign::CampaignOptions opt;
     opt.hostThreads = args.num("host-threads", 0);
     opt.interruptAfter = args.num("interrupt-after", 0);
+    opt.ckptDir = args.str("ckpt-dir", "");
     opt.verbose = true;
     const std::string shard = args.str("shard", "1/1");
     if (std::sscanf(shard.c_str(), "%zu/%zu", &opt.shardIndex,
@@ -570,13 +596,72 @@ cmdCampaign(const std::string &action, const Args &args)
     return 0;
 }
 
+int
+cmdCkpt(const std::string &action, const Args &args)
+{
+    const std::string dir = args.str("dir", "");
+    if (dir.empty())
+        sim::fatal("ckpt %s needs --dir", action.c_str());
+
+    if (action == "create") {
+        const auto spec = campaignSpecFromArgs(args);
+        if (!spec.numCheckpoints)
+            sim::fatal("ckpt create needs --checkpoints >= 1 (the "
+                       "same value the campaign will use)");
+        campaign::CampaignOptions opt;
+        opt.ckptDir = dir;
+        opt.hostThreads = args.num("host-threads", 0);
+        opt.verbose = true;
+        const auto r =
+            campaign::warmCampaignCheckpoints(spec, opt);
+        std::printf("library %s: %zu checkpoint(s) warmed, %zu "
+                    "already present; %zu entr%s, %llu byte(s)\n",
+                    dir.c_str(), r.warmed, r.restored,
+                    r.libraryEntries,
+                    r.libraryEntries == 1 ? "y" : "ies",
+                    static_cast<unsigned long long>(r.libraryBytes));
+        return 0;
+    }
+
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    if (action == "ls") {
+        const auto entries = lib->entries();
+        std::printf("%zu checkpoint(s) in %s\n", entries.size(),
+                    dir.c_str());
+        for (const auto &e : entries)
+            std::printf("  %s  pos %-8llu seed %-12llu %llu "
+                        "byte(s)\n",
+                        e.digestHex.c_str(),
+                        static_cast<unsigned long long>(e.position),
+                        static_cast<unsigned long long>(
+                            e.warmupSeed),
+                        static_cast<unsigned long long>(e.bytes));
+        return 0;
+    }
+    if (action == "verify") {
+        const auto rep = lib->verify();
+        std::printf("%s", rep.toString().c_str());
+        return rep.clean() ? 0 : 1;
+    }
+    if (action == "gc") {
+        const auto rep = lib->gc(args.num("max-bytes", 0));
+        std::printf("%s", rep.toString().c_str());
+        return 0;
+    }
+    sim::fatal("unknown ckpt action '%s' (create, ls, verify, gc)",
+               action.c_str());
+    return 1;
+}
+
 void
 usage()
 {
     std::printf("usage: varsim "
-                "<list|run|compare|anova|plan|campaign> "
+                "<list|run|compare|anova|plan|campaign|ckpt> "
                 "[--flag value]...\n"
                 "       varsim campaign <run|resume|status|report> "
+                "--dir DIR [--flag value]...\n"
+                "       varsim ckpt <create|ls|verify|gc> "
                 "--dir DIR [--flag value]...\n"
                 "see the header of tools/varsim_cli.cc or "
                 "README.md for the full flag list\n");
@@ -600,6 +685,13 @@ main(int argc, char **argv)
         // Flags start after the action word, so hand the parser a
         // view of argv shifted by one.
         return cmdCampaign(argv[2], Args(argc - 1, argv + 1));
+    }
+    if (cmd == "ckpt") {
+        if (argc < 3) {
+            usage();
+            return 1;
+        }
+        return cmdCkpt(argv[2], Args(argc - 1, argv + 1));
     }
     Args args(argc, argv);
     if (cmd == "list")
