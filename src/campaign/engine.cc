@@ -10,6 +10,7 @@
 #include "core/simulation.hh"
 #include "core/thread_pool.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace varsim
 {
@@ -368,6 +369,10 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                 if (interrupted.load())
                     return; // unclaimed cells die with the "kill"
                 const Cell cell = work[k];
+                // Give every trace line this run emits a durable
+                // identity (group/run), matching the store's cell.
+                sim::trace::RunScope scope(sim::format(
+                    "g%zu.r%zu", work[k].group, work[k].runIdx));
                 const std::size_t cfg = eff.configOf(cell.group);
                 const std::size_t ck = eff.ckptOf(cell.group);
 
@@ -396,6 +401,9 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                 rec.runtimeTicks =
                     static_cast<std::uint64_t>(res.runtimeTicks);
                 rec.txns = res.txns;
+                rec.metrics.reserve(res.stats.size());
+                for (const auto &sv : res.stats)
+                    rec.metrics.emplace_back(sv.name, sv.value);
                 store->appendRun(rec);
 
                 const std::size_t mine =
@@ -567,6 +575,62 @@ campaignReport(const std::string &dir, double confidence)
                     cmp.verdict().c_str());
             }
         }
+    }
+    return rep;
+}
+
+CampaignReport
+campaignMetricReport(const std::string &dir,
+                     const std::string &metric, double confidence)
+{
+    auto store = ResultStore::open(dir);
+    const StoreHeader &h = store->header();
+    const std::size_t slots =
+        h.numCheckpoints ? h.numCheckpoints : 1;
+
+    CampaignReport rep;
+    if (metric == "list") {
+        rep.text = "available metrics:\n";
+        for (const auto &name : store->metricNames())
+            rep.text += "  " + name + "\n";
+        return rep;
+    }
+
+    auto nameOf = [&](std::size_t cfg, std::size_t ck) {
+        std::string name = cfg < h.configNames.size()
+                               ? h.configNames[cfg]
+                               : sim::format("config%zu", cfg);
+        if (h.numCheckpoints)
+            name += sim::format(" @ckpt%zu", ck);
+        return name;
+    };
+
+    bool any = false;
+    rep.text = sim::format("campaign metric report: %s\n",
+                           metric.c_str());
+    for (std::size_t g = 0; g < h.numGroups; ++g) {
+        const auto xs = store->groupMetricNamed(g, metric);
+        rep.text += sim::format("\n%s:\n",
+                                nameOf(g / slots, g % slots)
+                                    .c_str());
+        if (xs.size() < 2) {
+            rep.text += sim::format("  %zu run(s) with this metric: "
+                                    "too few for statistics\n",
+                                    xs.size());
+            continue;
+        }
+        any = true;
+        rep.text += "  " + core::analyze(xs).toString() + "\n";
+        const auto ci =
+            stats::meanConfidenceInterval(xs, confidence);
+        rep.text += sim::format(
+            "  %.0f%% CI for the mean: [%.4g, %.4g]\n",
+            100.0 * confidence, ci.lo, ci.hi);
+    }
+    if (!any) {
+        rep.text += "\nno group has 2+ runs carrying this metric; "
+                    "run `campaign report --metric list` for the "
+                    "recorded names\n";
     }
     return rep;
 }

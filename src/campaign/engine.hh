@@ -158,6 +158,16 @@ struct CampaignReport
 CampaignReport campaignReport(const std::string &dir,
                               double confidence = 0.95);
 
+/**
+ * Per-group variability of one named metric: a built-in run metric
+ * ("cycles_per_txn", "runtime_ticks", "txns") or any registry
+ * metric recorded with the runs (e.g. "system.mem.bus.l2_misses").
+ * @p metric == "list" enumerates the recorded names instead.
+ */
+CampaignReport campaignMetricReport(const std::string &dir,
+                                    const std::string &metric,
+                                    double confidence = 0.95);
+
 } // namespace campaign
 } // namespace varsim
 

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <set>
 
 #include "sim/jsonl.hh"
 #include "sim/logging.hh"
@@ -195,6 +196,20 @@ ResultStore::replay(const std::string &path)
             r.runtimeTicks = obj.num("runtime_ticks");
             r.txns = obj.num("txns");
             runs.try_emplace({r.group, r.runIdx}, r);
+        } else if (type == "metrics") {
+            // Companion record: attach the dump to its run. The run
+            // record always precedes it (both are appended under one
+            // lock), so an orphan means a hand-edited manifest.
+            const std::size_t g = obj.num("group");
+            const std::size_t i = obj.num("run");
+            const auto it = runs.find({g, i});
+            if (it == runs.end()) {
+                sim::warn("%s:%zu: metrics record for unknown run "
+                          "(group %zu, run %zu) skipped",
+                          path.c_str(), lineNo, g, i);
+                continue;
+            }
+            it->second.metrics = obj.realsWithPrefix("m:");
         } else {
             sim::warn("%s:%zu: unknown record type '%s' skipped",
                       path.c_str(), lineNo, type.c_str());
@@ -298,6 +313,70 @@ ResultStore::appendRun(const RunRecord &rec)
         return;
     }
     appendLine(w.str());
+
+    // The registry dump travels as a companion record so the "run"
+    // line's schema — what pre-existing stores hold — is untouched.
+    // Metric names carry an "m:" prefix to keep them disjoint from
+    // the record's own keys.
+    if (!rec.metrics.empty()) {
+        JsonWriter m;
+        m.field("type", std::string("metrics"));
+        m.field("group", static_cast<std::uint64_t>(rec.group));
+        m.field("run", static_cast<std::uint64_t>(rec.runIdx));
+        for (const auto &kv : rec.metrics)
+            m.field("m:" + kv.first, kv.second);
+        appendLine(m.str());
+    }
+}
+
+std::vector<double>
+ResultStore::groupMetricNamed(std::size_t group,
+                              const std::string &name) const
+{
+    std::vector<double> xs;
+    for (const RunRecord &r : groupRuns(group)) {
+        if (name == "cycles_per_txn") {
+            xs.push_back(r.cyclesPerTxn);
+            continue;
+        }
+        if (name == "runtime_ticks") {
+            xs.push_back(static_cast<double>(r.runtimeTicks));
+            continue;
+        }
+        if (name == "txns") {
+            xs.push_back(static_cast<double>(r.txns));
+            continue;
+        }
+        bool found = false;
+        for (const auto &kv : r.metrics) {
+            if (kv.first == name) {
+                xs.push_back(kv.second);
+                found = true;
+                break;
+            }
+        }
+        // A run without the metric (recorded by an older binary)
+        // ends the prefix: everything returned is comparable.
+        if (!found)
+            break;
+    }
+    return xs;
+}
+
+std::vector<std::string>
+ResultStore::metricNames() const
+{
+    std::vector<std::string> out = {"cycles_per_txn",
+                                    "runtime_ticks", "txns"};
+    std::set<std::string> extra;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        for (const auto &entry : runs)
+            for (const auto &kv : entry.second.metrics)
+                extra.insert(kv.first);
+    }
+    out.insert(out.end(), extra.begin(), extra.end());
+    return out;
 }
 
 void

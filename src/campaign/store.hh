@@ -26,6 +26,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace varsim
@@ -55,6 +56,14 @@ struct RunRecord
     double cyclesPerTxn = 0.0;
     std::uint64_t runtimeTicks = 0;
     std::uint64_t txns = 0;
+
+    /**
+     * The run's full metrics-registry dump (name, value), in
+     * registration order. Persisted as a companion "metrics" record
+     * so pre-existing manifests (and older readers) still parse the
+     * unchanged "run" record.
+     */
+    std::vector<std::pair<std::string, double>> metrics;
 };
 
 /** The budget planner's recorded decision (empty until planned). */
@@ -127,6 +136,22 @@ class ResultStore
 
     /** Full records of @p group's contiguous prefix, by run index. */
     std::vector<RunRecord> groupRuns(std::size_t group) const;
+
+    /**
+     * Values of metric @p name over @p group's contiguous prefix.
+     * @p name is a built-in run metric ("cycles_per_txn",
+     * "runtime_ticks", "txns") or any registry metric stored with the
+     * runs. The sequence stops at the first run lacking the metric
+     * (e.g. runs recorded before the metric existed).
+     */
+    std::vector<double> groupMetricNamed(std::size_t group,
+                                         const std::string &name) const;
+
+    /**
+     * Sorted union of every metric name any recorded run carries,
+     * built-ins first.
+     */
+    std::vector<std::string> metricNames() const;
 
     /**
      * Durably append one run record (thread-safe). A duplicate

@@ -1,6 +1,7 @@
 #include "core/analysis.hh"
 
 #include <array>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -9,14 +10,28 @@ namespace varsim
 namespace core
 {
 
+namespace
+{
+
+/** A relative-variability figure: "12.34%" or "n/a" (mean == 0). */
+std::string
+percentOrNa(double x)
+{
+    return std::isnan(x) ? std::string("n/a")
+                         : sim::format("%.2f%%", x);
+}
+
+} // anonymous namespace
+
 std::string
 VariabilityReport::toString() const
 {
     return sim::format(
-        "n=%zu mean=%.4g sd=%.3g CoV=%.2f%% range=%.2f%% "
+        "n=%zu mean=%.4g sd=%.3g CoV=%s range=%s "
         "[min=%.4g max=%.4g]",
         summary.n, summary.mean, summary.stddev,
-        coefficientOfVariation, rangeOfVariability, summary.min,
+        percentOrNa(coefficientOfVariation).c_str(),
+        percentOrNa(rangeOfVariability).c_str(), summary.min,
         summary.max);
 }
 
@@ -34,6 +49,12 @@ VariabilityReport
 analyze(const std::vector<RunResult> &runs)
 {
     return analyze(metricOf(runs));
+}
+
+VariabilityReport
+analyze(const std::vector<RunResult> &runs, const std::string &name)
+{
+    return analyze(metricOf(runs, name));
 }
 
 std::string

@@ -36,6 +36,10 @@ struct VariabilityReport
 VariabilityReport analyze(const std::vector<RunResult> &runs);
 VariabilityReport analyze(const std::vector<double> &metric);
 
+/** Summarize a named metric (see metricOf(results, name)). */
+VariabilityReport analyze(const std::vector<RunResult> &runs,
+                          const std::string &name);
+
 /**
  * Full comparison of two configurations A and B per Section 5.1.
  */

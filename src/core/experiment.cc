@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <string>
 
 #include "core/thread_pool.hh"
+#include "sim/trace.hh"
 
 namespace varsim
 {
@@ -50,6 +52,9 @@ runMany(const SystemConfig &sys, const workload::WorkloadParams &wl,
     exp.validate();
     std::vector<RunResult> results(exp.numRuns);
     parallelFor(exp.numRuns, exp.hostThreads, [&](std::size_t i) {
+        // Runs execute concurrently on host threads; the scope gives
+        // every DPRINTF line this run emits a run identity.
+        sim::trace::RunScope scope(sim::format("r%zu", i));
         RunConfig r = run;
         r.perturbSeed = exp.baseSeed + i;
         results[i] = runOnce(sys, wl, r);
@@ -66,6 +71,7 @@ runManyFromCheckpoint(const SystemConfig &sys,
     exp.validate();
     std::vector<RunResult> results(exp.numRuns);
     parallelFor(exp.numRuns, exp.hostThreads, [&](std::size_t i) {
+        sim::trace::RunScope scope(sim::format("r%zu", i));
         RunConfig r = run;
         r.perturbSeed = exp.baseSeed + i;
         results[i] = runFromCheckpoint(sys, wl, cp, r);
@@ -104,6 +110,7 @@ runManyBatch(const std::vector<ExperimentSpec> &specs)
                                  flat) -
                 offsets.begin() - 1);
             const std::size_t i = flat - offsets[s];
+            sim::trace::RunScope scope(sim::format("e%zu.r%zu", s, i));
             const ExperimentSpec &spec = specs[s];
             RunConfig r = spec.run;
             r.perturbSeed = spec.exp.baseSeed + i;
@@ -119,6 +126,40 @@ metricOf(const std::vector<RunResult> &results)
     xs.reserve(results.size());
     for (const auto &r : results)
         xs.push_back(r.cyclesPerTxn);
+    return xs;
+}
+
+std::vector<double>
+metricOf(const std::vector<RunResult> &results,
+         const std::string &name)
+{
+    std::vector<double> xs;
+    xs.reserve(results.size());
+    for (const auto &r : results) {
+        if (name == "cycles_per_txn") {
+            xs.push_back(r.cyclesPerTxn);
+            continue;
+        }
+        if (name == "runtime_ticks") {
+            xs.push_back(static_cast<double>(r.runtimeTicks));
+            continue;
+        }
+        if (name == "txns") {
+            xs.push_back(static_cast<double>(r.txns));
+            continue;
+        }
+        bool found = false;
+        for (const auto &sv : r.stats) {
+            if (sv.name == name) {
+                xs.push_back(sv.value);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            sim::fatal("metricOf: run has no metric named '%s'",
+                       name.c_str());
+    }
     return xs;
 }
 

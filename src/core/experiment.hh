@@ -94,6 +94,15 @@ runManyBatch(const std::vector<ExperimentSpec> &specs);
 /** Extract the cycles-per-transaction metric from results. */
 std::vector<double> metricOf(const std::vector<RunResult> &results);
 
+/**
+ * Extract metric @p name from results: one of the built-in run
+ * metrics ("cycles_per_txn", "runtime_ticks", "txns") or any name in
+ * the runs' registry dumps (e.g. "system.mem.bus.l2_misses").
+ * fatal() if a run lacks the metric.
+ */
+std::vector<double> metricOf(const std::vector<RunResult> &results,
+                             const std::string &name);
+
 } // namespace core
 } // namespace varsim
 

@@ -1,5 +1,7 @@
 #include "core/runner.hh"
 
+#include <chrono>
+
 #include "sim/logging.hh"
 
 namespace varsim
@@ -9,6 +11,14 @@ namespace core
 
 namespace
 {
+
+double
+wallSecondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
 
 std::uint64_t
 resolveMeasureTxns(const Simulation &simn, const RunConfig &run)
@@ -27,17 +37,34 @@ measure(Simulation &simn, const RunConfig &run, std::size_t num_cpus)
 {
     const std::uint64_t n = resolveMeasureTxns(simn, run);
 
+    RunResult r;
+
+    const auto warmupT0 = std::chrono::steady_clock::now();
     if (run.warmupTxns > 0)
         simn.runTransactions(run.warmupTxns);
+    r.host.warmupWallSec = wallSecondsSince(warmupT0);
 
     const bool wantWindows = run.windowTxns != 0;
     simn.recordCompletions(wantWindows);
 
     const sim::Tick start = simn.now();
     const std::uint64_t startTxns = simn.totalTxns();
+    const std::uint64_t startEvents = simn.eventsDispatched();
+    const std::uint64_t startInstrs =
+        simn.totalCpuStats().instructions;
+    const auto measureT0 = std::chrono::steady_clock::now();
     const Simulation::Progress p = simn.runTransactions(n);
-
-    RunResult r;
+    r.host.measureWallSec = wallSecondsSince(measureT0);
+    r.host.eventsDispatched = simn.eventsDispatched() - startEvents;
+    if (r.host.measureWallSec > 0.0) {
+        r.host.eventsPerSec =
+            static_cast<double>(r.host.eventsDispatched) /
+            r.host.measureWallSec;
+        r.host.hostMips =
+            static_cast<double>(simn.totalCpuStats().instructions -
+                                startInstrs) /
+            (r.host.measureWallSec * 1e6);
+    }
     r.txns = p.txns;
     r.runtimeTicks = p.elapsed;
     r.workloadEnded = p.workloadEnded;
@@ -51,6 +78,7 @@ measure(Simulation &simn, const RunConfig &run, std::size_t num_cpus)
     r.mem = simn.memSystem().totalStats();
     r.os = simn.kernel().stats();
     r.cpu = simn.totalCpuStats();
+    r.stats = simn.statsRegistry().dump();
 
     if (wantWindows) {
         const auto &recs = simn.completions();

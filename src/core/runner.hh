@@ -46,6 +46,21 @@ struct RunConfig
     std::uint64_t windowTxns = 0;
 };
 
+/**
+ * Host-side profile of one run: wall-clock phase timers and
+ * simulation throughput. Pure observation — derived from the host
+ * clock and the event-dispatch counter, never fed back into the
+ * simulation.
+ */
+struct HostProfile
+{
+    double warmupWallSec = 0.0;  ///< wall time in the warmup phase
+    double measureWallSec = 0.0; ///< wall time in the measure phase
+    std::uint64_t eventsDispatched = 0; ///< events in measure phase
+    double eventsPerSec = 0.0;   ///< event throughput (measure phase)
+    double hostMips = 0.0; ///< simulated M-instructions / host second
+};
+
 /** Everything measured in one run. */
 struct RunResult
 {
@@ -60,6 +75,22 @@ struct RunResult
 
     /** Per-window cycles/txn (only if RunConfig::windowTxns set). */
     std::vector<double> windows;
+
+    /**
+     * Full dump of the simulation's metrics registry, taken after the
+     * measure phase. Names are stable across runs of one
+     * configuration (schema-stable JSONL via statsJsonl()).
+     */
+    sim::statistics::StatDump stats;
+
+    /** Host-side profiling of this run. */
+    HostProfile host;
+
+    /** The stats dump as one JSONL line. */
+    std::string statsJsonl() const
+    {
+        return sim::statistics::toJsonl(stats);
+    }
 };
 
 /**

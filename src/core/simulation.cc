@@ -37,6 +37,25 @@ Simulation::Simulation(const SystemConfig &sys,
     wl_ = workload::Workload::build(wlParams, *kernel_,
                                     sys_.numCpus(),
                                     sys_.mem.blockBytes);
+
+    // Every SimObject registers its counters once, at construction;
+    // values are read lazily at dump time only.
+    mem_->regStats(statsReg);
+    for (const auto &c : cpus_)
+        c->regStats(statsReg);
+    kernel_->regStats(statsReg);
+    statsReg.regFormula(
+        "sim.ticks",
+        [this] { return static_cast<double>(eq.curTick()); },
+        "simulated time");
+    statsReg.regFormula(
+        "sim.events_dispatched",
+        [this] { return static_cast<double>(eq.numDispatched()); },
+        "host-side event dispatch count");
+    statsReg.regFormula(
+        "sim.txns",
+        [this] { return static_cast<double>(txnCount); },
+        "transactions completed");
 }
 
 Simulation::~Simulation() = default;

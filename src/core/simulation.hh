@@ -21,6 +21,7 @@
 
 #include "core/config.hh"
 #include "mem/mem_system.hh"
+#include "sim/statistics.hh"
 #include "workload/workload.hh"
 
 namespace varsim
@@ -110,6 +111,22 @@ class Simulation : public os::TxnSink
     /** Aggregate CPU stats across all processors. */
     cpu::CpuStats totalCpuStats() const;
 
+    /**
+     * The metrics registry every SimObject in this instance
+     * registered into at construction. Dumping is read-only and
+     * schedules nothing: it never perturbs simulated timing.
+     */
+    const sim::statistics::Registry &statsRegistry() const
+    {
+        return statsReg;
+    }
+
+    /** Host-side event dispatch count (profiling, not sim state). */
+    std::uint64_t eventsDispatched() const
+    {
+        return eq.numDispatched();
+    }
+
     // ---- os::TxnSink ----
     void transactionCompleted(sim::ThreadId tid, int type,
                               sim::Tick when) override;
@@ -125,6 +142,7 @@ class Simulation : public os::TxnSink
     std::vector<std::unique_ptr<cpu::BaseCpu>> cpus_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<workload::Workload> wl_;
+    sim::statistics::Registry statsReg;
 
     bool booted = false;
     bool recording = false;

@@ -1,6 +1,7 @@
 #include "cpu/base_cpu.hh"
 
 #include "sim/logging.hh"
+#include "sim/statistics.hh"
 
 namespace varsim
 {
@@ -112,6 +113,26 @@ BaseCpu::unserialize(sim::CheckpointIn &cp)
     cp.get(stats_);
     cp.get(nextTag);
     cp.get(preemptPending);
+}
+
+void
+BaseCpu::regStats(sim::statistics::Registry &r)
+{
+    const std::string &n = name();
+    r.regScalar(n + ".instructions", &stats_.instructions);
+    r.regScalar(n + ".mem_ops", &stats_.memOps);
+    r.regScalar(n + ".branches", &stats_.branches);
+    r.regScalar(n + ".mispredicts", &stats_.mispredicts);
+    r.regScalar(n + ".context_switches",
+                &stats_.contextSwitches);
+    r.regScalar(n + ".idle_ticks", &stats_.idleTicks);
+    r.regFormula(n + ".ipc", [this] {
+        const double elapsed = static_cast<double>(curTick());
+        return elapsed > 0.0
+                   ? static_cast<double>(stats_.instructions) /
+                         elapsed
+                   : 0.0;
+    });
 }
 
 } // namespace cpu

@@ -190,6 +190,7 @@ class BaseCpu : public sim::SimObject, public mem::MemClient
 
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
+    void regStats(sim::statistics::Registry &r) override;
 
   protected:
     /** Subclass engine: (re)enter the dispatch loop. */

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "sim/statistics.hh"
 #include "sim/trace.hh"
 
 namespace varsim
@@ -326,6 +327,29 @@ OoOCpu::unserialize(sim::CheckpointIn &cp)
     const std::uint32_t carry = ipcCarry;
     resetPipeline();
     ipcCarry = carry;
+}
+
+void
+OoOCpu::regStats(sim::statistics::Registry &r)
+{
+    BaseCpu::regStats(r);
+    const std::string &n = name();
+    r.regFormula(n + ".bp_lookups",
+                 [this] {
+                     return static_cast<double>(yags.lookups());
+                 },
+                 "direction-predictor lookups");
+    r.regFormula(n + ".bp_accuracy",
+                 [this] {
+                     const double looked =
+                         static_cast<double>(yags.lookups());
+                     return looked > 0.0
+                                ? static_cast<double>(
+                                      yags.correct()) /
+                                      looked
+                                : 0.0;
+                 },
+                 "direction-predictor hit rate");
 }
 
 } // namespace cpu

@@ -42,6 +42,9 @@ class OoOCpu : public BaseCpu
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
 
+    /** Base CPU counters plus branch-predictor accuracy. */
+    void regStats(sim::statistics::Registry &r) override;
+
   protected:
     void resume() override;
     void resetPipeline() override;

@@ -58,6 +58,7 @@ DirectoryFabric::sendRequest(const BusMsg &msg)
     homeNextFree[home] = start + cfg.dirOccupancy;
     ++stats_.busTransactions;
     stats_.busQueueDelay += start - arrive;
+    queueDelayDist.sample(static_cast<double>(start - arrive));
 
     callIn(start + cfg.dirLatency - curTick(),
            [this, msg] { process(msg); });
@@ -225,6 +226,38 @@ DirectoryFabric::postRestore()
             }
         });
     }
+}
+
+void
+DirectoryFabric::regStats(sim::statistics::Registry &r)
+{
+    const std::string &n = name();
+    r.regScalar(n + ".transactions", &stats_.busTransactions,
+                "requests serialized at home directories");
+    r.regScalar(n + ".l2_misses", &stats_.l2Misses,
+                "ordered GetS/GetM requests");
+    r.regScalar(n + ".cache_to_cache", &stats_.cacheToCache,
+                "fills forwarded from an owner cache");
+    r.regScalar(n + ".memory_fetches", &stats_.memoryFetches,
+                "fills supplied by DRAM");
+    r.regScalar(n + ".upgrades", &stats_.upgrades,
+                "GetM with data already local");
+    r.regScalar(n + ".nacks", &stats_.nacks,
+                "requests retried against a busy block");
+    r.regScalar(n + ".writebacks", &stats_.writebacks,
+                "dirty evictions");
+    r.regScalar(n + ".queue_delay_ticks", &stats_.busQueueDelay,
+                "cumulative home-serialization delay");
+    r.regScalar(n + ".perturbation_ticks",
+                &stats_.perturbationTotal,
+                "cumulative injected latency perturbation");
+    r.regFormula(n + ".dram_accesses",
+                 [this] {
+                     return static_cast<double>(dram_.accesses());
+                 },
+                 "home-memory DRAM accesses");
+    r.regDistribution(n + ".queue_delay", &queueDelayDist,
+                      "per-request home-serialization delay");
 }
 
 } // namespace mem

@@ -35,6 +35,7 @@
 #include "mem/fabric.hh"
 #include "sim/random.hh"
 #include "sim/sim_object.hh"
+#include "sim/statistics.hh"
 
 namespace varsim
 {
@@ -69,6 +70,7 @@ class DirectoryFabric : public sim::SimObject,
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
     void postRestore() override;
+    void regStats(sim::statistics::Registry &r) override;
 
   private:
     struct Entry
@@ -88,6 +90,7 @@ class DirectoryFabric : public sim::SimObject,
     AddrSet busy;
     std::vector<sim::Tick> homeNextFree;
     MemStats stats_;
+    sim::statistics::Distribution queueDelayDist;
 };
 
 } // namespace mem

@@ -1,6 +1,7 @@
 #include "mem/l1_cache.hh"
 
 #include "mem/l2_controller.hh"
+#include "sim/statistics.hh"
 #include "sim/trace.hh"
 
 namespace varsim
@@ -165,6 +166,21 @@ L1Cache::unserialize(sim::CheckpointIn &cp)
     array.unserialize(cp);
     cp.get(numHits);
     cp.get(numMisses);
+}
+
+void
+L1Cache::regStats(sim::statistics::Registry &r)
+{
+    const std::string &n = name();
+    r.regScalar(n + ".hits", &numHits);
+    r.regScalar(n + ".misses", &numMisses);
+    r.regFormula(n + ".miss_ratio", [this] {
+        const double total =
+            static_cast<double>(numHits + numMisses);
+        return total > 0.0
+                   ? static_cast<double>(numMisses) / total
+                   : 0.0;
+    });
 }
 
 } // namespace mem

@@ -85,6 +85,7 @@ class L1Cache : public sim::SimObject
     void drain() override;
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
+    void regStats(sim::statistics::Registry &r) override;
 
   private:
     /**

@@ -1,6 +1,7 @@
 #include "mem/l2_controller.hh"
 
 #include "mem/l1_cache.hh"
+#include "sim/statistics.hh"
 #include "sim/trace.hh"
 
 namespace varsim
@@ -268,6 +269,26 @@ L2Controller::unserialize(sim::CheckpointIn &cp)
     cp.get(numWritebacks);
     cp.get(numRetries);
     cp.get(numPrefetches);
+}
+
+void
+L2Controller::regStats(sim::statistics::Registry &r)
+{
+    const std::string &n = name();
+    r.regScalar(n + ".hits", &numHits);
+    r.regScalar(n + ".misses", &numMisses);
+    r.regScalar(n + ".writebacks", &numWritebacks);
+    r.regScalar(n + ".retries", &numRetries,
+                "requests re-issued after a NACK");
+    r.regScalar(n + ".prefetches", &numPrefetches,
+                "next-line prefetches issued");
+    r.regFormula(n + ".miss_ratio", [this] {
+        const double total =
+            static_cast<double>(numHits + numMisses);
+        return total > 0.0
+                   ? static_cast<double>(numMisses) / total
+                   : 0.0;
+    });
 }
 
 } // namespace mem

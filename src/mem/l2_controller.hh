@@ -111,6 +111,7 @@ class L2Controller : public sim::SimObject
     void drain() override;
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
+    void regStats(sim::statistics::Registry &r) override;
 
   private:
     struct Waiter

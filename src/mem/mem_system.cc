@@ -1,6 +1,7 @@
 #include "mem/mem_system.hh"
 
 #include "sim/logging.hh"
+#include "sim/statistics.hh"
 
 namespace varsim
 {
@@ -108,6 +109,29 @@ MemSystem::serialize(sim::CheckpointOut &cp) const
         c->serialize(cp);
     for (const auto &c : dcaches)
         c->serialize(cp);
+}
+
+void
+MemSystem::regStats(sim::statistics::Registry &r)
+{
+    if (bus_)
+        bus_->regStats(r);
+    else
+        dir_->regStats(r);
+    for (const auto &l2 : l2s)
+        l2->regStats(r);
+    for (const auto &c : icaches)
+        c->regStats(r);
+    for (const auto &c : dcaches)
+        c->regStats(r);
+    // System-wide ratios over the same aggregation the harness
+    // reports (totalStats), evaluated only at dump time.
+    r.regFormula(name() + ".l1_miss_ratio",
+                 [this] { return totalStats().l1MissRatio(); },
+                 "misses over all L1 accesses, all nodes");
+    r.regFormula(name() + ".l2_miss_ratio",
+                 [this] { return totalStats().l2MissRatio(); },
+                 "misses over all L2 lookups, all nodes");
 }
 
 void

@@ -63,6 +63,9 @@ class MemSystem : public sim::SimObject
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
 
+    /** Registers the fabric, every cache, and aggregate ratios. */
+    void regStats(sim::statistics::Registry &r) override;
+
   private:
     MemConfig cfg;
     sim::Random pertRng;

@@ -30,6 +30,7 @@ SnoopBus::sendRequest(const BusMsg &msg)
     nextOrderTick = order + cfg.busOccupancy;
     ++stats_.busTransactions;
     stats_.busQueueDelay += order - now;
+    queueDelayDist.sample(static_cast<double>(order - now));
 
     DPRINTF(Bus, "order %s blk=%#llx src=%d at %llu",
             msg.cmd == BusCmd::GetS   ? "GetS"
@@ -140,6 +141,50 @@ SnoopBus::unserialize(sim::CheckpointIn &cp)
     cp.get(nextOrderTick);
     cp.get(stats_);
     dram_.unserialize(cp);
+}
+
+void
+SnoopBus::regStats(sim::statistics::Registry &r)
+{
+    const std::string &n = name();
+    r.regScalar(n + ".transactions", &stats_.busTransactions,
+                "ordered address-network transactions");
+    r.regScalar(n + ".l2_misses", &stats_.l2Misses,
+                "ordered GetS/GetM requests");
+    r.regScalar(n + ".cache_to_cache", &stats_.cacheToCache,
+                "fills supplied by a peer L2");
+    r.regScalar(n + ".memory_fetches", &stats_.memoryFetches,
+                "fills supplied by DRAM");
+    r.regScalar(n + ".upgrades", &stats_.upgrades,
+                "GetM with data already local");
+    r.regScalar(n + ".nacks", &stats_.nacks,
+                "requests retried against a busy block");
+    r.regScalar(n + ".writebacks", &stats_.writebacks,
+                "dirty evictions");
+    r.regScalar(n + ".queue_delay_ticks", &stats_.busQueueDelay,
+                "cumulative ordering delay");
+    r.regScalar(n + ".perturbation_ticks",
+                &stats_.perturbationTotal,
+                "cumulative injected latency perturbation");
+    r.regFormula(n + ".dram_accesses",
+                 [this] {
+                     return static_cast<double>(dram_.accesses());
+                 },
+                 "home-memory DRAM accesses");
+    r.regFormula(n + ".utilization",
+                 [this] {
+                     const double elapsed =
+                         static_cast<double>(curTick());
+                     if (elapsed == 0.0)
+                         return 0.0;
+                     return static_cast<double>(
+                                stats_.busTransactions *
+                                cfg.busOccupancy) /
+                            elapsed;
+                 },
+                 "fraction of ticks the address bus was occupied");
+    r.regDistribution(n + ".queue_delay", &queueDelayDist,
+                      "per-request ordering delay distribution");
 }
 
 } // namespace mem

@@ -28,6 +28,7 @@
 #include "mem/fabric.hh"
 #include "sim/random.hh"
 #include "sim/sim_object.hh"
+#include "sim/statistics.hh"
 
 namespace varsim
 {
@@ -72,6 +73,7 @@ class SnoopBus : public sim::SimObject, public CoherenceFabric
     void drain() override;
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
+    void regStats(sim::statistics::Registry &r) override;
 
   private:
     void snoop(BusMsg msg);
@@ -83,6 +85,7 @@ class SnoopBus : public sim::SimObject, public CoherenceFabric
     AddrSet busy;
     sim::Tick nextOrderTick = 0;
     MemStats stats_;
+    sim::statistics::Distribution queueDelayDist;
 };
 
 } // namespace mem

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/statistics.hh"
 #include "sim/trace.hh"
 
 namespace varsim
@@ -533,6 +534,32 @@ void
 Kernel::reattachAfterRestore()
 {
     // Retained for API compatibility; unserialize() reattaches.
+}
+
+void
+Kernel::regStats(sim::statistics::Registry &r)
+{
+    const std::string &n = name();
+    r.regScalar(n + ".dispatches", &stats_.dispatches);
+    r.regScalar(n + ".preemptions", &stats_.preemptions);
+    r.regScalar(n + ".migrations", &stats_.migrations);
+    r.regScalar(n + ".steals", &stats_.steals);
+    r.regScalar(n + ".lock_acquires", &stats_.lockAcquires);
+    r.regScalar(n + ".contended_locks", &stats_.contendedLocks);
+    r.regScalar(n + ".lock_spins", &stats_.lockSpins);
+    r.regScalar(n + ".barrier_episodes", &stats_.barrierEpisodes);
+    r.regScalar(n + ".transactions", &stats_.transactions);
+    r.regFormula(n + ".lock_contention",
+                 [this] {
+                     const double acq = static_cast<double>(
+                         stats_.lockAcquires);
+                     return acq > 0.0
+                                ? static_cast<double>(
+                                      stats_.contendedLocks) /
+                                      acq
+                                : 0.0;
+                 },
+                 "fraction of lock acquires that contended");
 }
 
 } // namespace os

@@ -180,6 +180,7 @@ class Kernel : public sim::SimObject, public cpu::CpuHost
 
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
+    void regStats(sim::statistics::Registry &r) override;
 
     /**
      * Re-attach restored running threads to their CPUs. Call after

@@ -216,6 +216,23 @@ JsonLine::list(const std::string &key) const
                               : std::vector<std::string>{};
 }
 
+std::vector<std::pair<std::string, double>>
+JsonLine::realsWithPrefix(const std::string &prefix) const
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (auto it = scalars.lower_bound(prefix);
+         it != scalars.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        char *end = nullptr;
+        const double v = std::strtod(it->second.c_str(), &end);
+        if (end == it->second.c_str() || *end != '\0')
+            continue; // quoted string under the prefix: not a metric
+        out.emplace_back(it->first.substr(prefix.size()), v);
+    }
+    return out;
+}
+
 void
 JsonWriter::sep()
 {

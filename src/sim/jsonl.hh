@@ -51,6 +51,16 @@ class JsonLine
     std::vector<std::string>
     list(const std::string &key) const;
 
+    /**
+     * Every numeric field whose key starts with @p prefix, prefix
+     * stripped, in key (lexicographic) order. Non-numeric values
+     * under the prefix are skipped. Used to re-inflate open-schema
+     * records (e.g. per-run metric dumps) whose key set the reader
+     * cannot know in advance.
+     */
+    std::vector<std::pair<std::string, double>>
+    realsWithPrefix(const std::string &prefix) const;
+
   private:
     /** Scalar values by key; raw (unescaped) text. */
     std::map<std::string, std::string> scalars;

@@ -23,6 +23,11 @@ namespace varsim
 namespace sim
 {
 
+namespace statistics
+{
+class Registry;
+}
+
 /**
  * Common base for every simulated hardware or software component.
  */
@@ -85,6 +90,15 @@ class SimObject : public Serializable
      * checkpointable state. Default: nothing.
      */
     virtual void drain() {}
+
+    /**
+     * Register this component's statistics (counters, formulas,
+     * distributions) under its hierarchical name. Called once after
+     * construction; the registry samples nothing until dumped, so
+     * registering never perturbs simulated timing. Default: no
+     * statistics.
+     */
+    virtual void regStats(statistics::Registry &) {}
 
     /** Default serialization: stateless component. */
     void serialize(CheckpointOut &) const override {}

@@ -67,7 +67,42 @@ table()
     return t;
 }
 
+/**
+ * Per-host-thread run attribution. Thread-local (not per simulation)
+ * because trace lines are emitted from whichever host thread is
+ * driving the simulation, and one host thread drives exactly one run
+ * at a time.
+ */
+thread_local std::string tlsRunId;
+thread_local std::FILE *tlsSink = nullptr;
+
 } // anonymous namespace
+
+RunScope::RunScope(std::string id, std::FILE *sink)
+    : prevId(std::move(tlsRunId)), prevSink(tlsSink)
+{
+    tlsRunId = std::move(id);
+    if (sink != nullptr)
+        tlsSink = sink;
+}
+
+RunScope::~RunScope()
+{
+    tlsRunId = std::move(prevId);
+    tlsSink = prevSink;
+}
+
+const std::string &
+RunScope::currentId()
+{
+    return tlsRunId;
+}
+
+std::FILE *
+RunScope::currentSink()
+{
+    return tlsSink != nullptr ? tlsSink : stderr;
+}
 
 bool
 enabled(Flag flag)
@@ -82,9 +117,17 @@ print(Tick tick, const std::string &who, const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "%12llu: %s: %s\n",
-                 static_cast<unsigned long long>(tick), who.c_str(),
-                 msg.c_str());
+    std::FILE *out = RunScope::currentSink();
+    if (tlsRunId.empty()) {
+        std::fprintf(out, "%12llu: %s: %s\n",
+                     static_cast<unsigned long long>(tick),
+                     who.c_str(), msg.c_str());
+    } else {
+        std::fprintf(out, "[%s] %12llu: %s: %s\n",
+                     tlsRunId.c_str(),
+                     static_cast<unsigned long long>(tick),
+                     who.c_str(), msg.c_str());
+    }
 }
 
 } // namespace trace

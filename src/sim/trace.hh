@@ -12,6 +12,7 @@
 #ifndef VARSIM_SIM_TRACE_HH
 #define VARSIM_SIM_TRACE_HH
 
+#include <cstdio>
 #include <string>
 
 #include "sim/types.hh"
@@ -45,9 +46,45 @@ enum class Flag
 /** True if @p flag was listed in VARSIM_DEBUG. */
 bool enabled(Flag flag);
 
-/** Emit one trace line: "<tick>: <who>: <message>". */
+/**
+ * Emit one trace line: "<tick>: <who>: <message>", prefixed with
+ * "[<run-id>] " when a RunScope is active on this thread. The whole
+ * line is a single fprintf so concurrent runs on the persistent host
+ * pool never interleave mid-line.
+ */
 void print(Tick tick, const std::string &who, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
+
+/**
+ * RAII run identity for trace output (thread-local).
+ *
+ * Experiment and campaign workers wrap each run in a RunScope so
+ * every DPRINTF line it produces carries the run's identity (e.g.
+ * "[g2.r7]") — without it, VARSIM_DEBUG output from concurrent runs
+ * under runManyBatch / runCampaign is an unattributable shuffle.
+ * An optional sink redirects the scope's lines away from the shared
+ * stderr entirely (one stream per run). Scopes nest; destruction
+ * restores the enclosing scope.
+ */
+class RunScope
+{
+  public:
+    explicit RunScope(std::string id, std::FILE *sink = nullptr);
+    ~RunScope();
+
+    RunScope(const RunScope &) = delete;
+    RunScope &operator=(const RunScope &) = delete;
+
+    /** This thread's active run id ("" outside any scope). */
+    static const std::string &currentId();
+
+    /** This thread's active sink (stderr outside any scope). */
+    static std::FILE *currentSink();
+
+  private:
+    std::string prevId;
+    std::FILE *prevSink;
+};
 
 } // namespace trace
 } // namespace sim

@@ -21,12 +21,26 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void
 Histogram::add(double x)
 {
+    // Casting floor(NaN)/floor(±inf) to an integer is undefined
+    // behavior, so non-finite samples never reach the bin
+    // arithmetic: they land in the explicit invalid bucket.
+    if (!std::isfinite(x)) {
+        ++numInvalid;
+        return;
+    }
     const double frac = (x - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(
-        std::floor(frac * static_cast<double>(counts.size())));
-    idx = std::clamp<std::int64_t>(
-        idx, 0, static_cast<std::int64_t>(counts.size()) - 1);
-    ++counts[static_cast<std::size_t>(idx)];
+    const double scaled = frac * static_cast<double>(counts.size());
+    // Clamp in floating point *before* the integer cast: a huge
+    // finite sample (|scaled| > 2^63) would otherwise overflow the
+    // cast itself.
+    std::size_t idx;
+    if (scaled >= static_cast<double>(counts.size()))
+        idx = counts.size() - 1;
+    else if (scaled > 0.0)
+        idx = static_cast<std::size_t>(scaled);
+    else
+        idx = 0;
+    ++counts[idx];
     ++n;
 }
 
@@ -63,6 +77,9 @@ Histogram::render(std::size_t width) const
                            binHi(i), counts[i]);
         out << std::string(bar, '#') << "\n";
     }
+    if (numInvalid)
+        out << sim::format("invalid (nan/inf)            %8zu\n",
+                           numInvalid);
     return out.str();
 }
 

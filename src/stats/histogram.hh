@@ -28,7 +28,11 @@ class Histogram
      */
     Histogram(double lo, double hi, std::size_t bins);
 
-    /** Add one observation (clamped into the edge bins). */
+    /**
+     * Add one observation (clamped into the edge bins). Non-finite
+     * samples (NaN, ±inf) cannot be binned; they are counted in the
+     * invalid bucket instead and do not contribute to total().
+     */
     void add(double x);
 
     /** Add many observations. */
@@ -40,8 +44,11 @@ class Histogram
     /** Number of bins. */
     std::size_t bins() const { return counts.size(); }
 
-    /** Total observations. */
+    /** Total binned observations (excludes the invalid bucket). */
     std::size_t total() const { return n; }
+
+    /** Non-finite samples rejected into the invalid bucket. */
+    std::size_t invalid() const { return numInvalid; }
 
     /** Lower edge of bin @p i. */
     double binLo(std::size_t i) const;
@@ -60,6 +67,7 @@ class Histogram
     double hi_;
     std::vector<std::size_t> counts;
     std::size_t n = 0;
+    std::size_t numInvalid = 0;
 };
 
 } // namespace stats

@@ -172,9 +172,35 @@ meanPrecisionSampleSize(double cov, double relativeError,
 {
     VARSIM_ASSERT(cov >= 0.0, "negative coefficient of variation");
     VARSIM_ASSERT(relativeError > 0.0, "relativeError must be > 0");
-    const double t = normalQuantile(0.5 * (1.0 + confidence));
-    const double n = std::pow(t * cov / relativeError, 2.0);
-    return static_cast<std::size_t>(std::ceil(n));
+    if (cov == 0.0)
+        return 0;
+
+    // Section 5.1.1 builds the interval from Student's t, whose
+    // quantile depends on n itself (df = n-1) — the normal deviate
+    // underestimates n at small samples. Seed with the normal
+    // approximation and iterate n -> ceil((t(n-1) * cov / r)^2) to
+    // a fixed point; t shrinks as n grows, so the iteration settles
+    // in a few steps (an adjacent 2-cycle resolves to the larger,
+    // conservative value).
+    auto needed = [&](double t) {
+        const double n = std::pow(t * cov / relativeError, 2.0);
+        return std::max<std::size_t>(
+            2, static_cast<std::size_t>(std::ceil(n)));
+    };
+    std::size_t n =
+        needed(normalQuantile(0.5 * (1.0 + confidence)));
+    std::size_t prev = 0;
+    for (int iter = 0; iter < 64; ++iter) {
+        const std::size_t next = needed(tCriticalTwoSided(
+            confidence, static_cast<double>(n - 1)));
+        if (next == n)
+            return n;
+        if (next == prev)
+            return std::max(n, next);
+        prev = n;
+        n = next;
+    }
+    return n;
 }
 
 std::size_t

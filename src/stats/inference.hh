@@ -124,11 +124,17 @@ double wrongConclusionRatioAuto(std::span<const double> a,
  * Mean-precision sample-size estimate (Section 5.1.1):
  *    n = (t * S / (r * Y))^2
  * where S/Y is the coefficient of variation (as a fraction, not a
- * percent), r the allowed relative error, and t the normal deviate of
- * the chosen confidence probability.
+ * percent), r the allowed relative error, and t the two-sided
+ * Student-t critical value of the chosen confidence probability at
+ * df = n-1. Because t depends on n, the formula is iterated to a
+ * fixed point from the normal-deviate seed; at small n the t tail is
+ * fatter than the normal's, so the honest answer is a few runs
+ * larger than the z-based closed form. Returns 0 for a
+ * zero-variability sample (one run already has the exact mean).
  *
- * The paper's worked example: r=0.04, confidence 95% (t ~= 2),
- * S/Y = 0.09 gives n ~= 20.
+ * The paper's worked example: r=0.04, confidence 95%, S/Y = 0.09.
+ * The normal deviate (t ~= 2) gives the paper's n ~= 20; the t
+ * iteration converges to 22.
  */
 std::size_t meanPrecisionSampleSize(double cov, double relativeError,
                                     double confidence);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace varsim
 {
@@ -66,16 +67,25 @@ RunningStat::stddev() const
 double
 Summary::coefficientOfVariation() const
 {
-    if (mean == 0.0)
-        return 0.0;
+    if (mean == 0.0) {
+        // Relative variability of a zero-mean sample is undefined;
+        // returning 0 here would falsely report "no variability"
+        // even when the sample visibly scatters.
+        if (stddev == 0.0)
+            return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
+    }
     return 100.0 * stddev / mean;
 }
 
 double
 Summary::rangeOfVariability() const
 {
-    if (mean == 0.0)
-        return 0.0;
+    if (mean == 0.0) {
+        if (max - min == 0.0)
+            return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
+    }
     return 100.0 * (max - min) / mean;
 }
 

@@ -78,10 +78,18 @@ struct Summary
     double min = 0.0;
     double max = 0.0;
 
-    /** Coefficient of variation in percent: 100 * stddev / mean. */
+    /**
+     * Coefficient of variation in percent: 100 * stddev / mean.
+     * NaN when the mean is zero but the sample scatters (relative
+     * variability is undefined there, not zero); 0 for a constant
+     * all-zero sample.
+     */
     double coefficientOfVariation() const;
 
-    /** Range of variability in percent: 100 * (max - min) / mean. */
+    /**
+     * Range of variability in percent: 100 * (max - min) / mean.
+     * NaN when the mean is zero but max > min, as above.
+     */
     double rangeOfVariability() const;
 };
 

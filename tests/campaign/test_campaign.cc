@@ -203,6 +203,43 @@ TEST(Campaign, CheckpointedCampaignResumesBitIdentical)
               allMetrics(killed, spec));
 }
 
+TEST(Campaign, MetricReportCoversRegistryMetrics)
+{
+    const auto spec = smallSpec();
+    const std::string dir = freshDir("metric-report");
+    campaign::runCampaign(spec, dir);
+
+    // Every run recorded its registry dump; the per-metric report
+    // must find a registry metric by name and cover both groups.
+    const auto rep = campaign::campaignMetricReport(
+        dir, "system.mem.bus.l2_misses");
+    EXPECT_NE(rep.text.find("system.mem.bus.l2_misses"),
+              std::string::npos);
+    EXPECT_NE(rep.text.find("assoc-lo"), std::string::npos);
+    EXPECT_NE(rep.text.find("assoc-hi"), std::string::npos);
+    EXPECT_NE(rep.text.find("n=4"), std::string::npos);
+    EXPECT_NE(rep.text.find("CI for the mean"), std::string::npos);
+
+    // Built-in metrics work without the dump.
+    const auto builtin =
+        campaign::campaignMetricReport(dir, "runtime_ticks");
+    EXPECT_NE(builtin.text.find("n=4"), std::string::npos);
+
+    // "list" enumerates what was recorded.
+    const auto list = campaign::campaignMetricReport(dir, "list");
+    EXPECT_NE(list.text.find("cycles_per_txn"), std::string::npos);
+    EXPECT_NE(list.text.find("system.kernel.dispatches"),
+              std::string::npos);
+
+    // The report agrees with recomputing from the store directly.
+    auto store = campaign::ResultStore::open(dir);
+    const auto xs =
+        store->groupMetricNamed(0, "system.mem.bus.l2_misses");
+    ASSERT_EQ(xs.size(), 4u);
+    EXPECT_NE(rep.text.find(core::analyze(xs).toString()),
+              std::string::npos);
+}
+
 TEST(Campaign, StatusReflectsTheStore)
 {
     const auto spec = smallSpec();

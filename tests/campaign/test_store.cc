@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -164,6 +165,74 @@ TEST(ResultStore, TornLineRecoveryIsDurable)
     EXPECT_EQ(store->totalRuns(), 2u);
     EXPECT_EQ(store->groupMetric(0),
               (std::vector<double>{5.5, 6.5}));
+}
+
+TEST(ResultStore, MetricsRecordsRoundTrip)
+{
+    const std::string dir = freshDir("metrics");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        RunRecord r0 = record(0, 0, 2.0);
+        r0.metrics = {{"system.mem.bus.l2_misses", 3948.0},
+                      {"system.kernel.dispatches", 43.0}};
+        store->appendRun(r0);
+        RunRecord r1 = record(0, 1, 3.0);
+        r1.metrics = {{"system.mem.bus.l2_misses", 1.0 / 3.0},
+                      {"system.kernel.dispatches", 44.0}};
+        store->appendRun(r1);
+        // A run with no dump at all (e.g. written by an old binary).
+        store->appendRun(record(1, 0, 4.0));
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 3u);
+
+    const auto misses =
+        store->groupMetricNamed(0, "system.mem.bus.l2_misses");
+    ASSERT_EQ(misses.size(), 2u);
+    EXPECT_EQ(misses[0], 3948.0);
+    EXPECT_EQ(misses[1], 1.0 / 3.0) << "metric double lost bits";
+
+    // Built-ins bypass the per-run dump entirely.
+    EXPECT_EQ(store->groupMetricNamed(0, "cycles_per_txn"),
+              store->groupMetric(0));
+
+    // The group-1 run has no dump: the named prefix is empty, and
+    // asking for an unknown name is empty everywhere.
+    EXPECT_TRUE(
+        store->groupMetricNamed(1, "system.mem.bus.l2_misses")
+            .empty());
+    EXPECT_TRUE(store->groupMetricNamed(0, "no.such.metric")
+                    .empty());
+
+    const auto names = store->metricNames();
+    ASSERT_GE(names.size(), 2u);
+    // Built-ins lead, then the union of per-run metric names sorted.
+    EXPECT_EQ(names.front(), "cycles_per_txn");
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "system.kernel.dispatches"),
+              names.end());
+}
+
+TEST(ResultStore, UnknownRecordTypesAreSkipped)
+{
+    // Forward compatibility: a manifest written by a newer binary may
+    // contain record types this one doesn't know; replay must warn
+    // and keep the runs it understands.
+    const std::string dir = freshDir("unknown");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        store->appendRun(record(0, 0, 5.0));
+    }
+    {
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"type\":\"frobnicate\",\"x\":1}\n";
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 1u);
+    EXPECT_EQ(store->groupMetric(0), (std::vector<double>{5.0}));
 }
 
 TEST(ResultStore, PlanRecordRoundTrips)

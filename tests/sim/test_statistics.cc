@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the metrics registry: registration-order dumps,
+ * lazy formula evaluation, distribution expansion, name-collision
+ * detection, and the JSONL schema round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/jsonl.hh"
+#include "sim/statistics.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace statistics
+{
+namespace
+{
+
+TEST(Distribution, WelfordMoments)
+{
+    Distribution d;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(x);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    // Sample stddev: sqrt(32/7).
+    EXPECT_NEAR(d.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, EmptyIsAllZero)
+{
+    const Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.stddev(), 0.0);
+    EXPECT_EQ(d.min(), 0.0);
+    EXPECT_EQ(d.max(), 0.0);
+}
+
+TEST(Registry, DumpFollowsRegistrationOrder)
+{
+    Registry r;
+    std::uint64_t a = 1, b = 2;
+    r.regScalar("z.last", &b);
+    r.regScalar("a.first", &a);
+    const StatDump d = r.dump();
+    ASSERT_EQ(d.size(), 2u);
+    // Registration order, NOT lexicographic: the JSONL schema is the
+    // construction order of the simulation.
+    EXPECT_EQ(d[0].name, "z.last");
+    EXPECT_EQ(d[1].name, "a.first");
+}
+
+TEST(Registry, ScalarsAreSampledAtDumpTime)
+{
+    Registry r;
+    std::uint64_t counter = 0;
+    r.regScalar("c", &counter);
+    counter = 41;
+    ++counter;
+    const StatDump d = r.dump();
+    EXPECT_DOUBLE_EQ(d[0].value, 42.0);
+}
+
+TEST(Registry, FormulasEvaluateLazily)
+{
+    Registry r;
+    int evaluations = 0;
+    double current = 1.0;
+    r.regFormula("f", [&] {
+        ++evaluations;
+        return current;
+    });
+    EXPECT_EQ(evaluations, 0); // nothing computed at registration
+    current = 7.5;
+    EXPECT_DOUBLE_EQ(r.dump()[0].value, 7.5);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Registry, DistributionExpandsToFiveStats)
+{
+    Registry r;
+    Distribution d;
+    r.regDistribution("queue_delay", &d);
+    d.sample(10.0);
+    d.sample(20.0);
+
+    const StatDump dump = r.dump();
+    ASSERT_EQ(dump.size(), 5u);
+    EXPECT_EQ(dump[0].name, "queue_delay.count");
+    EXPECT_EQ(dump[1].name, "queue_delay.mean");
+    EXPECT_EQ(dump[2].name, "queue_delay.stddev");
+    EXPECT_EQ(dump[3].name, "queue_delay.min");
+    EXPECT_EQ(dump[4].name, "queue_delay.max");
+    EXPECT_DOUBLE_EQ(dump[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(dump[1].value, 15.0);
+    EXPECT_DOUBLE_EQ(dump[3].value, 10.0);
+    EXPECT_DOUBLE_EQ(dump[4].value, 20.0);
+
+    // size() counts entries; statNames() the expanded schema.
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.statNames().size(), 5u);
+    EXPECT_TRUE(r.has("queue_delay"));
+    EXPECT_TRUE(r.has("queue_delay.mean"));
+}
+
+TEST(Registry, DescriptionsAreRetrievable)
+{
+    Registry r;
+    std::uint64_t v = 0;
+    r.regScalar("hits", &v, "cache hits");
+    r.regFormula("ratio", [] { return 0.0; });
+    EXPECT_EQ(r.description("hits"), "cache hits");
+    EXPECT_EQ(r.description("ratio"), "");
+    EXPECT_EQ(r.description("nonexistent"), "");
+}
+
+TEST(RegistryDeathTest, DuplicateNameIsFatal)
+{
+    std::uint64_t v = 0;
+    Registry r;
+    r.regScalar("dup", &v);
+    EXPECT_DEATH(r.regScalar("dup", &v), "duplicate statistic");
+}
+
+TEST(RegistryDeathTest, DistributionCollidesWithExpansion)
+{
+    std::uint64_t v = 0;
+    Registry r;
+    Distribution d;
+    r.regScalar("q.mean", &v);
+    // The distribution would expand to q.count..q.max — q.mean
+    // collides with the already-registered scalar.
+    EXPECT_DEATH(r.regDistribution("q", &d), "duplicate statistic");
+}
+
+TEST(Jsonl, SchemaRoundTrip)
+{
+    Registry r;
+    std::uint64_t hits = 123;
+    r.regScalar("system.l1.hits", &hits);
+    r.regFormula("system.l1.miss_ratio", [] { return 0.25; });
+    Distribution dist;
+    dist.sample(1.5);
+    r.regDistribution("system.bus.delay", &dist);
+
+    const std::string line = toJsonl(r.dump());
+
+    JsonLine parsed;
+    ASSERT_TRUE(parsed.parse(line));
+    EXPECT_DOUBLE_EQ(parsed.real("system.l1.hits"), 123.0);
+    EXPECT_DOUBLE_EQ(parsed.real("system.l1.miss_ratio"), 0.25);
+    EXPECT_DOUBLE_EQ(parsed.real("system.bus.delay.count"), 1.0);
+    EXPECT_DOUBLE_EQ(parsed.real("system.bus.delay.mean"), 1.5);
+
+    // Doubles round-trip bit-exactly through the %.17g encoding.
+    Registry r2;
+    r2.regFormula("pi_ish", [] { return 0.1 + 0.2; });
+    JsonLine p2;
+    ASSERT_TRUE(p2.parse(toJsonl(r2.dump())));
+    EXPECT_EQ(p2.real("pi_ish"), 0.1 + 0.2);
+}
+
+TEST(Jsonl, ByteStableAcrossIdenticalDumps)
+{
+    Registry r;
+    std::uint64_t v = 7;
+    r.regScalar("a", &v);
+    r.regFormula("b", [] { return 1.0 / 3.0; });
+    EXPECT_EQ(toJsonl(r.dump()), toJsonl(r.dump()));
+}
+
+} // anonymous namespace
+} // namespace statistics
+} // namespace sim
+} // namespace varsim

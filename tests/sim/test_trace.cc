@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for run-scoped trace attribution: the RunScope RAII id, the
+ * "[run-id]" line prefix, per-run file sinks, and scope nesting —
+ * what makes VARSIM_DEBUG output from concurrent runs attributable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace trace
+{
+namespace
+{
+
+/** print() into a tmpfile sink and hand back what it wrote. */
+std::string
+captureLine(const std::string &runId)
+{
+    std::FILE *tmp = std::tmpfile();
+    EXPECT_NE(tmp, nullptr);
+    {
+        RunScope scope(runId, tmp);
+        print(1234, "system.cpu0", "dispatch t%d", 7);
+    }
+    std::rewind(tmp);
+    char buf[256] = {};
+    const std::size_t got =
+        std::fread(buf, 1, sizeof(buf) - 1, tmp);
+    std::fclose(tmp);
+    return std::string(buf, got);
+}
+
+TEST(RunScope, NoScopeMeansEmptyId)
+{
+    EXPECT_EQ(RunScope::currentId(), "");
+    EXPECT_EQ(RunScope::currentSink(), stderr);
+}
+
+TEST(RunScope, SetsAndRestoresId)
+{
+    {
+        RunScope scope("g1.r4");
+        EXPECT_EQ(RunScope::currentId(), "g1.r4");
+    }
+    EXPECT_EQ(RunScope::currentId(), "");
+}
+
+TEST(RunScope, NestedScopesRestoreTheOuter)
+{
+    RunScope outer("outer");
+    {
+        RunScope inner("inner");
+        EXPECT_EQ(RunScope::currentId(), "inner");
+    }
+    EXPECT_EQ(RunScope::currentId(), "outer");
+}
+
+TEST(RunScope, LinesCarryTheRunPrefix)
+{
+    const std::string line = captureLine("g2.r7");
+    // "[<run-id>] <tick>: <who>: <message>\n", one write per line.
+    EXPECT_EQ(line,
+              "[g2.r7]         1234: system.cpu0: dispatch t7\n");
+}
+
+TEST(RunScope, UnscopedLinesAreUnprefixed)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    {
+        // Empty id: sink redirection without attribution.
+        RunScope scope("", tmp);
+        print(9, "system.bus", "nack");
+    }
+    std::rewind(tmp);
+    char buf[128] = {};
+    const std::size_t got =
+        std::fread(buf, 1, sizeof(buf) - 1, tmp);
+    std::fclose(tmp);
+    EXPECT_EQ(std::string(buf, got),
+              "           9: system.bus: nack\n");
+}
+
+TEST(RunScope, SinkIsInheritedByNestedScopes)
+{
+    std::FILE *tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    {
+        RunScope outer("o", tmp);
+        // No sink argument: the nested scope keeps the outer sink.
+        RunScope inner("i");
+        EXPECT_EQ(RunScope::currentSink(), tmp);
+        EXPECT_EQ(RunScope::currentId(), "i");
+    }
+    EXPECT_EQ(RunScope::currentSink(), stderr);
+    std::fclose(tmp);
+}
+
+} // anonymous namespace
+} // namespace trace
+} // namespace sim
+} // namespace varsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram, especially the non-finite
+ * sample handling: casting floor(NaN) or floor(inf) to an integer is
+ * undefined behavior, so NaN/±inf must be diverted into the invalid
+ * bucket before any conversion (the sanitized tier-1 run executes
+ * these cases under UBSan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace varsim
+{
+namespace stats
+{
+namespace
+{
+
+TEST(Histogram, BinsUniformSamples)
+{
+    Histogram h(0.0, 10.0, 5);
+    for (double x : {0.5, 2.5, 4.5, 6.5, 8.5})
+        h.add(x);
+    EXPECT_EQ(h.total(), 5u);
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        EXPECT_EQ(h.count(i), 1u) << "bin " << i;
+}
+
+TEST(Histogram, ClampsFiniteOutliersIntoEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(1e300); // huge but finite: clamps, no UB
+    h.add(std::numeric_limits<double>::max());
+    h.add(10.0); // exactly the upper edge of [lo, hi)
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 3u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.invalid(), 0u);
+}
+
+TEST(Histogram, NonFiniteSamplesGoToInvalidBucket)
+{
+    Histogram h(0.0, 10.0, 4);
+    h.add(std::numeric_limits<double>::quiet_NaN());
+    h.add(std::numeric_limits<double>::infinity());
+    h.add(-std::numeric_limits<double>::infinity());
+    h.add(5.0);
+
+    // Before the fix, NaN fell through the clamp (every comparison
+    // with NaN is false) and floor(NaN) was cast to an integer — UB,
+    // and in practice a corrupted bin. Now the three non-finite
+    // samples are isolated and total() still means "binned".
+    EXPECT_EQ(h.invalid(), 3u);
+    EXPECT_EQ(h.total(), 1u);
+    std::size_t binned = 0;
+    for (std::size_t i = 0; i < h.bins(); ++i)
+        binned += h.count(i);
+    EXPECT_EQ(binned, 1u);
+}
+
+TEST(Histogram, SpanAddCountsInvalidToo)
+{
+    Histogram h(0.0, 1.0, 2);
+    const std::vector<double> xs = {
+        0.25, std::numeric_limits<double>::quiet_NaN(), 0.75};
+    h.add(xs);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_EQ(h.invalid(), 1u);
+}
+
+TEST(Histogram, RenderShowsInvalidRowOnlyWhenPresent)
+{
+    Histogram clean(0.0, 1.0, 2);
+    clean.add(0.5);
+    EXPECT_EQ(clean.render().find("invalid"), std::string::npos);
+
+    Histogram dirty(0.0, 1.0, 2);
+    dirty.add(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_NE(dirty.render().find("invalid"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace stats
+} // namespace varsim

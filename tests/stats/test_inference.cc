@@ -147,8 +147,37 @@ TEST(Wcr, AutoPicksDirectionFromMeans)
 
 TEST(SampleSize, PaperWorkedExample)
 {
-    // Section 5.1.1: r=4%, 95% confidence, CoV=9% -> ~20 runs.
-    EXPECT_EQ(meanPrecisionSampleSize(0.09, 0.04, 0.95), 20u);
+    // Section 5.1.1: r=4%, 95% confidence, CoV=9%. The normal
+    // deviate (what the paper's round number reflects) gives
+    // n = ceil((1.96 * 2.25)^2) = 20; iterating with the exact
+    // t critical value (df = n-1, as the small-sample formula
+    // requires) converges to 22.
+    EXPECT_EQ(meanPrecisionSampleSize(0.09, 0.04, 0.95), 22u);
+}
+
+TEST(SampleSize, TInflatesSmallSamples)
+{
+    // The t-based requirement can never be below the closed-form
+    // normal-deviate answer: t(df) >= z for every finite df.
+    const double cov = 0.09, r = 0.04, conf = 0.95;
+    const double z = normalQuantile(0.5 * (1.0 + conf));
+    const auto zOnly = static_cast<std::size_t>(
+        std::ceil(std::pow(z * cov / r, 2.0)));
+    EXPECT_GE(meanPrecisionSampleSize(cov, r, conf), zOnly);
+}
+
+TEST(SampleSize, TMatchesNormalForLargeSamples)
+{
+    // With hundreds of runs required, df is large enough that the
+    // t distribution is indistinguishable from the normal and the
+    // iteration must not inflate the answer.
+    const double cov = 0.50, r = 0.04, conf = 0.95;
+    const double z = normalQuantile(0.5 * (1.0 + conf));
+    const auto zOnly = static_cast<std::size_t>(
+        std::ceil(std::pow(z * cov / r, 2.0)));
+    const std::size_t n = meanPrecisionSampleSize(cov, r, conf);
+    EXPECT_GE(n, zOnly);
+    EXPECT_LE(n, zOnly + 3);
 }
 
 TEST(SampleSize, ShrinksWithLooserError)

@@ -84,9 +84,22 @@ TEST(Summary, PaperMetrics)
     EXPECT_NEAR(s.rangeOfVariability(), 20.0, 1e-9);
 }
 
-TEST(Summary, ZeroMeanIsSafe)
+TEST(Summary, ZeroMeanSpreadIsNan)
 {
+    // A zero mean with nonzero spread has no meaningful relative
+    // variability; silently reporting 0% would claim the opposite
+    // of the truth. NaN, which reports render as "n/a", is honest.
     const std::vector<double> xs = {-1.0, 1.0};
+    const Summary s = summarize(xs);
+    EXPECT_TRUE(std::isnan(s.coefficientOfVariation()));
+    EXPECT_TRUE(std::isnan(s.rangeOfVariability()));
+}
+
+TEST(Summary, AllZeroSamplesHaveZeroVariability)
+{
+    // Identically-zero samples genuinely have no variability: the
+    // 0/0 case stays 0, not NaN.
+    const std::vector<double> xs = {0.0, 0.0, 0.0};
     const Summary s = summarize(xs);
     EXPECT_EQ(s.coefficientOfVariation(), 0.0);
     EXPECT_EQ(s.rangeOfVariability(), 0.0);

@@ -22,9 +22,10 @@ cmake --build "$build" -j "$jobs"
 
 # ctest discovers suites from the build, so a CMake wiring mistake
 # would silently drop one; assert the binaries this gate exists to
-# run (serialization and the persistent checkpoint library lean the
-# hardest on the sanitizers) are actually present.
-for t in test_sim test_ckpt; do
+# run (serialization, the persistent checkpoint library, and the
+# statistics paths — the histogram NaN/inf regression in test_stats
+# only proves anything under UBSan) are actually present.
+for t in test_sim test_stats test_core test_campaign test_ckpt; do
     [ -x "$build/tests/$t" ] || {
         echo "error: $build/tests/$t was not built" >&2
         exit 1
@@ -37,4 +38,17 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export ASAN_OPTIONS="detect_leaks=1"
 
 ctest --test-dir "$build" --output-on-failure -j "$jobs"
+
+# One full-trace smoke run under the sanitizers: VARSIM_DEBUG=All
+# drives every DPRINTF format/argument pair and the run-scoped trace
+# sink, paths the unit tests only sample. Output goes to a log; only
+# the tail is interesting, and only on failure.
+tracelog="$build/trace_smoke.log"
+if ! VARSIM_DEBUG=All "$build/tools/varsim" run --workload oltp \
+    --cpus 2 --runs 2 --warmup 5 --txns 20 >"$tracelog" 2>&1; then
+    echo "error: VARSIM_DEBUG=All smoke run failed; log tail:" >&2
+    tail -n 40 "$tracelog" >&2
+    exit 1
+fi
+
 echo "tier-1 suite clean under address,undefined sanitizers"

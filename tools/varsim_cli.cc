@@ -29,6 +29,9 @@
  *   --seed <s>             base perturbation seed  (default 1000)
  *   --cpus <n>             processors              (default 16)
  *   --threads-per-cpu <n>  software threads/CPU    (workload default)
+ *   --stats <file|->       (run) write each run's full metrics-
+ *                          registry dump as one JSONL line, and
+ *                          print host-throughput profiling
  *
  * Configuration knobs (for run; suffix A/B for compare):
  *   --l2-assoc <w>  --l2-size <bytes>  --dram <ns>  --perturb <ns>
@@ -64,6 +67,13 @@
  *                          published to it when rebuilt (results are
  *                          bit-identical either way)
  *
+ * report options:
+ *   --metric <name>        per-group variability of one recorded
+ *                          metric: a built-in (cycles_per_txn,
+ *                          runtime_ticks, txns) or any registry name
+ *                          (e.g. system.mem.bus.l2_misses); "list"
+ *                          enumerates the recorded names
+ *
  * ckpt options:
  *   create: --dir <library> plus the campaign flags above (the same
  *           grid/seed/checkpoint flags the campaign will use; needs
@@ -84,6 +94,8 @@
  *   varsim campaign run --dir assoc.camp --vary l2-assoc=1,2,4
  *   varsim campaign status --dir assoc.camp
  *   varsim campaign report --dir assoc.camp
+ *   varsim campaign report --dir assoc.camp --metric \
+ *          system.mem.l1_miss_ratio
  *   varsim ckpt create --dir ckpts --checkpoints 4 --step 300 \
  *          --vary l2-assoc=2,4
  *   varsim campaign run --dir a.camp --ckpt-dir ckpts \
@@ -284,6 +296,36 @@ cmdRun(const Args &args)
                 stats::meanPrecisionSampleSize(
                     rep.coefficientOfVariation / 100.0, 0.02,
                     0.95));
+
+    // --stats <file|->: one schema-stable JSONL line per run (the
+    // full metrics-registry dump), plus a host-throughput summary.
+    const std::string statsPath = args.str("stats", "");
+    if (!statsPath.empty()) {
+        std::FILE *out = statsPath == "-"
+                             ? stdout
+                             : std::fopen(statsPath.c_str(), "w");
+        if (out == nullptr)
+            sim::fatal("cannot write %s", statsPath.c_str());
+        for (const auto &r : results)
+            std::fprintf(out, "%s\n", r.statsJsonl().c_str());
+        if (out != stdout)
+            std::fclose(out);
+        double wall = 0.0, mips = 0.0;
+        std::uint64_t events = 0;
+        for (const auto &r : results) {
+            wall += r.host.warmupWallSec + r.host.measureWallSec;
+            events += r.host.eventsDispatched;
+            mips += r.host.hostMips;
+        }
+        std::printf("host: %.2fs total wall, %llu events "
+                    "dispatched, %.1f MIPS mean per run\n",
+                    wall,
+                    static_cast<unsigned long long>(events),
+                    results.empty()
+                        ? 0.0
+                        : mips / static_cast<double>(
+                                     results.size()));
+    }
     return 0;
 }
 
@@ -541,14 +583,25 @@ cmdCampaign(const std::string &action, const Args &args)
         const std::string dir = args.str("dir", "");
         if (dir.empty())
             sim::fatal("campaign %s needs --dir", action.c_str());
-        if (action == "status")
+        if (action == "status") {
             std::printf("%s",
                         campaign::campaignStatus(dir)
                             .toString()
                             .c_str());
-        else
+            return 0;
+        }
+        // report: default is the cycles/txn methodology report;
+        // --metric <name> reports any recorded registry metric, and
+        // --metric list enumerates the available names.
+        const std::string metric = args.str("metric", "");
+        if (metric.empty())
             std::printf("%s\n",
                         campaign::campaignReport(dir).text.c_str());
+        else
+            std::printf(
+                "%s\n",
+                campaign::campaignMetricReport(dir, metric)
+                    .text.c_str());
         return 0;
     }
     if (action != "run" && action != "resume") {
