@@ -2,7 +2,9 @@
  * @file
  * Host-side simulator-throughput benchmark: simulated ticks per host
  * second and transactions per host second, per workload, for one run
- * and for a multi-run experiment batch.
+ * (serial engine), one run on the domained engine with 2/4/8 worker
+ * threads (modes par2/par4/par8 — intra-run scaling), and a
+ * multi-run experiment batch.
  *
  * This is the harness behind the perf trajectory of the repository:
  * the paper's methodology multiplies simulation cost by ~20x (runs x
@@ -91,6 +93,38 @@ singleRun(const WorkloadSpec &spec, int repeat)
     }
 
     return {workload::kindName(spec.kind), "single", 1,
+            r.runtimeTicks, r.txns, wall};
+}
+
+Row
+parRun(const WorkloadSpec &spec, std::size_t threads, int repeat)
+{
+    workload::WorkloadParams wl;
+    wl.kind = spec.kind;
+
+    core::RunConfig rc;
+    rc.warmupTxns = 0;
+    rc.measureTxns = bench::scaleTxns(spec.measureTxns);
+    rc.perturbSeed = 1;
+    rc.par.threads = threads;
+
+    const auto sys = benchSystem();
+
+    double wall = 0;
+    core::RunResult r;
+    for (int rep = 0; rep < repeat; ++rep) {
+        core::Simulation simn(sys, wl, rc.par);
+        simn.seedPerturbation(rc.perturbSeed);
+        bench::Stopwatch sw;
+        r = core::measure(simn, rc, sys.numCpus());
+        const double w = sw.seconds();
+        if (rep == 0 || w < wall)
+            wall = w;
+    }
+
+    std::ostringstream mode;
+    mode << "par" << threads;
+    return {workload::kindName(spec.kind), mode.str(), threads,
             r.runtimeTicks, r.txns, wall};
 }
 
@@ -194,6 +228,20 @@ main(int argc, char **argv)
                     s.workload.c_str(), s.mode.c_str(),
                     s.ticksPerSec() / 1e6, s.txnsPerSec(),
                     s.wallSeconds);
+        // Intra-run scaling: one simulation on the domained engine
+        // with 2/4/8 workers. The domained engine is a slightly
+        // different timing model (the lookahead becomes a hop
+        // latency), so parN's sim_ticks differ from single's — the
+        // scaling metric is ticks/s across parN rows, not vs single.
+        for (std::size_t threads : {2u, 4u, 8u}) {
+            rows.push_back(parRun(spec, threads, repeat));
+            const Row &p = rows.back();
+            std::printf("%-10s %-8s %12.3fM ticks/s %10.0f txns/s "
+                        "(%.2fs wall)\n",
+                        p.workload.c_str(), p.mode.c_str(),
+                        p.ticksPerSec() / 1e6, p.txnsPerSec(),
+                        p.wallSeconds);
+        }
         rows.push_back(
             multiRun(spec, bench::scaleRuns(8), repeat));
         const Row &m = rows.back();

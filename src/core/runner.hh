@@ -44,6 +44,13 @@ struct RunConfig
      * window of this many transactions (Figure 8-style series).
      */
     std::uint64_t windowTxns = 0;
+
+    /**
+     * Intra-run parallelism (default: off, legacy serial engine).
+     * Results on the domained engine are identical for every
+     * par.threads >= 1 — only wall-clock time changes.
+     */
+    ParallelConfig par;
 };
 
 /**

@@ -21,6 +21,7 @@
 
 #include "core/config.hh"
 #include "mem/mem_system.hh"
+#include "sim/domains.hh"
 #include "sim/statistics.hh"
 #include "workload/workload.hh"
 
@@ -49,8 +50,16 @@ struct TxnRecord
 class Simulation : public os::TxnSink
 {
   public:
+    /**
+     * @p par selects the event engine: default ({}) is the legacy
+     * single event queue, bit-exact with every historical golden;
+     * par.enabled() builds the per-CPU domained engine instead (same
+     * model, +Λ cross-domain hop skew — its own golden pins live in
+     * tests/core/test_parallel_golden.cc).
+     */
     Simulation(const SystemConfig &sys,
-               const workload::WorkloadParams &wl);
+               const workload::WorkloadParams &wl,
+               const ParallelConfig &par = {});
     ~Simulation() override;
 
     /**
@@ -98,7 +107,8 @@ class Simulation : public os::TxnSink
      */
     static std::unique_ptr<Simulation>
     restore(const SystemConfig &sys,
-            const workload::WorkloadParams &wl, const Checkpoint &cp);
+            const workload::WorkloadParams &wl, const Checkpoint &cp,
+            const ParallelConfig &par = {});
 
     // ---- introspection ----
     os::Kernel &kernel() { return *kernel_; }
@@ -122,9 +132,23 @@ class Simulation : public os::TxnSink
     }
 
     /** Host-side event dispatch count (profiling, not sim state). */
-    std::uint64_t eventsDispatched() const
+    std::uint64_t
+    eventsDispatched() const
     {
-        return eq.numDispatched();
+        std::uint64_t n = eq.numDispatched();
+        for (const auto &q : cpuQueues_)
+            n += q->numDispatched();
+        return n;
+    }
+
+    /** True if this instance runs the domained parallel engine. */
+    bool parallelEngine() const { return scheduler_ != nullptr; }
+
+    /** Barrier rounds executed (0 on the legacy engine). */
+    std::uint64_t
+    parallelRounds() const
+    {
+        return scheduler_ ? scheduler_->rounds() : 0;
     }
 
     // ---- os::TxnSink ----
@@ -137,7 +161,13 @@ class Simulation : public os::TxnSink
 
     SystemConfig sys_;
     workload::WorkloadParams wlParams;
+    ParallelConfig par_;
+    /** The shared domain's queue; the only queue in legacy mode. */
     sim::EventQueue eq;
+    /** Per-CPU domain queues; empty on the legacy engine. */
+    std::vector<std::unique_ptr<sim::EventQueue>> cpuQueues_;
+    std::unique_ptr<sim::DomainRouter> router_;
+    std::unique_ptr<sim::DomainScheduler> scheduler_;
     std::unique_ptr<mem::MemSystem> mem_;
     std::vector<std::unique_ptr<cpu::BaseCpu>> cpus_;
     std::unique_ptr<os::Kernel> kernel_;

@@ -1,5 +1,7 @@
 #include "mem/cache_array.hh"
 
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace varsim
@@ -104,7 +106,21 @@ CacheArray::serialize(sim::CheckpointOut &cp) const
     cp.put<std::uint64_t>(ways);
     cp.put<std::uint64_t>(blockBytes);
     cp.put(useCounter);
-    cp.put(lines);
+    // CacheLine has internal padding and cp.put(vector) memcpys raw
+    // object bytes, so serialize a member-wise copy whose padding is
+    // zeroed. Otherwise the image would embed whatever the allocator
+    // recycled into those bytes, and checkpoints of identical
+    // simulated state would not be bitwise identical.
+    std::vector<CacheLine> clean(lines.size());
+    std::memset(static_cast<void *>(clean.data()), 0,
+                clean.size() * sizeof(CacheLine));
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        clean[i].blockAddr = lines[i].blockAddr;
+        clean[i].state = lines[i].state;
+        clean[i].aux = lines[i].aux;
+        clean[i].lastUse = lines[i].lastUse;
+    }
+    cp.put(clean);
 }
 
 void

@@ -72,7 +72,7 @@ L1Cache::access(const MemRequest &req)
                 int(req.write));
         // An L2 hit responds synchronously, re-entering l2Response
         // and mutating mshr — `fresh` is dead past this call.
-        l2.request(block, req.write, this);
+        forwardToL2(block, req.write);
         return;
     }
     // Merge into the outstanding miss. If this request needs write
@@ -82,7 +82,26 @@ L1Cache::access(const MemRequest &req)
         hadWrite |= r.write;
     entry->reqs.push_back(req);
     if (req.write && !hadWrite)
-        l2.request(block, true, this);
+        forwardToL2(block, true);
+}
+
+void
+L1Cache::forwardToL2(sim::Addr block, bool write)
+{
+    if (router_ == nullptr) {
+        l2.request(block, write, this);
+        return;
+    }
+    // One conservative hop to the shared domain; the L2 runs the
+    // request (and any synchronous hit response back through our
+    // respond() mailbox path) from its own queue.
+    L2Controller *l2p = &l2;
+    L1Cache *self = this;
+    router_->send(dom_, sim::sharedDomain,
+                  curTick() + router_->lookahead(),
+                  sim::Event::defaultPri, [l2p, block, write, self] {
+                      l2p->request(block, write, self);
+                  });
 }
 
 void

@@ -86,7 +86,7 @@ L2Controller::request(sim::Addr block_addr, bool need_writable,
         DPRINTF(Cache, "L2 hit blk=%#llx w=%d",
                 static_cast<unsigned long long>(block_addr),
                 int(need_writable));
-        who->l2Response(block_addr, need_writable, cfg.l2HitLatency);
+        respond(who, block_addr, need_writable);
         return;
     }
 
@@ -235,9 +235,49 @@ void
 L2Controller::backProbeL1s(const CacheLine &line, bool invalidate_l1)
 {
     if ((line.aux & l2AuxL1ICopy) && icache != nullptr)
-        icache->backProbe(line.blockAddr, invalidate_l1);
+        probeL1(icache, line.blockAddr, invalidate_l1);
     if ((line.aux & l2AuxL1DCopy) && dcache != nullptr)
-        dcache->backProbe(line.blockAddr, invalidate_l1);
+        probeL1(dcache, line.blockAddr, invalidate_l1);
+}
+
+void
+L2Controller::respond(L1Cache *who, sim::Addr block, bool writable)
+{
+    if (router_ == nullptr) {
+        who->l2Response(block, writable, cfg.l2HitLatency);
+        return;
+    }
+    // One conservative hop back into the L1's CPU domain. The
+    // request already spent one hop getting here, so the CPU-notify
+    // remainder is the hit latency minus both hops: end-to-end
+    // timing of the request→hit→response path is preserved exactly
+    // when 2Λ <= l2HitLatency (which the auto-derived Λ guarantees).
+    const sim::Tick hop = router_->lookahead();
+    const sim::Tick rem =
+        cfg.l2HitLatency > 2 * hop ? cfg.l2HitLatency - 2 * hop : 0;
+    router_->send(sim::sharedDomain, who->domainId(),
+                  curTick() + hop, sim::Event::memoryResponsePri,
+                  [who, block, writable, rem] {
+                      who->l2Response(block, writable, rem);
+                  });
+}
+
+void
+L2Controller::probeL1(L1Cache *l1, sim::Addr block, bool invalidate)
+{
+    if (router_ == nullptr) {
+        l1->backProbe(block, invalidate);
+        return;
+    }
+    // Same edge and priority as fills: a probe and a fill for the
+    // same L1 arrive in the order the L2 (the coherence order
+    // point) generated them — lane FIFO keeps races well defined.
+    router_->send(sim::sharedDomain, l1->domainId(),
+                  curTick() + router_->lookahead(),
+                  sim::Event::memoryResponsePri,
+                  [l1, block, invalidate] {
+                      l1->backProbe(block, invalidate);
+                  });
 }
 
 void

@@ -22,23 +22,152 @@ Kernel::Kernel(std::string name, sim::EventQueue &eq, OsConfig config,
         quantumEvents.push_back(
             std::make_unique<sim::EventFunctionWrapper>(
                 [this, i] {
-                    if (cpus[i]->isIdle())
+                    if (idleView(i))
                         return;
                     // schedctl-style postponement: never preempt a
                     // lock holder; recheck shortly after.
-                    auto *t = static_cast<Thread *>(
-                        cpus[i]->currentThread());
+                    Thread *t = threadView(i);
                     if (t != nullptr && t->heldLocks > 0) {
                         eventq().schedule(quantumEvents[i].get(),
                                           curTick() +
                                               cfg.quantum / 4);
                         return;
                     }
-                    cpus[i]->requestPreempt();
+                    cpuRequestPreempt(i);
                 },
                 this->name() + sim::format(".quantum%zu", i),
                 sim::Event::schedulerPri));
     }
+}
+
+void
+Kernel::bindDomains(sim::DomainRouter &router)
+{
+    router_ = &router;
+    shadowThread.assign(cpus.size(), nullptr);
+    shadowIdle.assign(cpus.size(), true);
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+        ports_.push_back(std::make_unique<CpuPort>());
+        ports_.back()->init(this, &router,
+                            static_cast<sim::DomainId>(1 + i));
+        cpus[i]->setHost(ports_.back().get());
+    }
+}
+
+void
+Kernel::CpuPort::syscall(cpu::BaseCpu &cpu, cpu::ThreadContext &tc,
+                         const cpu::Op &op)
+{
+    Kernel *k = kernel;
+    cpu::BaseCpu *c = &cpu;
+    cpu::ThreadContext *t = &tc;
+    const cpu::Op o = op;
+    router->send(dom, sim::sharedDomain,
+                 cpu.curTick() + router->lookahead(),
+                 sim::Event::cpuTickPri,
+                 [k, c, t, o] { k->syscall(*c, *t, o); });
+}
+
+void
+Kernel::CpuPort::preempted(cpu::BaseCpu &cpu)
+{
+    Kernel *k = kernel;
+    cpu::BaseCpu *c = &cpu;
+    router->send(dom, sim::sharedDomain,
+                 cpu.curTick() + router->lookahead(),
+                 sim::Event::cpuTickPri, [k, c] { k->preempted(*c); });
+}
+
+void
+Kernel::CpuPort::drained(cpu::BaseCpu &cpu)
+{
+    Kernel *k = kernel;
+    cpu::BaseCpu *c = &cpu;
+    router->send(dom, sim::sharedDomain,
+                 cpu.curTick() + router->lookahead(),
+                 sim::Event::cpuTickPri, [k, c] { k->drained(*c); });
+}
+
+void
+Kernel::cpuRunThread(std::size_t i, Thread *t, sim::Tick delay)
+{
+    if (!domained()) {
+        cpus[i]->runThread(t, delay);
+        return;
+    }
+    shadowThread[i] = t;
+    shadowIdle[i] = false;
+    cpu::BaseCpu *c = cpus[i];
+    cpu::ThreadContext *tc = t;
+    const sim::Tick rem = localDelay(delay);
+    router_->send(sim::sharedDomain,
+                  static_cast<sim::DomainId>(1 + i),
+                  curTick() + hop(), sim::Event::schedulerPri,
+                  [c, tc, rem] { c->runThread(tc, rem); });
+}
+
+void
+Kernel::cpuContinue(cpu::BaseCpu &cpu, sim::Tick delay)
+{
+    if (!domained()) {
+        cpu.continueThread(delay);
+        return;
+    }
+    cpu::BaseCpu *c = &cpu;
+    const sim::Tick rem = localDelay(delay);
+    router_->send(
+        sim::sharedDomain,
+        static_cast<sim::DomainId>(1 + cpu.cpuId()),
+        curTick() + hop(), sim::Event::schedulerPri,
+        [c, rem] { c->continueThread(rem); });
+}
+
+void
+Kernel::cpuSetIdle(std::size_t i)
+{
+    if (!domained()) {
+        cpus[i]->setIdle();
+        return;
+    }
+    shadowThread[i] = nullptr;
+    shadowIdle[i] = true;
+    cpu::BaseCpu *c = cpus[i];
+    router_->send(sim::sharedDomain,
+                  static_cast<sim::DomainId>(1 + i),
+                  curTick() + hop(), sim::Event::schedulerPri,
+                  [c] { c->setIdle(); });
+}
+
+void
+Kernel::cpuRequestPreempt(std::size_t i)
+{
+    if (!domained()) {
+        cpus[i]->requestPreempt();
+        return;
+    }
+    // The flag lands Λ later; if the thread parks first, the flag
+    // hits an idle CPU and the *next* thread takes a spuriously
+    // early op-boundary preemption — the same benign race a real
+    // IPI loses, and deterministic like everything else here.
+    cpu::BaseCpu *c = cpus[i];
+    router_->send(sim::sharedDomain,
+                  static_cast<sim::DomainId>(1 + i),
+                  curTick() + hop(), sim::Event::schedulerPri,
+                  [c] { c->requestPreempt(); });
+}
+
+void
+Kernel::cpuResumeFromDrain(std::size_t i)
+{
+    if (!domained()) {
+        cpus[i]->resumeFromDrain();
+        return;
+    }
+    cpu::BaseCpu *c = cpus[i];
+    router_->send(sim::sharedDomain,
+                  static_cast<sim::DomainId>(1 + i),
+                  curTick() + hop(), sim::Event::schedulerPri,
+                  [c] { c->resumeFromDrain(); });
 }
 
 Kernel::~Kernel() = default;
@@ -175,7 +304,7 @@ Kernel::enqueue(Thread &t, bool allow_migrate)
     }
     t.state = Thread::State::Ready;
     runQueues[target].push_back(t.tid());
-    if (!draining_ && cpus[target]->isIdle())
+    if (!draining_ && idleView(target))
         dispatch(target);
 }
 
@@ -186,7 +315,7 @@ Kernel::dispatch(std::size_t cpu_idx)
         // The previous thread just blocked/yielded/finished while a
         // drain is in progress: no new work may start, so this CPU
         // is quiescent now.
-        cpus[cpu_idx]->setIdle();
+        cpuSetIdle(cpu_idx);
         cancelQuantum(cpu_idx);
         cpuDrained[cpu_idx] = true;
         return;
@@ -207,7 +336,7 @@ Kernel::dispatch(std::size_t cpu_idx)
 
     if (tid == sim::invalidThreadId) {
         cancelQuantum(cpu_idx);
-        cpus[cpu_idx]->setIdle();
+        cpuSetIdle(cpu_idx);
         return;
     }
 
@@ -221,7 +350,7 @@ Kernel::dispatch(std::size_t cpu_idx)
     record(SchedEvent::Kind::Dispatch,
            static_cast<sim::CpuId>(cpu_idx), tid);
     DPRINTF(Sched, "dispatch t%d on cpu%zu", tid, cpu_idx);
-    cpus[cpu_idx]->runThread(&t, cfg.ctxSwitchCost);
+    cpuRunThread(cpu_idx, &t, cfg.ctxSwitchCost);
     armQuantum(cpu_idx);
 }
 
@@ -270,7 +399,7 @@ Kernel::syscall(cpu::BaseCpu &cpu, cpu::ThreadContext &tc,
         if (txnSink != nullptr) {
             txnSink->transactionCompleted(t.tid(), op.id, curTick());
         }
-        cpu.continueThread(0);
+        cpuContinue(cpu, 0);
         return;
       case cpu::OpKind::Yield:
         t.stream().advance();
@@ -303,7 +432,7 @@ Kernel::doLock(cpu::BaseCpu &cpu, Thread &t, const cpu::Op &op)
         ++t.heldLocks;
         ++stats_.lockAcquires;
         t.stream().advance();
-        cpu.continueThread(cfg.syscallCost);
+        cpuContinue(cpu, cfg.syscallCost);
         return;
     }
     // Contended. Adaptive policy (Solaris): while the owner is
@@ -314,7 +443,7 @@ Kernel::doLock(cpu::BaseCpu &cpu, Thread &t, const cpu::Op &op)
     if (cfg.spinRetryNs > 0 &&
         thread(m.owner).state == Thread::State::Running) {
         ++stats_.lockSpins;
-        cpu.continueThread(cfg.spinRetryNs);
+        cpuContinue(cpu, cfg.spinRetryNs);
         return;
     }
     ++stats_.contendedLocks;
@@ -352,7 +481,7 @@ Kernel::doUnlock(cpu::BaseCpu &cpu, Thread &t, const cpu::Op &op)
         m.waiters.pop_front();
         wake(thread(next));
     }
-    cpu.continueThread(cfg.syscallCost);
+    cpuContinue(cpu, cfg.syscallCost);
 }
 
 void
@@ -371,7 +500,7 @@ Kernel::doBarrier(cpu::BaseCpu &cpu, Thread &t, const cpu::Op &op)
         b.waiting.clear();
         for (sim::ThreadId w : released)
             wake(thread(w));
-        cpu.continueThread(cfg.syscallCost);
+        cpuContinue(cpu, cfg.syscallCost);
         return;
     }
     b.waiting.push_back(t.tid());
@@ -438,9 +567,11 @@ Kernel::endDrain()
         }
     }
     for (std::size_t i = 0; i < cpus.size(); ++i) {
+        // Quiescent between rounds: reading the parked CPU directly
+        // is race-free on both engines.
         if (cpus[i]->currentThread() != nullptr) {
             armQuantum(i);
-            cpus[i]->resumeFromDrain();
+            cpuResumeFromDrain(i);
         } else {
             dispatch(i);
         }
@@ -524,9 +655,14 @@ Kernel::unserialize(sim::CheckpointIn &cp)
     draining_ = true;
     for (std::size_t i = 0; i < cpus.size(); ++i) {
         cpuDrained[i] = true;
-        cpus[i]->attachThread(
-            running[i] != sim::invalidThreadId ? &thread(running[i])
-                                               : nullptr);
+        Thread *t = running[i] != sim::invalidThreadId
+                        ? &thread(running[i])
+                        : nullptr;
+        cpus[i]->attachThread(t);
+        if (domained()) {
+            shadowThread[i] = t;
+            shadowIdle[i] = t == nullptr;
+        }
     }
 }
 

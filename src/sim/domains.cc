@@ -1,0 +1,177 @@
+#include "sim/domains.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace varsim
+{
+namespace sim
+{
+
+DomainRouter::DomainRouter(std::vector<EventQueue *> queues,
+                           Tick lookahead)
+    : queues_(std::move(queues)), lookahead_(lookahead),
+      lanes_(queues_.size() * queues_.size())
+{
+    assert(!queues_.empty());
+    assert(lookahead_ > 0 && "zero lookahead cannot make progress");
+}
+
+void
+DomainRouter::checkSend(DomainId src, DomainId dst, Tick when) const
+{
+    assert(src < queues_.size() && dst < queues_.size());
+    assert(when >= queues_[src]->curTick() + lookahead_ &&
+           "cross-domain message inside the conservative horizon");
+    (void)src;
+    (void)dst;
+    (void)when;
+}
+
+void
+DomainRouter::drainAll()
+{
+    const std::size_t n = queues_.size();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+        for (std::size_t src = 0; src < n; ++src) {
+            auto &lane = lanes_[src * n + dst];
+            for (auto &msg : lane) {
+                queues_[dst]->callAt(
+                    msg.when,
+                    [fn = std::move(msg.fn)]() mutable { fn(); },
+                    msg.pri);
+                ++delivered_;
+            }
+            lane.clear();
+        }
+    }
+}
+
+bool
+DomainRouter::anyPending() const
+{
+    for (const auto &lane : lanes_) {
+        if (!lane.empty())
+            return true;
+    }
+    return false;
+}
+
+DomainScheduler::DomainScheduler(std::vector<EventQueue *> queues,
+                                 DomainRouter &router,
+                                 std::size_t workers)
+    : queues_(std::move(queues)), router_(router),
+      parties_(std::min(workers == 0 ? 1 : workers, queues_.size()))
+{
+    assert(!queues_.empty());
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    if (pool_.empty())
+        return;
+    exit_.store(true, std::memory_order_relaxed);
+    // Release the start barrier so blocked workers observe exit_.
+    barrier();
+    for (auto &t : pool_)
+        t.join();
+}
+
+void
+DomainScheduler::startPool()
+{
+    pool_.reserve(parties_ - 1);
+    for (std::size_t w = 1; w < parties_; ++w)
+        pool_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+DomainScheduler::barrier()
+{
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        parties_) {
+        arrived_.store(0, std::memory_order_relaxed);
+        generation_.store(gen + 1, std::memory_order_release);
+    } else {
+        std::uint32_t spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen) {
+            if (++spins > 1000) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+}
+
+void
+DomainScheduler::runStripe(std::size_t worker, Tick bound)
+{
+    for (std::size_t i = worker; i < queues_.size(); i += parties_)
+        queues_[i]->run(bound);
+}
+
+void
+DomainScheduler::workerLoop(std::size_t worker)
+{
+    for (;;) {
+        barrier(); // wait for the coordinator to publish bound_
+        if (exit_.load(std::memory_order_relaxed))
+            return;
+        runStripe(worker, bound_);
+        barrier(); // round complete
+    }
+}
+
+void
+DomainScheduler::run()
+{
+    for (;;) {
+        // Serial phase: deliver mailboxes, find the global horizon.
+        router_.drainAll();
+        Tick nextT = maxTick;
+        for (EventQueue *q : queues_) {
+            const Tick t = q->nextEventTick();
+            if (t < nextT)
+                nextT = t;
+        }
+        if (nextT == maxTick)
+            return; // quiescent: nothing anywhere, nothing in flight
+
+        // Parallel phase: every domain runs up to (not through) the
+        // horizon B = nextT + Λ. run()'s bound is inclusive.
+        const Tick bound = nextT + router_.lookahead() - 1;
+        if (parties_ == 1) {
+            // Degenerate case: inline, in domain order, no workers.
+            for (EventQueue *q : queues_)
+                q->run(bound);
+        } else {
+            if (pool_.empty())
+                startPool();
+            bound_ = bound;
+            barrier(); // start: workers read bound_ after this
+            runStripe(0, bound);
+            barrier(); // finish: worker writes visible after this
+        }
+        ++rounds_;
+
+        if (stop_)
+            return; // round-granularity stop (see requestStop)
+    }
+}
+
+bool
+DomainScheduler::idle()
+{
+    if (router_.anyPending())
+        return false;
+    for (EventQueue *q : queues_) {
+        if (q->nextEventTick() != maxTick)
+            return false;
+    }
+    return true;
+}
+
+} // namespace sim
+} // namespace varsim

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Deterministic intra-run parallelism: per-CPU event-queue domains
+ * synchronized by a conservative quantum/barrier scheme.
+ *
+ * The simulation is partitioned into domains, each owning one
+ * EventQueue: domain 0 (the *shared* domain) holds the snoop
+ * bus / directory fabric, the L2 controllers, DRAM, and the simulated
+ * OS kernel; domain 1+i holds CPU i and its private L1 pair. Every
+ * cross-domain interaction is a *message*: a closure posted through
+ * the DomainRouter that executes in the target domain at least one
+ * lookahead (Λ) in the future.
+ *
+ * The round protocol (DomainScheduler::run) is:
+ *
+ *   1. Drain every mailbox lane into the target queues, in a fixed
+ *      order (destination-major, then source, then lane FIFO). This
+ *      is serial, on the coordinating thread.
+ *   2. Compute nextT = min over all queues of the next live event
+ *      tick; the round horizon is B = nextT + Λ.
+ *   3. Every domain dispatches its events with tick < B, in
+ *      parallel. A domain never touches another domain's state: all
+ *      it can do is append messages to its own single-writer lanes.
+ *   4. Barrier; goto 1.
+ *
+ * Conservative correctness: every event dispatched in step 3 has
+ * tick >= nextT, so every message it sends carries
+ * when >= nextT + Λ = B — beyond the horizon. No domain can receive
+ * anything during a round that should have influenced that same
+ * round, so no rollback is ever needed.
+ *
+ * Determinism: the round sequence, the mailbox drain order, and each
+ * queue's (tick, priority, seq) dispatch order are all pure
+ * functions of simulation state — no host clocks, no thread IDs, no
+ * pointer values. The worker count only changes which host thread
+ * dispatches a domain's events, never their order, so results are
+ * bitwise identical for any --threads value (pinned by
+ * tests/core/test_parallel_golden.cc).
+ *
+ * Memory model: workers synchronize exclusively through the round
+ * barrier (acquire/release on the generation counter), which orders
+ * every write a domain made in round R before every read of it in
+ * round R+1 — message payloads and queue internals cross threads
+ * only over that edge, so the scheme is clean under ThreadSanitizer.
+ */
+
+#ifndef VARSIM_SIM_DOMAINS_HH
+#define VARSIM_SIM_DOMAINS_HH
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sim/eventq.hh"
+#include "sim/types.hh"
+
+namespace varsim
+{
+namespace sim
+{
+
+/** Index of an event-queue domain within one simulation. */
+using DomainId = std::uint32_t;
+
+/** The domain holding the bus/L2/DRAM fabric and the OS kernel. */
+constexpr DomainId sharedDomain = 0;
+
+/**
+ * A move-only closure with inline storage for small trivially
+ * copyable captures (the cross-domain hot path captures only
+ * pointers and scalars). Oversized or non-trivial callables fall
+ * back to the heap (cold path: syscalls, not memory traffic).
+ */
+class InlineFn
+{
+  public:
+    /** Covers every capture list on the memory-system edges. */
+    static constexpr std::size_t inlineBytes = 32;
+
+    InlineFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn>>>
+    InlineFn(F &&fn) // NOLINT: implicit by design, like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineBytes &&
+                      alignof(Fn) <= alignof(::max_align_t) &&
+                      std::is_trivially_copyable_v<Fn>) {
+            ::new (static_cast<void *>(storage_))
+                Fn(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            destroy_ = nullptr; // trivially copyable => trivial dtor
+        } else {
+            ::new (static_cast<void *>(storage_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            invoke_ = [](void *p) { (**static_cast<Fn **>(p))(); };
+            destroy_ = [](void *p) {
+                delete *static_cast<Fn **>(p);
+            };
+        }
+    }
+
+    InlineFn(InlineFn &&other) noexcept { moveFrom(other); }
+
+    InlineFn &
+    operator=(InlineFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    void operator()() { invoke_(storage_); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    /** True if the callable spilled to the heap (for tests). */
+    bool onHeap() const { return destroy_ != nullptr; }
+
+  private:
+    void
+    moveFrom(InlineFn &other) noexcept
+    {
+        // Inline payloads are trivially copyable and heap payloads
+        // are a single raw pointer, so a byte copy moves either.
+        std::memcpy(storage_, other.storage_, inlineBytes);
+        invoke_ = other.invoke_;
+        destroy_ = other.destroy_;
+        other.invoke_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    void
+    reset()
+    {
+        if (destroy_ != nullptr)
+            destroy_(storage_);
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+    alignas(::max_align_t) unsigned char storage_[inlineBytes];
+};
+
+/**
+ * Per-(source, destination) mailbox lanes between domains.
+ *
+ * During a round each domain appends messages only to its own lanes
+ * (single writer, no locks); between rounds the coordinator drains
+ * every lane into the destination queues in a fixed total order.
+ * Lane vectors keep their capacity across rounds, so steady-state
+ * messaging is allocation-free for inline closures.
+ */
+class DomainRouter
+{
+  public:
+    /**
+     * @param queues one EventQueue per domain, index == DomainId
+     *               (index 0 is the shared domain).
+     * @param lookahead the conservative horizon Λ, in ticks (> 0).
+     */
+    DomainRouter(std::vector<EventQueue *> queues, Tick lookahead);
+
+    Tick lookahead() const { return lookahead_; }
+    std::size_t numDomains() const { return queues_.size(); }
+
+    /**
+     * Post a closure to execute in domain @p dst at tick @p when.
+     * Must be called from the context executing domain @p src (its
+     * worker during a round, or the coordinator between rounds).
+     * @p when must lie at least one lookahead past @p src's current
+     * tick — that bound is what makes rounds conservative.
+     */
+    template <typename F>
+    void
+    send(DomainId src, DomainId dst, Tick when, Event::Priority pri,
+         F &&fn)
+    {
+        checkSend(src, dst, when);
+        lanes_[src * queues_.size() + dst].push_back(
+            {when, pri, InlineFn(std::forward<F>(fn))});
+    }
+
+    /**
+     * Deliver every pending message into its destination queue
+     * (EventQueue::callAt). Serial; call only between rounds. The
+     * order — destination-major, source-minor, FIFO within a lane —
+     * fixes the seq numbers ties resolve by, so delivery order is a
+     * pure function of what was sent.
+     */
+    void drainAll();
+
+    /** Any undelivered messages? Serial; between rounds only. */
+    bool anyPending() const;
+
+    /** Messages delivered since construction. */
+    std::uint64_t delivered() const { return delivered_; }
+
+  private:
+    struct Message
+    {
+        Tick when;
+        Event::Priority pri;
+        InlineFn fn;
+    };
+
+    void checkSend(DomainId src, DomainId dst, Tick when) const;
+
+    std::vector<EventQueue *> queues_;
+    Tick lookahead_;
+    /** lanes_[src * N + dst]; each written only by domain src. */
+    std::vector<std::vector<Message>> lanes_;
+    std::uint64_t delivered_ = 0;
+};
+
+/**
+ * Runs the round protocol over a set of domain queues, optionally on
+ * a private worker pool.
+ *
+ * The pool is deliberately NOT the process-wide HostThreadPool:
+ * campaign engines run whole simulations inside pool jobs, and pool
+ * jobs must not re-enter parallelFor. Domain workers are plain
+ * std::threads owned by (and bounded to the lifetime of) one
+ * simulation.
+ *
+ * With workers == 1 every domain runs inline on the calling thread —
+ * zero synchronization, used both for the `--threads 1` serial pin
+ * and as the degenerate case the determinism argument reduces to.
+ */
+class DomainScheduler
+{
+  public:
+    DomainScheduler(std::vector<EventQueue *> queues,
+                    DomainRouter &router, std::size_t workers);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    /**
+     * Run rounds until a stop is requested (between rounds) or the
+     * whole system is quiescent: every queue empty, every mailbox
+     * drained.
+     */
+    void run();
+
+    /**
+     * Ask run() to return at the next round boundary. Unlike
+     * EventQueue::requestStop this never halts a domain mid-round:
+     * the round completes, keeping every queue at the common
+     * horizon, so a later run() resumes exactly where an
+     * uninterrupted one would be. Call from shared-domain event
+     * context (the coordinator's thread) or between rounds.
+     */
+    void requestStop() { stop_ = true; }
+
+    void clearStop() { stop_ = false; }
+
+    /** All queues and mailboxes empty (valid between rounds). */
+    bool idle();
+
+    /** Rounds executed since construction. */
+    std::uint64_t rounds() const { return rounds_; }
+
+    /** Host threads participating (1 = fully inline). */
+    std::size_t parties() const { return parties_; }
+
+  private:
+    void startPool();
+    void workerLoop(std::size_t worker);
+    void barrier();
+    void runStripe(std::size_t worker, Tick bound);
+
+    std::vector<EventQueue *> queues_;
+    DomainRouter &router_;
+    std::size_t parties_;
+    bool stop_ = false;
+    std::uint64_t rounds_ = 0;
+
+    // ---- worker pool (created on the first parallel round) ----
+    std::vector<std::thread> pool_;
+    Tick bound_ = 0;                ///< written by the coordinator
+    std::atomic<bool> exit_{false};
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+} // namespace sim
+} // namespace varsim
+
+#endif // VARSIM_SIM_DOMAINS_HH

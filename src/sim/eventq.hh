@@ -267,6 +267,18 @@ class EventQueue
     /** True if a stop has been requested but not yet cleared. */
     bool stopPending() const { return stopRequested; }
 
+    /**
+     * Tick of the earliest live (non-tombstoned) pending event, or
+     * maxTick if the queue is empty. Used by the domain scheduler to
+     * compute the global round horizon. Not const: skims stale
+     * tombstones off the heap top as a side effect.
+     */
+    Tick
+    nextEventTick()
+    {
+        return skimStale() ? heap.front().when : maxTick;
+    }
+
   private:
     struct HeapEntry
     {

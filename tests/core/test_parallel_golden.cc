@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Golden pins and determinism matrix for the domained (intra-run
+ * parallel) engine.
+ *
+ * The domained engine is a distinct timing model: cross-domain
+ * interactions (L1<->L2, CPU<->kernel) pay the conservative
+ * lookahead as a hop latency, so its absolute numbers differ from
+ * the legacy serial engine's by a small skew. Its contract, pinned
+ * here, is threefold:
+ *
+ *  1. results are a pure function of (config, workload, seed) —
+ *     the table below is the oracle, like test_determinism_golden;
+ *  2. results are bitwise identical for every --threads value,
+ *     including the full stats registry dump and the OS scheduling
+ *     trace (the headline property of the design);
+ *  3. checkpoints are portable: bytes identical across thread
+ *     counts, continuation identical to restoration, and legacy
+ *     checkpoints restore onto the domained engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/varsim.hh"
+
+namespace
+{
+
+using namespace varsim;
+
+core::SystemConfig
+goldenSys()
+{
+    core::SystemConfig sys = core::SystemConfig::testDefault();
+    sys.mem.perturbMaxNs = 4; // exercise the perturbation path
+    return sys;
+}
+
+workload::WorkloadParams
+goldenWl(workload::WorkloadKind kind)
+{
+    workload::WorkloadParams wl;
+    wl.kind = kind;
+    wl.threadsPerCpu = 2; // oversubscribed: scheduler in play
+    return wl;
+}
+
+core::RunConfig
+goldenRun(std::uint64_t seed, std::size_t threads)
+{
+    core::RunConfig rc;
+    rc.warmupTxns = 10;
+    rc.measureTxns = 40;
+    rc.perturbSeed = seed;
+    rc.par.threads = threads;
+    // Real worker threads even on small hosts: this suite is the
+    // ThreadSanitizer gate for the engine, so the barrier machinery
+    // must actually run multi-threaded.
+    rc.par.clampThreadsToHost = false;
+    return rc;
+}
+
+/** FNV-1a over the 8 little-endian bytes of @p v. */
+std::uint64_t
+fnv1a(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct Golden
+{
+    workload::WorkloadKind kind;
+    std::uint64_t seed;
+    std::uint64_t runtimeTicks;
+    std::uint64_t txns;
+    std::uint64_t l2Misses;
+    std::uint64_t dispatches;
+    std::uint64_t instructions;
+    std::uint64_t traceHash;
+};
+
+// Pins for the domained engine (lookahead auto = l2HitLatency / 2).
+// Regenerate only on a deliberate model change, never to "fix" a
+// parallelism bug — divergence from these values under any thread
+// count IS the bug.
+const Golden goldenTable[] = {
+    {workload::WorkloadKind::Oltp, 11ull, 204233ull, 40ull, 4103ull,
+     46ull, 131942ull, 10026904219885934213ull},
+    {workload::WorkloadKind::Oltp, 12ull, 198912ull, 40ull, 4025ull,
+     46ull, 128855ull, 11948877569814390369ull},
+    {workload::WorkloadKind::Apache, 11ull, 46065ull, 40ull, 997ull,
+     21ull, 31518ull, 13851625815240542648ull},
+    {workload::WorkloadKind::Apache, 12ull, 42481ull, 40ull, 1005ull,
+     17ull, 32501ull, 707058742838627985ull},
+    {workload::WorkloadKind::SpecJbb, 11ull, 65057ull, 40ull,
+     1746ull, 20ull, 46122ull, 6301174061160970575ull},
+    {workload::WorkloadKind::SpecJbb, 12ull, 65111ull, 40ull,
+     1746ull, 20ull, 46148ull, 15854945857880085363ull},
+};
+
+struct Observation
+{
+    core::RunResult r;
+    std::uint64_t traceHash = 0;
+    std::string statsJsonl;
+};
+
+Observation
+observe(const Golden &g, std::size_t threads, sim::Tick lookahead =
+            core::ParallelConfig::lookaheadAuto)
+{
+    const auto sys = goldenSys();
+    core::RunConfig rc = goldenRun(g.seed, threads);
+    rc.par.lookahead = lookahead;
+    core::Simulation simn(sys, goldenWl(g.kind), rc.par);
+    simn.seedPerturbation(g.seed);
+    simn.kernel().enableTrace(1u << 20);
+
+    Observation o;
+    o.r = core::measure(simn, rc, sys.numCpus());
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto &e : simn.kernel().traceEvents()) {
+        h = fnv1a(h, e.when);
+        h = fnv1a(h, static_cast<std::uint64_t>(e.cpu));
+        h = fnv1a(h, static_cast<std::uint64_t>(e.thread));
+        h = fnv1a(h, static_cast<std::uint64_t>(e.kind));
+    }
+    o.traceHash = h;
+    o.statsJsonl = o.r.statsJsonl();
+    return o;
+}
+
+class ParallelGoldenMatrix : public ::testing::TestWithParam<Golden>
+{};
+
+TEST_P(ParallelGoldenMatrix, BitwiseIdenticalAcrossThreadCounts)
+{
+    const Golden &g = GetParam();
+
+    // threads = 1 must hit the pinned values exactly...
+    const Observation base = observe(g, 1);
+    EXPECT_EQ(base.r.runtimeTicks, g.runtimeTicks);
+    EXPECT_EQ(base.r.txns, g.txns);
+    EXPECT_EQ(base.r.mem.l2Misses, g.l2Misses);
+    EXPECT_EQ(base.r.os.dispatches, g.dispatches);
+    EXPECT_EQ(base.r.cpu.instructions, g.instructions);
+    EXPECT_EQ(base.traceHash, g.traceHash);
+
+    // ...and every other worker count must be indistinguishable
+    // from it, down to the full stats dump and the trace hash.
+    for (std::size_t threads : {2u, 4u}) {
+        const Observation par = observe(g, threads);
+        EXPECT_EQ(par.r.runtimeTicks, base.r.runtimeTicks)
+            << "threads=" << threads;
+        EXPECT_EQ(par.r.cyclesPerTxn, base.r.cyclesPerTxn)
+            << "threads=" << threads;
+        EXPECT_EQ(par.traceHash, base.traceHash)
+            << "threads=" << threads;
+        EXPECT_EQ(par.statsJsonl, base.statsJsonl)
+            << "threads=" << threads;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pinned, ParallelGoldenMatrix, ::testing::ValuesIn(goldenTable),
+    [](const ::testing::TestParamInfo<Golden> &info) {
+        return std::string(workload::kindName(info.param.kind)) +
+               "_seed" + std::to_string(info.param.seed);
+    });
+
+// lookahead = 0 disables the domained engine entirely: the run must
+// land on the LEGACY golden pins (test_determinism_golden row 0),
+// not the domained ones, proving the fallback truly is the serial
+// engine and not a degenerate domained mode.
+TEST(ParallelGolden, ZeroLookaheadFallsBackToSerialEngine)
+{
+    const Golden legacy{workload::WorkloadKind::Oltp, 11ull,
+                        186781ull, 40ull, 3948ull, 43ull, 125432ull,
+                        4213816009097953443ull};
+    core::ParallelConfig pc;
+    pc.threads = 4;
+    pc.lookahead = 0;
+    EXPECT_FALSE(pc.enabled());
+
+    const Observation o = observe(legacy, 4, /*lookahead=*/0);
+    EXPECT_EQ(o.r.runtimeTicks, legacy.runtimeTicks);
+    EXPECT_EQ(o.r.mem.l2Misses, legacy.l2Misses);
+    EXPECT_EQ(o.r.os.dispatches, legacy.dispatches);
+    EXPECT_EQ(o.traceHash, legacy.traceHash);
+}
+
+// One CPU: a single CPU domain plus the shared domain. The smallest
+// nontrivial topology must behave like every other one — identical
+// across thread counts (workers simply idle when outnumbered by
+// domains).
+TEST(ParallelGolden, SingleCpuDegenerateTopology)
+{
+    core::SystemConfig sys = core::SystemConfig::testDefault();
+    sys.mem.perturbMaxNs = 4;
+    sys.mem.numNodes = 1;
+
+    auto runIt = [&](std::size_t threads) {
+        core::RunConfig rc;
+        rc.warmupTxns = 5;
+        rc.measureTxns = 20;
+        rc.perturbSeed = 11;
+        rc.par.threads = threads;
+        rc.par.clampThreadsToHost = false;
+        workload::WorkloadParams wl;
+        wl.kind = workload::WorkloadKind::Oltp;
+        wl.threadsPerCpu = 2;
+        core::Simulation simn(sys, wl, rc.par);
+        simn.seedPerturbation(rc.perturbSeed);
+        return core::measure(simn, rc, sys.numCpus());
+    };
+
+    const auto t1 = runIt(1);
+    const auto t2 = runIt(2);
+    EXPECT_GT(t1.txns, 0u);
+    EXPECT_EQ(t1.runtimeTicks, t2.runtimeTicks);
+    EXPECT_EQ(t1.cyclesPerTxn, t2.cyclesPerTxn);
+    EXPECT_EQ(t1.statsJsonl(), t2.statsJsonl());
+}
+
+// Checkpoint portability matrix: bytes identical for every thread
+// count, continuing past a checkpoint is bitwise the same as
+// restoring it (even onto a different thread count), and a legacy
+// serial checkpoint restores onto the domained engine.
+TEST(ParallelGolden, CheckpointRoundTripAcrossThreadCounts)
+{
+    const auto sys = goldenSys();
+    const auto wl = goldenWl(workload::WorkloadKind::Oltp);
+    auto par = [](std::size_t t) {
+        core::ParallelConfig p;
+        p.threads = t;
+        p.clampThreadsToHost = false;
+        return p;
+    };
+
+    // Same simulated prefix, three thread counts: one image.
+    core::Checkpoint cps[3];
+    int k = 0;
+    for (std::size_t t : {1u, 2u, 4u}) {
+        core::Simulation s(sys, wl, par(t));
+        s.seedPerturbation(7);
+        s.runTransactions(15);
+        cps[k++] = s.checkpoint();
+    }
+    EXPECT_EQ(cps[0].bytes, cps[1].bytes);
+    EXPECT_EQ(cps[1].bytes, cps[2].bytes);
+
+    // Continuation == restoration, across an engine-width change.
+    core::Simulation cont(sys, wl, par(2));
+    cont.seedPerturbation(7);
+    cont.runTransactions(15);
+    const auto cp = cont.checkpoint();
+    const auto pc = cont.runTransactions(25);
+
+    auto rest = core::Simulation::restore(sys, wl, cp, par(4));
+    const auto pr = rest->runTransactions(25);
+    EXPECT_EQ(pc.txns, pr.txns);
+    EXPECT_EQ(pc.elapsed, pr.elapsed);
+    EXPECT_EQ(cont.now(), rest->now());
+    EXPECT_EQ(cont.totalTxns(), rest->totalTxns());
+
+    // Legacy image onto the domained engine: the format is shared.
+    core::Simulation leg(sys, wl);
+    leg.seedPerturbation(7);
+    leg.runTransactions(15);
+    const auto lcp = leg.checkpoint();
+    auto onto = core::Simulation::restore(sys, wl, lcp, par(2));
+    const auto lp = onto->runTransactions(25);
+    EXPECT_EQ(lp.txns, 25u);
+    EXPECT_TRUE(onto->parallelEngine());
+}
+
+} // anonymous namespace

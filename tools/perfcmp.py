@@ -18,6 +18,7 @@ speedup falls below X — usable as a CI regression gate.
 import argparse
 import json
 import math
+import re
 import sys
 
 
@@ -50,6 +51,37 @@ def load_rows(path):
                          f'"{field}"')
         rows[(row["workload"], row["mode"])] = row
     return rows, bool(data.get("quick", False)), data["bench"]
+
+
+def scaling_report(rows, label):
+    """Intra-run scaling: parN rows against the serial single row.
+
+    The parN modes run ONE simulation on the domained engine with N
+    worker threads; single runs the legacy serial engine. Printed
+    whenever a file contains any par* mode. The scaling column is
+    ticks/s relative to the same file's single row (throughput
+    speedup from intra-run parallelism, including the domained
+    engine's own overhead), so par1-vs-parN differences and
+    engine-swap overhead both show up honestly.
+    """
+    by_wl = {}
+    for (workload, mode), row in rows.items():
+        m = re.fullmatch(r"par(\d+)", mode)
+        if m:
+            by_wl.setdefault(workload, []).append(
+                (int(m.group(1)), row["ticks_per_sec"]))
+    if not by_wl:
+        return
+    print(f"\nintra-run scaling ({label}):")
+    print(f"{'workload':<12} {'threads':>8} {'Mt/s':>10} "
+          f"{'vs single':>10}")
+    for workload in sorted(by_wl):
+        single = rows.get((workload, "single"))
+        base = single["ticks_per_sec"] if single else None
+        for threads, tps in sorted(by_wl[workload]):
+            rel = f"{tps / base:>9.2f}x" if base else f"{'n/a':>10}"
+            print(f"{workload:<12} {threads:>8} {tps / 1e6:>10.3f} "
+                  f"{rel}")
 
 
 def main():
@@ -101,6 +133,9 @@ def main():
 
     geomean = math.exp(log_sum / len(matched))
     print(f"{'geomean':<21} {'':>21} {geomean:>7.2f}x")
+
+    scaling_report(base, "baseline")
+    scaling_report(cand, "candidate")
 
     if failed:
         print(f"FAIL: {len(failed)} row(s) below "

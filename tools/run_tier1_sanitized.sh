@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Build the full tree with AddressSanitizer + UndefinedBehaviorSanitizer
-# and run the tier-1 test suite under it. A clean pass means the suite
-# is free of heap errors, leaks-at-exit in test paths, and UB that the
-# instrumented build can detect — run this before merging changes that
-# touch memory handling or concurrency.
+# and run the tier-1 test suite under it, then build the domained-engine
+# tests with ThreadSanitizer and run them with real worker threads. A
+# clean pass means the suite is free of heap errors, leaks-at-exit in
+# test paths, UB that the instrumented build can detect, and data races
+# on the intra-run parallel engine — run this before merging changes
+# that touch memory handling or concurrency.
 #
-# Usage: tools/run_tier1_sanitized.sh [build-dir]
-#   build-dir defaults to build-san (kept separate from the normal
-#   build/ so the two configurations never share object files).
+# Usage: tools/run_tier1_sanitized.sh [build-dir] [tsan-build-dir]
+#   build-dir defaults to build-san, tsan-build-dir to build-tsan
+#   (kept separate from the normal build/ so configurations never
+#   share object files).
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-san}"
+tsan_build="${2:-$repo/build-tsan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 cmake -S "$repo" -B "$build" \
@@ -52,3 +56,28 @@ if ! VARSIM_DEBUG=All "$build/tools/varsim" run --workload oltp \
 fi
 
 echo "tier-1 suite clean under address,undefined sanitizers"
+
+# ---- ThreadSanitizer flavor: the domained engine's data-race gate ----
+# TSan is incompatible with ASan, so it gets its own tree. Only the
+# suites that exercise the barrier/mailbox machinery with real worker
+# threads are run: the DomainScheduler/DomainRouter/InlineFn units and
+# the ParallelGolden end-to-end matrix (threads 1, 2 and 4). The
+# engine's claim is that workers synchronize exclusively through the
+# round barrier — TSan proves the absence of any side channel.
+cmake -S "$repo" -B "$tsan_build" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVARSIM_SANITIZE=thread
+cmake --build "$tsan_build" -j "$jobs" --target test_sim test_core
+
+for t in test_sim test_core; do
+    [ -x "$tsan_build/tests/$t" ] || {
+        echo "error: $tsan_build/tests/$t was not built" >&2
+        exit 1
+    }
+done
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --test-dir "$tsan_build" --output-on-failure -j "$jobs" \
+    -R 'InlineFn|DomainRouter|DomainScheduler|ParallelGolden'
+
+echo "domained engine clean under thread sanitizer"

@@ -32,6 +32,18 @@
  *   --stats <file|->       (run) write each run's full metrics-
  *                          registry dump as one JSONL line, and
  *                          print host-throughput profiling
+ *   --threads <n>          intra-run parallelism: run each
+ *                          simulation on the domained engine with n
+ *                          worker threads (default 0 = the legacy
+ *                          serial engine). Results are bitwise
+ *                          identical for every n >= 1; the domained
+ *                          engine itself is a slightly different
+ *                          timing model than the serial one (see
+ *                          DESIGN.md), so 0 vs >=1 is a modelling
+ *                          choice, not just a speed knob
+ *   --lookahead <ticks>    conservative lookahead for --threads
+ *                          (default: derived from the L2 hit
+ *                          latency; 0 forces the serial engine)
  *
  * Configuration knobs (for run; suffix A/B for compare):
  *   --l2-assoc <w>  --l2-size <bytes>  --dram <ns>  --perturb <ns>
@@ -60,6 +72,14 @@
  *                          multi-starting-point sampling (§5.2)
  *   --shard <i>/<N>        execute only this process's cell stripe
  *   --host-threads <n>     worker threads (0 = hardware)
+ *   --intra-threads <n>    domained-engine workers inside each run
+ *                          (default 0 = serial engine). Campaigns
+ *                          parallelize across runs first — prefer
+ *                          --host-threads when runs outnumber cores,
+ *                          and split so that host-threads x
+ *                          intra-threads <= hardware cores when a
+ *                          few long runs dominate. Recorded results
+ *                          are identical for every value
  *   --interrupt-after <n>  stop as if killed after n new runs
  *                          (resume walkthroughs, tests)
  *   --ckpt-dir <path>      persistent checkpoint library: warm-ups
@@ -245,6 +265,9 @@ runFromArgs(const Args &args)
     core::RunConfig rc;
     rc.warmupTxns = args.num("warmup", 100);
     rc.measureTxns = args.num("txns", 0); // 0 = workload default
+    rc.par.threads = args.num("threads", 0);
+    if (args.has("lookahead"))
+        rc.par.lookahead = args.num("lookahead", 0);
     return rc;
 }
 
@@ -554,6 +577,9 @@ campaignSpecFromArgs(const Args &args)
     spec.configs = configGridFromArgs(args);
     spec.wl = workloadFromArgs(args);
     spec.run = runFromArgs(args);
+    // Campaigns use --intra-threads (--threads would collide with
+    // the cross-run --host-threads split users already know).
+    spec.run.par.threads = args.num("intra-threads", 0);
     spec.baseSeed = args.num("seed", 1000);
     spec.numCheckpoints = args.num("checkpoints", 0);
     spec.checkpointStep = args.num("step", 400);
