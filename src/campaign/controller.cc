@@ -1,6 +1,7 @@
 #include "campaign/controller.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <span>
 
 #include "sim/logging.hh"
@@ -29,6 +30,14 @@ pilotOf(const std::vector<double> &metric, std::size_t pilotRuns)
 std::vector<GroupDecision>
 decideTargets(const CampaignSpec &spec,
               const std::vector<std::vector<double>> &groupMetric)
+{
+    return decideTargets(spec, groupMetric, {});
+}
+
+std::vector<GroupDecision>
+decideTargets(const CampaignSpec &spec,
+              const std::vector<std::vector<double>> &groupMetric,
+              const std::vector<std::vector<double>> &groupCiHalf)
 {
     const StoppingRule &stop = spec.stop;
     const std::size_t groups = spec.numGroups();
@@ -63,12 +72,30 @@ decideTargets(const CampaignSpec &spec,
             s.mean != 0.0 ? s.stddev / s.mean : 0.0;
         d.covPercent = 100.0 * cov;
 
+        // Two-level stopping: each sampled run carries its own CI,
+        // so fold the pilot-average within-run standard error
+        // (~ half-width / 2) into an effective CoV. With no
+        // half-width data this reduces to the plain CoV.
+        double covEff = cov;
+        if (g < groupCiHalf.size() &&
+            groupCiHalf[g].size() >= stop.pilotRuns &&
+            s.mean != 0.0) {
+            double halfSum = 0.0;
+            for (std::size_t i = 0; i < stop.pilotRuns; ++i)
+                halfSum += groupCiHalf[g][i];
+            const double seWithin =
+                halfSum / static_cast<double>(stop.pilotRuns) / 2.0;
+            const double covWithin = seWithin / s.mean;
+            covEff = std::sqrt(cov * cov + covWithin * covWithin);
+            d.covPercent = 100.0 * covEff;
+        }
+
         std::size_t need = stop.pilotRuns;
 
         // Section 5.1.1: runs for the target mean precision.
-        if (stop.relativeError > 0.0 && cov > 0.0) {
+        if (stop.relativeError > 0.0 && covEff > 0.0) {
             d.needPrecision = stats::meanPrecisionSampleSize(
-                cov, stop.relativeError, stop.confidence);
+                covEff, stop.relativeError, stop.confidence);
             need = std::max(need, d.needPrecision);
         }
 

@@ -58,6 +58,27 @@ std::vector<GroupDecision>
 decideTargets(const CampaignSpec &spec,
               const std::vector<std::vector<double>> &groupMetric);
 
+/**
+ * Two-level stopping for sampled campaigns. @p groupCiHalf holds,
+ * per group, the within-run sampling CI half-widths aligned with
+ * @p groupMetric (ResultStore's sim.sampled.cpt_lo/hi columns). A
+ * sampled run's recorded value is itself an estimate, so the
+ * run-to-run scatter understates the real uncertainty; the
+ * mean-precision criterion therefore sizes the sample with the
+ * effective variation
+ *
+ *     cov_eff = sqrt(cov_between^2 + cov_within^2)
+ *
+ * where cov_within derives from the pilot-average within-run
+ * standard error (~ half-width / 2 at 95%). Decisions stay a pure
+ * function of the pilot prefix. Empty half-width vectors reduce to
+ * the single-level rule above.
+ */
+std::vector<GroupDecision>
+decideTargets(const CampaignSpec &spec,
+              const std::vector<std::vector<double>> &groupMetric,
+              const std::vector<std::vector<double>> &groupCiHalf);
+
 } // namespace campaign
 } // namespace varsim
 

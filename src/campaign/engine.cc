@@ -9,8 +9,10 @@
 #include "core/experiment.hh"
 #include "core/simulation.hh"
 #include "core/thread_pool.hh"
+#include "sample/runner.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "stats/summary.hh"
 
 namespace varsim
 {
@@ -325,7 +327,25 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
         std::vector<std::vector<double>> metrics(groups);
         for (std::size_t g = 0; g < groups; ++g)
             metrics[g] = store->groupMetric(g);
-        decisions = decideTargets(eff, metrics);
+        // Sampled specs: hand the controller each run's within-run
+        // CI half-width so the stopping rule sizes the sample
+        // against the full (between + within) uncertainty.
+        std::vector<std::vector<double>> ciHalf;
+        if (eff.run.sample.enabled()) {
+            ciHalf.resize(groups);
+            for (std::size_t g = 0; g < groups; ++g) {
+                const auto lo = store->groupMetricNamed(
+                    g, "sim.sampled.cpt_lo");
+                const auto hi = store->groupMetricNamed(
+                    g, "sim.sampled.cpt_hi");
+                const std::size_t n =
+                    std::min(lo.size(), hi.size());
+                ciHalf[g].reserve(n);
+                for (std::size_t i = 0; i < n; ++i)
+                    ciHalf[g].push_back((hi[i] - lo[i]) / 2.0);
+            }
+        }
+        decisions = decideTargets(eff, metrics, ciHalf);
 
         std::vector<Cell> work;
         for (std::size_t g = 0; g < groups; ++g) {
@@ -380,15 +400,17 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                 rc.perturbSeed =
                     eff.groupSeed(cell.group, cell.runIdx);
 
+                // The sample:: runners fall straight through to
+                // core:: when the spec leaves sampling off.
                 core::RunResult res;
                 if (eff.numCheckpoints) {
                     rc.warmupTxns = 0; // the checkpoint warmed up
-                    res = core::runFromCheckpoint(
+                    res = sample::runFromCheckpoint(
                         eff.configs[cfg].sys, eff.wl,
                         warmer.get(cfg, ck), rc);
                 } else {
-                    res = core::runOnce(eff.configs[cfg].sys,
-                                        eff.wl, rc);
+                    res = sample::runOnce(eff.configs[cfg].sys,
+                                          eff.wl, rc);
                 }
 
                 RunRecord rec;
@@ -549,6 +571,40 @@ campaignReport(const std::string &dir, double confidence)
         rep.text += sim::format(
             "  %.0f%% CI for the mean: [%.0f, %.0f]\n",
             100.0 * confidence, ci.lo, ci.hi);
+        // Sampled runs: surface the second uncertainty level (the
+        // average within-run sampling CI) next to the run-to-run
+        // one, so the reader sees how much of the spread the
+        // estimator itself contributes.
+        const auto sEnabled =
+            store->groupMetricNamed(g, "sim.sampled.enabled");
+        if (!sEnabled.empty() && sEnabled.front() != 0.0) {
+            const auto sLo = store->groupMetricNamed(
+                g, "sim.sampled.cpt_lo");
+            const auto sHi = store->groupMetricNamed(
+                g, "sim.sampled.cpt_hi");
+            const auto sWin = store->groupMetricNamed(
+                g, "sim.sampled.windows");
+            const std::size_t n =
+                std::min(sLo.size(), sHi.size());
+            if (n > 0) {
+                double half = 0.0, wins = 0.0;
+                for (std::size_t i = 0; i < n; ++i)
+                    half += (sHi[i] - sLo[i]) / 2.0;
+                half /= static_cast<double>(n);
+                for (double w : sWin)
+                    wins += w;
+                if (!sWin.empty())
+                    wins /= static_cast<double>(sWin.size());
+                const double mean =
+                    stats::summarize(xs).mean;
+                rep.text += sim::format(
+                    "  sampled estimates: %.1f window(s)/run, "
+                    "avg within-run CI half-width %.1f (%.2f%% "
+                    "of the mean)\n",
+                    wins, half,
+                    mean != 0.0 ? 100.0 * half / mean : 0.0);
+            }
+        }
     }
 
     bool anyPair = false;

@@ -106,6 +106,26 @@ CampaignSpec::fingerprint() const
         field(canon, "la",
               static_cast<unsigned long long>(run.par.lookahead));
     }
+    // Sampled runs measure an estimate, not the full population — a
+    // different experiment. Same only-when-enabled rule as above.
+    if (run.sample.enabled()) {
+        field(canon, "sdesign",
+              static_cast<int>(run.sample.design));
+        field(canon, "speriod",
+              static_cast<unsigned long long>(
+                  run.sample.periodTxns));
+        field(canon, "swarm",
+              static_cast<unsigned long long>(
+                  run.sample.warmupTxns));
+        field(canon, "smeasure",
+              static_cast<unsigned long long>(
+                  run.sample.measureTxns));
+        field(canon, "sconf",
+              sim::format("%.9g", run.sample.confidence));
+        field(canon, "soffseed",
+              static_cast<unsigned long long>(
+                  run.sample.offsetSeed));
+    }
     return ckpt::fnv1a64(ckpt::kFnvOffsetBasis, canon);
 }
 

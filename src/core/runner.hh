@@ -51,6 +51,13 @@ struct RunConfig
      * par.threads >= 1 — only wall-clock time changes.
      */
     ParallelConfig par;
+
+    /**
+     * Intra-run statistical sampling (default: off, full detail).
+     * When enabled, drive the measure phase through
+     * sample::measure() — core::measure() ignores this field.
+     */
+    SampleConfig sample;
 };
 
 /**
@@ -92,6 +99,14 @@ struct RunResult
 
     /** Host-side profiling of this run. */
     HostProfile host;
+
+    /**
+     * Sampling estimates (sampled runs only; enabled=false and all
+     * zeros on full-detail runs). When enabled, cyclesPerTxn above
+     * holds the sampled point estimate so downstream metric
+     * pipelines work unchanged.
+     */
+    SampledStats sampled;
 
     /** The stats dump as one JSONL line. */
     std::string statsJsonl() const

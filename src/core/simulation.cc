@@ -102,6 +102,70 @@ Simulation::Simulation(const SystemConfig &sys,
         "sim.txns",
         [this] { return static_cast<double>(txnCount); },
         "transactions completed");
+
+    // Sampled-estimate exports. Registered unconditionally so every
+    // run (sampled or not) emits the same metric schema; the slots
+    // stay zero unless a sampling controller fills them.
+    statsReg.regFormula(
+        "sim.sampled.enabled",
+        [this] { return sampled_.enabled ? 1.0 : 0.0; },
+        "1 if this run's estimates came from sampling");
+    statsReg.regFormula(
+        "sim.sampled.windows",
+        [this] { return static_cast<double>(sampled_.windows); },
+        "measurement windows taken");
+    statsReg.regFormula(
+        "sim.sampled.fast_txns",
+        [this] { return static_cast<double>(sampled_.fastTxns); },
+        "transactions executed under functional warming");
+    statsReg.regFormula(
+        "sim.sampled.measured_txns",
+        [this] {
+            return static_cast<double>(sampled_.measuredTxns);
+        },
+        "transactions inside measured windows");
+    statsReg.regFormula(
+        "sim.sampled.fallback",
+        [this] { return sampled_.fullDetailFallback ? 1.0 : 0.0; },
+        "1 if the run degraded to full detail");
+    statsReg.regFormula(
+        "sim.sampled.confidence",
+        [this] { return sampled_.confidence; },
+        "confidence level of the reported intervals");
+    statsReg.regFormula(
+        "sim.sampled.cpt_mean",
+        [this] { return sampled_.cptMean; },
+        "sampled cycles-per-transaction point estimate");
+    statsReg.regFormula(
+        "sim.sampled.cpt_lo",
+        [this] { return sampled_.cptLo; },
+        "cycles-per-transaction interval lower bound");
+    statsReg.regFormula(
+        "sim.sampled.cpt_hi",
+        [this] { return sampled_.cptHi; },
+        "cycles-per-transaction interval upper bound");
+    statsReg.regFormula(
+        "sim.sampled.ipc_mean",
+        [this] { return sampled_.ipcMean; },
+        "sampled per-CPU IPC point estimate");
+    statsReg.regFormula(
+        "sim.sampled.ipc_lo", [this] { return sampled_.ipcLo; },
+        "IPC interval lower bound");
+    statsReg.regFormula(
+        "sim.sampled.ipc_hi", [this] { return sampled_.ipcHi; },
+        "IPC interval upper bound");
+    statsReg.regFormula(
+        "sim.sampled.l2_miss_mean",
+        [this] { return sampled_.l2MissMean; },
+        "sampled L2 miss-rate point estimate");
+    statsReg.regFormula(
+        "sim.sampled.l2_miss_lo",
+        [this] { return sampled_.l2MissLo; },
+        "L2 miss-rate interval lower bound");
+    statsReg.regFormula(
+        "sim.sampled.l2_miss_hi",
+        [this] { return sampled_.l2MissHi; },
+        "L2 miss-rate interval upper bound");
 }
 
 Simulation::~Simulation() = default;
@@ -166,6 +230,24 @@ Simulation::runTransactions(std::uint64_t n)
     p.txns = txnCount - startTxns;
     p.elapsed = eq.curTick() - startTick;
     return p;
+}
+
+void
+Simulation::setFastMode(bool on)
+{
+    bootIfNeeded();
+    if (fastMode_ == on)
+        return;
+    // Drain to a quiescent op boundary: every CPU parked with debts
+    // settled and no misses in flight, every queue and mailbox
+    // empty. The engines then swap with no timing residue.
+    quiesce();
+    for (const auto &c : cpus_)
+        c->setFastMode(on);
+    if (scheduler_)
+        scheduler_->setSerialRounds(on);
+    fastMode_ = on;
+    kernel_->endDrain();
 }
 
 void

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "core/sample_config.hh"
 #include "mem/mem_system.hh"
 #include "sim/domains.hh"
 #include "sim/statistics.hh"
@@ -91,6 +92,29 @@ class Simulation : public os::TxnSink
     /** Record every completion into completions() (off by default). */
     void recordCompletions(bool on) { recording = on; }
     const std::vector<TxnRecord> &completions() const { return txns; }
+
+    /**
+     * Switch every CPU between detailed timing and the
+     * functional-warming fast engine. The system is drained to a
+     * quiescent op boundary first, so the two engines hand the op
+     * streams to each other with no partial-op or in-flight-miss
+     * residue; on the domained engine, rounds additionally run
+     * serially while fast mode is on (the warm memory path makes
+     * direct cross-domain calls). A no-op if already in the
+     * requested mode.
+     */
+    void setFastMode(bool on);
+
+    /** True while CPUs run the functional-warming fast engine. */
+    bool fastMode() const { return fastMode_; }
+
+    /**
+     * Sampled-estimate slots read by the sim.sampled.* metrics. The
+     * sampling controller fills them; they stay zero (enabled=0) on
+     * unsampled runs, keeping the exported schema stable.
+     */
+    SampledStats &sampledStats() { return sampled_; }
+    const SampledStats &sampledStats() const { return sampled_; }
 
     /**
      * Drain the system to a quiescent point and serialize the full
@@ -175,6 +199,8 @@ class Simulation : public os::TxnSink
     sim::statistics::Registry statsReg;
 
     bool booted = false;
+    bool fastMode_ = false;
+    SampledStats sampled_;
     bool recording = false;
     std::uint64_t txnCount = 0;
     std::uint64_t txnTarget = 0;

@@ -40,6 +40,7 @@ BaseCpu::runThread(ThreadContext *tc, sim::Tick delay)
     tc_ = tc;
     idle_ = false;
     ++stats_.contextSwitches;
+    resetFast();
     resetPipeline();
     scheduleIn(resumeEvent, delay);
 }
@@ -63,7 +64,140 @@ BaseCpu::setIdle()
     if (!idle_)
         idleSince = curTick();
     idle_ = true;
+    resetFast();
     resetPipeline();
+}
+
+void
+BaseCpu::setFastMode(bool on)
+{
+    if (fastMode_ == on)
+        return;
+    // Mode flips happen between drain periods: every CPU is parked
+    // at an op boundary with its debts settled, so the two engines
+    // hand the op stream to each other with no partial-op residue.
+    VARSIM_ASSERT(fastOwed == 0 && fastPhase == FastPhase::Start,
+                  "%s: fast-mode switch mid-op", name().c_str());
+    fastMode_ = on;
+}
+
+bool
+BaseCpu::payFastDebt()
+{
+    if (fastOwed == 0)
+        return true;
+    const sim::Tick d = fastOwed;
+    fastOwed = 0;
+    scheduleIn(resumeEvent, d);
+    return false;
+}
+
+void
+BaseCpu::warmBranch(const Op &op)
+{
+    (void)op;
+    ++stats_.branches;
+}
+
+void
+BaseCpu::resumeFast()
+{
+    if (idle_ || tc_ == nullptr || resumeEvent.scheduled())
+        return;
+
+    while (true) {
+        switch (fastPhase) {
+          case FastPhase::Start: {
+            if (host().draining() || preemptPending) {
+                if (!payFastDebt())
+                    return;
+                if (host().draining()) {
+                    host().drained(*this);
+                    return;
+                }
+                preemptPending = false;
+                host().preempted(*this);
+                return;
+            }
+            fastRemaining = instrCost(tc_->stream().current());
+            fastPhase = FastPhase::Instr;
+            break;
+          }
+          case FastPhase::Instr: {
+            // One cycle per instruction; fetch misses complete
+            // synchronously through the warm path and charge their
+            // fixed latency as debt.
+            FetchState &f = tc_->fetchState();
+            while (fastRemaining > 0) {
+                if (f.sinceBoundary == 0) {
+                    fastOwed += icache.warmAccess(
+                        f.blockAddr(icache.blockSize()), false);
+                }
+                const std::uint64_t step =
+                    f.advanceWithinBlock(fastRemaining);
+                fastRemaining -= step;
+                fastOwed += step;
+                stats_.instructions += step;
+                if (fastOwed >= cfg.debtThreshold) {
+                    if (!payFastDebt())
+                        return;
+                }
+            }
+            fastPhase = FastPhase::Finish;
+            break;
+          }
+          case FastPhase::Finish: {
+            const Op op = tc_->stream().current();
+            switch (op.kind) {
+              case OpKind::Compute:
+                tc_->stream().advance();
+                fastPhase = FastPhase::Start;
+                break;
+              case OpKind::Load:
+              case OpKind::Store:
+                fastOwed += dcache.warmAccess(
+                    op.addr, op.kind != OpKind::Load);
+                ++stats_.memOps;
+                tc_->stream().advance();
+                fastPhase = FastPhase::Start;
+                break;
+              case OpKind::Branch:
+              case OpKind::Call:
+              case OpKind::Return:
+              case OpKind::IndirectBranch:
+                warmBranch(op);
+                tc_->stream().advance();
+                fastPhase = FastPhase::Start;
+                break;
+              case OpKind::Lock:
+              case OpKind::Unlock:
+                // Synchronizing RMW on the lock word, then trap.
+                // The access must happen exactly once: paying its
+                // debt parks the CPU, and a re-entry that repeated
+                // the RMW would livelock when contending spinners
+                // keep stealing the line from each other.
+                fastOwed += dcache.warmAccess(op.addr, true);
+                ++stats_.memOps;
+                fastPhase = FastPhase::Trap;
+                break;
+              default:
+                fastPhase = FastPhase::Trap;
+                break;
+            }
+            break;
+          }
+          case FastPhase::Trap: {
+            // OS-visible op: settle the debt, then trap so the
+            // scheduler sees the op at the right tick.
+            if (!payFastDebt())
+                return;
+            const Op op = tc_->stream().current();
+            fastPhase = FastPhase::Start;
+            host().syscall(*this, *tc_, op);
+            return;
+          }
+        }
+    }
 }
 
 void

@@ -162,6 +162,24 @@ class BaseCpu : public sim::SimObject, public mem::MemClient
     void resumeFromDrain();
 
     /**
+     * Functional-warming fast mode (sampling): when on, resume()
+     * routes to the shared blocking engine in resumeFast() — one
+     * cycle per instruction, misses completed synchronously through
+     * the caches' warm path at a fixed charged latency, branch
+     * predictors warmed through warmBranch() with no penalty. All
+     * architectural and microarchitectural *state* (caches,
+     * coherence, predictors, OS schedule) evolves exactly as the op
+     * stream dictates; only detailed timing is approximated.
+     *
+     * Only legal at a quiesced op boundary (between drain periods):
+     * Simulation::setFastMode() is the supported entry point.
+     */
+    void setFastMode(bool on);
+
+    /** True while the fast engine is active. */
+    bool fastModeActive() const { return fastMode_; }
+
+    /**
      * Re-attach a thread without dispatch accounting or a kick; used
      * when restoring a checkpoint. Follow with resumeFromDrain().
      *
@@ -199,6 +217,21 @@ class BaseCpu : public sim::SimObject, public mem::MemClient
     /** Subclass hook: clear per-dispatch scratch state. */
     virtual void resetPipeline() = 0;
 
+    /**
+     * Fast-mode hook: retire a control op (Branch, Call, Return,
+     * IndirectBranch), updating whatever predictor state the model
+     * keeps — outcomes recorded, tables trained — but charging no
+     * misprediction penalty. The base implementation only counts the
+     * branch (the blocking model keeps no predictor state).
+     */
+    virtual void warmBranch(const Op &op);
+
+    /**
+     * The shared fast engine. Subclass resume() implementations must
+     * delegate here first when fastModeActive().
+     */
+    void resumeFast();
+
     /** Instruction footprint of an op. */
     static std::uint64_t instrCost(const Op &op);
 
@@ -215,9 +248,37 @@ class BaseCpu : public sim::SimObject, public mem::MemClient
     sim::EventFunctionWrapper resumeEvent;
 
   private:
+    enum class FastPhase : std::uint8_t
+    {
+        Start,  ///< op boundary: drain/preempt checks
+        Instr,  ///< charge instruction cycles (with ifetch warming)
+        Finish, ///< data access / predictor warming
+        Trap,   ///< warm access done: settle debt, enter the OS
+    };
+
+    /**
+     * Settle fast-mode cycles by scheduling a resume.
+     * @return true if there was no debt (continue immediately).
+     */
+    bool payFastDebt();
+
+    /** Clear fast-engine scratch state (dispatch/idle boundaries). */
+    void
+    resetFast()
+    {
+        fastPhase = FastPhase::Start;
+        fastRemaining = 0;
+        fastOwed = 0;
+    }
+
     CpuHost *host_ = nullptr;
     sim::CpuId id_;
     sim::Tick idleSince = 0;
+
+    bool fastMode_ = false;
+    FastPhase fastPhase = FastPhase::Start;
+    std::uint64_t fastRemaining = 0; ///< instrs left in current op
+    sim::Tick fastOwed = 0;          ///< unsettled fast-mode cycles
 };
 
 } // namespace cpu

@@ -86,8 +86,50 @@ OoOCpu::memResponse(std::uint64_t tag)
 }
 
 void
+OoOCpu::warmBranch(const Op &op)
+{
+    // Train every predictor structure exactly as the detailed engine
+    // does — outcomes recorded, tables and the RAS updated — but
+    // charge no refill penalty: fast mode warms state, not timing.
+    switch (op.kind) {
+      case OpKind::Branch: {
+        ++stats_.branches;
+        const bool taken = op.id != 0;
+        const bool pred = yags.predict(op.addr);
+        yags.recordOutcome(pred == taken);
+        yags.update(op.addr, taken);
+        if (pred != taken)
+            ++stats_.mispredicts;
+        break;
+      }
+      case OpKind::Call:
+        ras.push(op.count);
+        break;
+      case OpKind::Return:
+        ++stats_.branches;
+        if (ras.pop() != op.count)
+            ++stats_.mispredicts;
+        break;
+      case OpKind::IndirectBranch: {
+        ++stats_.branches;
+        const sim::Addr predicted = indirect.predict(op.addr);
+        indirect.update(op.addr, op.count);
+        if (predicted != op.count)
+            ++stats_.mispredicts;
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
 OoOCpu::resume()
 {
+    if (fastModeActive()) {
+        resumeFast();
+        return;
+    }
     if (idle_ || tc_ == nullptr || awaitingIFetch || blockingData ||
         awaitingRetire || resumeEvent.scheduled()) {
         return;

@@ -48,6 +48,7 @@ class OoOCpu : public BaseCpu
   protected:
     void resume() override;
     void resetPipeline() override;
+    void warmBranch(const Op &op) override;
 
   private:
     enum class Phase : std::uint8_t

@@ -46,6 +46,10 @@ SimpleCpu::memResponse(std::uint64_t tag)
 void
 SimpleCpu::resume()
 {
+    if (fastModeActive()) {
+        resumeFast();
+        return;
+    }
     if (idle_ || tc_ == nullptr || awaitingMem ||
         resumeEvent.scheduled()) {
         return;

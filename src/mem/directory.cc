@@ -34,15 +34,15 @@ DirectoryFabric::entry(sim::Addr block_addr)
 int
 DirectoryFabric::ownerOf(sim::Addr block_addr) const
 {
-    auto it = dir.find(block_addr);
-    return it != dir.end() ? it->second.owner : -1;
+    const Entry *e = dir.find(block_addr);
+    return e != nullptr ? e->owner : -1;
 }
 
 std::uint64_t
 DirectoryFabric::sharersOf(sim::Addr block_addr) const
 {
-    auto it = dir.find(block_addr);
-    return it != dir.end() ? it->second.sharers : 0;
+    const Entry *e = dir.find(block_addr);
+    return e != nullptr ? e->sharers : 0;
 }
 
 void
@@ -177,6 +177,82 @@ DirectoryFabric::process(BusMsg msg)
             requestor->fillArrived(block, writable);
         },
         sim::Event::memoryResponsePri);
+}
+
+bool
+DirectoryFabric::warmTransition(int src, sim::Addr block,
+                                bool writable)
+{
+    VARSIM_ASSERT(busy.empty(),
+                  "warm transition with transactions in flight");
+    const BusMsg msg{writable ? BusCmd::GetM : BusCmd::GetS, block,
+                     src};
+    const auto srcIdx = static_cast<std::size_t>(src);
+    VARSIM_ASSERT(srcIdx < nodes.size(),
+                  "warm transition from unknown node %d", src);
+    Entry &e = entry(block);
+    const auto srcBit = std::uint64_t{1} << unsigned(src);
+
+    // Same stale-owner validation as process(): silent clean L2
+    // evictions can leave the directory pointing at a node that no
+    // longer owns the block.
+    int owner = e.owner;
+    if (owner >= 0 &&
+        !isOwnerState(nodes[static_cast<std::size_t>(owner)]
+                          ->snoopState(block))) {
+        owner = -1;
+        e.owner = -1;
+    }
+
+    ++stats_.busTransactions;
+    ++stats_.l2Misses;
+
+    bool remoteSupply = false;
+    if (writable) {
+        const std::uint64_t toInvalidate =
+            (e.sharers |
+             (owner >= 0 ? (std::uint64_t{1} << unsigned(owner))
+                         : 0)) &
+            ~srcBit;
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (toInvalidate & (std::uint64_t{1} << n))
+                nodes[n]->warmSnoop(msg, true);
+        }
+        if (owner == src) {
+            ++stats_.upgrades;
+        } else if (owner >= 0) {
+            ++stats_.cacheToCache;
+            remoteSupply = true;
+        } else {
+            ++stats_.memoryFetches;
+        }
+        e.owner = src;
+        e.sharers = srcBit;
+    } else {
+        if (owner >= 0) {
+            nodes[static_cast<std::size_t>(owner)]->warmSnoop(msg,
+                                                             true);
+            ++stats_.cacheToCache;
+            remoteSupply = true;
+        } else {
+            ++stats_.memoryFetches;
+        }
+        e.sharers |= srcBit;
+    }
+    return remoteSupply;
+}
+
+void
+DirectoryFabric::warmEvict(int src, sim::Addr block)
+{
+    // Functional PutM: ownership returns to memory and the evicting
+    // node drops out of the sharer set, exactly as process() does
+    // for a timed writeback.
+    ++stats_.writebacks;
+    Entry &e = entry(block);
+    if (e.owner == src)
+        e.owner = -1;
+    e.sharers &= ~(std::uint64_t{1} << unsigned(src));
 }
 
 void

@@ -27,9 +27,9 @@
 #ifndef VARSIM_MEM_DIRECTORY_HH
 #define VARSIM_MEM_DIRECTORY_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "mem/addr_map.hh"
 #include "mem/addr_set.hh"
 #include "mem/dram.hh"
 #include "mem/fabric.hh"
@@ -66,6 +66,10 @@ class DirectoryFabric : public sim::SimObject,
     int ownerOf(sim::Addr block_addr) const;
     std::uint64_t sharersOf(sim::Addr block_addr) const;
 
+    bool warmTransition(int src, sim::Addr block,
+                        bool writable) override;
+    void warmEvict(int src, sim::Addr block) override;
+
     void drain() override;
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;
@@ -86,7 +90,7 @@ class DirectoryFabric : public sim::SimObject,
     sim::Random &pertRng;
     DramModel dram_;
     std::vector<L2Controller *> nodes;
-    std::unordered_map<sim::Addr, Entry> dir;
+    AddrMap<Entry> dir;
     AddrSet busy;
     std::vector<sim::Tick> homeNextFree;
     MemStats stats_;

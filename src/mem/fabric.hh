@@ -82,6 +82,34 @@ class CoherenceFabric
      * Called by MemSystem at the end of unserialize().
      */
     virtual void postRestore() {}
+
+    // ---- functional warming (sampling fast mode) ----
+
+    /**
+     * Apply the MOSI state transitions of a GetS/GetM from @p src for
+     * @p block synchronously, with no timing, no events, no NACKs and
+     * no perturbation draw: remote copies are invalidated (GetM) or
+     * the remote owner downgraded (GetS) immediately, and any
+     * protocol-level bookkeeping (the directory's owner/sharer entry)
+     * is updated to stay consistent with the cache tags.
+     *
+     * Only legal while the fabric is quiescent (no in-flight
+     * transactions): the sampling controller guarantees this by
+     * draining before it switches the CPUs into fast mode.
+     *
+     * @return true if a remote owner cache supplied the data
+     *         (cache-to-cache transfer), false if memory did (or the
+     *         requestor already owned it).
+     */
+    virtual bool warmTransition(int src, sim::Addr block,
+                                bool writable) = 0;
+
+    /**
+     * Functional counterpart of a PutM: @p src evicted an owned
+     * (M/O) copy of @p block during fast mode. Keeps the writeback
+     * counter and any owner bookkeeping consistent.
+     */
+    virtual void warmEvict(int src, sim::Addr block) = 0;
 };
 
 } // namespace mem

@@ -150,6 +150,37 @@ L1Cache::l2Response(sim::Addr block_addr, bool writable,
         reqs.resize(keep);
 }
 
+sim::Tick
+L1Cache::warmAccess(sim::Addr addr, bool write)
+{
+    VARSIM_ASSERT(mshr.empty(),
+                  "warm access on %s with %zu pending misses",
+                  name().c_str(), mshr.size());
+    if (tryAccess(addr, write))
+        return 0;
+    ++numMisses;
+    const sim::Addr block = array.blockAlign(addr);
+    const sim::Tick lat = l2.warmRequest(block, write, this);
+
+    // Functional fill, mirroring l2Response(). The L2's warm path
+    // may have victimized (and back-probed away) other L1 lines, but
+    // never the block it just filled for us.
+    CacheLine *line = array.find(block);
+    if (line == nullptr) {
+        CacheLine victim;
+        auto [fresh, hadVictim] = array.allocate(block, victim);
+        (void)hadVictim; // L1 evictions are silent: L2 is inclusive.
+        line = fresh;
+        line->state =
+            write ? LineState::Modified : LineState::Shared;
+    } else {
+        if (write)
+            line->state = LineState::Modified;
+        array.touch(*line);
+    }
+    return lat;
+}
+
 void
 L1Cache::backProbe(sim::Addr block_addr, bool invalidate)
 {

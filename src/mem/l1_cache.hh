@@ -87,6 +87,19 @@ class L1Cache : public sim::SimObject
      */
     void backProbe(sim::Addr block_addr, bool invalidate);
 
+    /**
+     * Functional warming (sampling fast mode): complete the access
+     * synchronously — tag probe, miss handling through
+     * L2Controller::warmRequest(), functional L1 fill — with the
+     * exact state updates of the timed path but no MSHR, no events
+     * and no CPU notification. Only legal while this node is
+     * quiescent (no outstanding misses).
+     *
+     * @return the fixed latency the CPU model should charge
+     *         (0 for an L1 hit).
+     */
+    sim::Tick warmAccess(sim::Addr addr, bool write);
+
     /** Block-align an address using this cache's geometry. */
     sim::Addr blockAlign(sim::Addr a) const { return array.blockAlign(a); }
 

@@ -224,6 +224,87 @@ L2Controller::snoopAndHandle(const BusMsg &msg, bool remote)
     return before;
 }
 
+sim::Tick
+L2Controller::warmRequest(sim::Addr block_addr, bool need_writable,
+                          L1Cache *who)
+{
+    VARSIM_ASSERT(tbes.empty(),
+                  "warm request on %s with %zu pending TBEs",
+                  name().c_str(), tbes.size());
+    CacheLine *line = array.findAndTouch(block_addr);
+    const bool hit =
+        line != nullptr &&
+        (need_writable ? line->state == LineState::Modified
+                       : isValidState(line->state));
+    if (hit) {
+        ++numHits;
+        line->aux |= l1Bit(who);
+        return cfg.l2HitLatency;
+    }
+
+    ++numMisses;
+    const bool hadCopy = line != nullptr; // S/O -> M upgrade path
+    const bool remote =
+        bus.warmTransition(node, block_addr, need_writable);
+
+    // Fill, mirroring fillArrived(): the fabric transition never
+    // touches this node's copy of the requested block (snoops exclude
+    // the source node), so the lookup above is still authoritative —
+    // a resident line means an upgrade completion.
+    if (line == nullptr) {
+        CacheLine victim;
+        auto [fresh, hadVictim] = array.allocate(block_addr, victim);
+        if (hadVictim) {
+            warmBackProbeL1s(victim, true);
+            if (isOwnerState(victim.state)) {
+                ++numWritebacks;
+                bus.warmEvict(node, victim.blockAddr);
+            }
+        }
+        line = fresh;
+        line->state =
+            need_writable ? LineState::Modified : LineState::Shared;
+    } else {
+        VARSIM_ASSERT(need_writable,
+                      "warm GetS fill for a resident block");
+        line->state = LineState::Modified;
+        array.touch(*line);
+    }
+    line->aux |= l1Bit(who);
+
+    // Fixed-latency charge classified like the timed protocol would
+    // have: upgrade, 3-hop owner forward, or memory fetch — without
+    // ordering, occupancy, NACK or perturbation terms.
+    if (hadCopy)
+        return cfg.l2HitLatency + cfg.upgradeLatency;
+    if (remote)
+        return cfg.l2HitLatency + cfg.netTraversal +
+               cfg.ownerLatency + cfg.netTraversal;
+    return cfg.l2HitLatency + cfg.netTraversal + cfg.dramLatency +
+           cfg.netTraversal;
+}
+
+LineState
+L2Controller::warmSnoop(const BusMsg &msg, bool remote)
+{
+    CacheLine *line = array.find(msg.blockAddr);
+    if (line == nullptr)
+        return LineState::Invalid;
+    const LineState before = line->state;
+    if (remote) {
+        if (msg.cmd == BusCmd::GetM) {
+            warmBackProbeL1s(*line, true);
+            array.invalidate(*line);
+        } else if (msg.cmd == BusCmd::GetS) {
+            if (before == LineState::Modified) {
+                line->state = LineState::Owned;
+                warmBackProbeL1s(*line, false);
+            }
+        }
+    }
+    return before;
+}
+
 LineState
 L2Controller::snoopState(sim::Addr block_addr) const
 {
@@ -238,6 +319,20 @@ L2Controller::backProbeL1s(const CacheLine &line, bool invalidate_l1)
         probeL1(icache, line.blockAddr, invalidate_l1);
     if ((line.aux & l2AuxL1DCopy) && dcache != nullptr)
         probeL1(dcache, line.blockAddr, invalidate_l1);
+}
+
+void
+L2Controller::warmBackProbeL1s(const CacheLine &line,
+                               bool invalidate_l1)
+{
+    // Direct synchronous probes: during a fast-mode interval the
+    // domain rounds run serially, so cross-domain calls are safe and
+    // router hops would only defer state the very next warm access
+    // may depend on.
+    if ((line.aux & l2AuxL1ICopy) && icache != nullptr)
+        icache->backProbe(line.blockAddr, invalidate_l1);
+    if ((line.aux & l2AuxL1DCopy) && dcache != nullptr)
+        dcache->backProbe(line.blockAddr, invalidate_l1);
 }
 
 void

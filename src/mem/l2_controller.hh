@@ -90,6 +90,29 @@ class L2Controller : public sim::SimObject
     /** Stable coherence state of a block (Invalid if absent). */
     LineState snoopState(sim::Addr block_addr) const;
 
+    // ---- functional warming (sampling fast mode) ----
+
+    /**
+     * Fast-mode request from a local L1: satisfy @p block_addr with
+     * the needed permission synchronously — no TBE, no events, no
+     * NACK/retry — while applying the exact MOSI transitions a timed
+     * request would (via CoherenceFabric::warmTransition on a miss).
+     * Only legal while this controller is quiescent (no TBEs).
+     *
+     * @return the fixed latency the CPU model should charge for the
+     *         access (L2 hit, upgrade, cache-to-cache or memory).
+     */
+    sim::Tick warmRequest(sim::Addr block_addr, bool need_writable,
+                          L1Cache *who);
+
+    /**
+     * Fabric: snoopAndHandle() for a warm transition — identical
+     * state semantics, but back-probes of the local L1s are direct
+     * synchronous calls (never router hops), which is race-free
+     * because fast-mode intervals run domain rounds serially.
+     */
+    LineState warmSnoop(const BusMsg &msg, bool remote);
+
     /** Visit every valid L2 line (directory rebuild on restore). */
     template <typename Fn>
     void
@@ -154,6 +177,8 @@ class L2Controller : public sim::SimObject
 
     void issue(sim::Addr block_addr, BusCmd cmd);
     void backProbeL1s(const CacheLine &line, bool invalidate_l1);
+    /** backProbeL1s by direct call, bypassing the router. */
+    void warmBackProbeL1s(const CacheLine &line, bool invalidate_l1);
     std::uint8_t l1Bit(const L1Cache *l1) const;
     /** l2Response to @p who: direct (legacy) or one hop (domained). */
     void respond(L1Cache *who, sim::Addr block, bool writable);

@@ -119,6 +119,59 @@ SnoopBus::snoop(BusMsg msg)
         sim::Event::memoryResponsePri);
 }
 
+bool
+SnoopBus::warmTransition(int src, sim::Addr block, bool writable)
+{
+    VARSIM_ASSERT(busy.empty(),
+                  "warm transition with transactions in flight");
+    const BusMsg msg{writable ? BusCmd::GetM : BusCmd::GetS, block,
+                     src};
+    const auto srcIdx = static_cast<std::size_t>(src);
+    VARSIM_ASSERT(srcIdx < nodes.size(),
+                  "warm transition from unknown node %d", src);
+
+    // Same single tag walk as snoop(), minus ordering, occupancy,
+    // NACKs and the perturbation draw: fast-mode misses keep the
+    // MOSI states exact while charging only a fixed latency (the
+    // CPU side does that), so the stable coherence state a later
+    // detailed interval sees is the state a real execution would
+    // have produced.
+    int ownerNode = -1;
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const LineState s =
+            nodes[n]->warmSnoop(msg, n != srcIdx);
+        if (isOwnerState(s)) {
+            VARSIM_ASSERT(ownerNode == -1,
+                          "two owners for block %#llx",
+                          static_cast<unsigned long long>(block));
+            ownerNode = static_cast<int>(n);
+        }
+    }
+
+    ++stats_.busTransactions;
+    ++stats_.l2Misses;
+    if (ownerNode == src) {
+        ++stats_.upgrades;
+        return false;
+    }
+    if (ownerNode >= 0) {
+        ++stats_.cacheToCache;
+        return true;
+    }
+    ++stats_.memoryFetches;
+    return false;
+}
+
+void
+SnoopBus::warmEvict(int src, sim::Addr block)
+{
+    // On the bus a PutM is fire-and-forget (ownership is defined by
+    // the cache states); only the counter needs to move.
+    (void)src;
+    (void)block;
+    ++stats_.writebacks;
+}
+
 void
 SnoopBus::drain()
 {

@@ -70,6 +70,10 @@ class SnoopBus : public sim::SimObject, public CoherenceFabric
         return busy.contains(block_addr);
     }
 
+    bool warmTransition(int src, sim::Addr block,
+                        bool writable) override;
+    void warmEvict(int src, sim::Addr block) override;
+
     void drain() override;
     void serialize(sim::CheckpointOut &cp) const override;
     void unserialize(sim::CheckpointIn &cp) override;

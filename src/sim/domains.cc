@@ -142,7 +142,7 @@ DomainScheduler::run()
         // Parallel phase: every domain runs up to (not through) the
         // horizon B = nextT + Λ. run()'s bound is inclusive.
         const Tick bound = nextT + router_.lookahead() - 1;
-        if (parties_ == 1) {
+        if (parties_ == 1 || serial_) {
             // Degenerate case: inline, in domain order, no workers.
             for (EventQueue *q : queues_)
                 q->run(bound);

@@ -269,6 +269,22 @@ class DomainScheduler
 
     void clearStop() { stop_ = false; }
 
+    /**
+     * Force rounds to run inline on the calling thread (the
+     * degenerate `parties == 1` path) regardless of the worker
+     * count. Used by sampling fast-forward intervals, whose warm
+     * memory path makes direct cross-domain calls: serial rounds
+     * make those calls race-free without tearing down the pool —
+     * idle workers merely park on the round barrier. Inline rounds
+     * dispatch identically to parallel ones (the determinism pin),
+     * so flipping this mid-run never changes results. Flip only
+     * between rounds (e.g. while the system is drained).
+     */
+    void setSerialRounds(bool on) { serial_ = on; }
+
+    /** True while rounds are forced inline. */
+    bool serialRounds() const { return serial_; }
+
     /** All queues and mailboxes empty (valid between rounds). */
     bool idle();
 
@@ -288,6 +304,7 @@ class DomainScheduler
     DomainRouter &router_;
     std::size_t parties_;
     bool stop_ = false;
+    bool serial_ = false;
     std::uint64_t rounds_ = 0;
 
     // ---- worker pool (created on the first parallel round) ----

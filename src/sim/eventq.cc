@@ -1,5 +1,7 @@
 #include "sim/eventq.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace varsim
@@ -174,37 +176,51 @@ EventQueue::popEntry()
     return top;
 }
 
+// A 4-ary heap: half the depth of a binary heap and the four
+// children share cache lines, which matters because schedule/pop is
+// on the critical path of both engines (and dominates fast-mode
+// sampling runs). The comparator is a strict total order over
+// (when, priority, seq), so the dispatch sequence is identical to
+// any other correct heap — event order, and with it every golden,
+// is unaffected by the arity.
+
 void
 EventQueue::siftUp(std::size_t i)
 {
+    const HeapEntry e = heap[i];
     while (i > 0) {
-        std::size_t parent = (i - 1) / 2;
-        if (heap[parent] > heap[i]) {
-            std::swap(heap[parent], heap[i]);
+        const std::size_t parent = (i - 1) / 4;
+        if (heap[parent] > e) {
+            heap[i] = heap[parent];
             i = parent;
         } else {
             break;
         }
     }
+    heap[i] = e;
 }
 
 void
 EventQueue::siftDown(std::size_t i)
 {
     const std::size_t n = heap.size();
+    const HeapEntry e = heap[i];
     while (true) {
-        std::size_t left = 2 * i + 1;
-        std::size_t right = 2 * i + 2;
-        std::size_t smallest = i;
-        if (left < n && heap[smallest] > heap[left])
-            smallest = left;
-        if (right < n && heap[smallest] > heap[right])
-            smallest = right;
-        if (smallest == i)
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
             break;
-        std::swap(heap[i], heap[smallest]);
+        const std::size_t last = std::min(first + 4, n);
+        std::size_t smallest = first;
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (heap[smallest] > heap[c])
+                smallest = c;
+        }
+        if (!(e > heap[smallest]))
+            break;
+        heap[i] = heap[smallest];
         i = smallest;
     }
+    heap[i] = e;
 }
 
 } // namespace sim

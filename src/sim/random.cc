@@ -135,13 +135,30 @@ ZipfSampler::ZipfSampler(std::size_t n, double alpha)
     for (auto &c : cdf)
         c /= sum;
     cdf.back() = 1.0;
+
+    hint.resize(kHintBuckets + 1);
+    for (std::size_t b = 0; b <= kHintBuckets; ++b) {
+        const double lo =
+            static_cast<double>(b) / static_cast<double>(kHintBuckets);
+        hint[b] = static_cast<std::uint32_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), lo) - cdf.begin());
+    }
 }
 
 std::size_t
 ZipfSampler::sample(Random &rng) const
 {
     const double u = rng.uniformReal();
-    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    // lower_bound(u) lies in [hint[b], hint[b+1]] for u's bucket b,
+    // because u < (b + 1) / kHintBuckets and lower_bound is monotone.
+    const auto b = std::min<std::size_t>(
+        kHintBuckets - 1,
+        static_cast<std::size_t>(u * static_cast<double>(kHintBuckets)));
+    const auto first = cdf.begin() + hint[b];
+    const auto last =
+        cdf.begin() +
+        std::min<std::size_t>(cdf.size(), hint[b + 1] + std::size_t{1});
+    auto it = std::lower_bound(first, last, u);
     if (it == cdf.end())
         return cdf.size() - 1;
     return static_cast<std::size_t>(it - cdf.begin());

@@ -126,6 +126,17 @@ class ZipfSampler
 
   private:
     std::vector<double> cdf;
+
+    /**
+     * Bucketized first-probe index: hint[b] is the lower_bound of
+     * b / kHintBuckets in @ref cdf, so a draw only searches the
+     * (usually tiny) subrange between two adjacent hints instead of
+     * the whole CDF. Pure lookup acceleration — the mapping from a
+     * uniform draw to a rank is identical to a full binary search,
+     * so op streams (and every golden pinned to them) are unchanged.
+     */
+    static constexpr std::size_t kHintBuckets = 4096;
+    std::vector<std::uint32_t> hint;
 };
 
 } // namespace sim

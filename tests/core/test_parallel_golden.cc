@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "core/varsim.hh"
+#include "sample/runner.hh"
 
 namespace
 {
@@ -224,6 +225,47 @@ TEST(ParallelGolden, SingleCpuDegenerateTopology)
     EXPECT_EQ(t1.runtimeTicks, t2.runtimeTicks);
     EXPECT_EQ(t1.cyclesPerTxn, t2.cyclesPerTxn);
     EXPECT_EQ(t1.statsJsonl(), t2.statsJsonl());
+}
+
+// Sampling on the domained engine: fast-mode intervals quiesce at
+// domain round boundaries before the engines swap, so a sampled run
+// must stay bitwise identical across worker counts too — windows,
+// estimates, stats dump, everything. This test runs real worker
+// threads (no host clamp) and is part of the ThreadSanitizer gate.
+TEST(ParallelGoldenSampled, SampledRunIdenticalAcrossThreadCounts)
+{
+    const auto sys = goldenSys();
+    const auto wl = goldenWl(workload::WorkloadKind::Oltp);
+
+    auto runIt = [&](std::size_t threads) {
+        core::RunConfig rc = goldenRun(11, threads);
+        rc.measureTxns = 200;
+        EXPECT_TRUE(core::SampleConfig::parse("stratified:50:8:12",
+                                              rc.sample));
+        return sample::runOnce(sys, wl, rc);
+    };
+
+    const core::RunResult base = runIt(1);
+    EXPECT_EQ(base.sampled.windows, 4u);
+    EXPECT_GT(base.sampled.fastTxns, 0u);
+    EXPECT_FALSE(base.sampled.fullDetailFallback);
+
+    for (std::size_t threads : {2u, 4u}) {
+        const core::RunResult par = runIt(threads);
+        EXPECT_EQ(par.runtimeTicks, base.runtimeTicks)
+            << "threads=" << threads;
+        EXPECT_EQ(par.txns, base.txns) << "threads=" << threads;
+        EXPECT_EQ(par.sampled.windows, base.sampled.windows)
+            << "threads=" << threads;
+        EXPECT_EQ(par.sampled.fastTxns, base.sampled.fastTxns)
+            << "threads=" << threads;
+        EXPECT_EQ(par.sampled.cptMean, base.sampled.cptMean)
+            << "threads=" << threads;
+        EXPECT_EQ(par.sampled.ipcHi, base.sampled.ipcHi)
+            << "threads=" << threads;
+        EXPECT_EQ(par.statsJsonl(), base.statsJsonl())
+            << "threads=" << threads;
+    }
 }
 
 // Checkpoint portability matrix: bytes identical for every thread

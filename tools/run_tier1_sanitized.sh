@@ -26,10 +26,12 @@ cmake --build "$build" -j "$jobs"
 
 # ctest discovers suites from the build, so a CMake wiring mistake
 # would silently drop one; assert the binaries this gate exists to
-# run (serialization, the persistent checkpoint library, and the
+# run (serialization, the persistent checkpoint library, the
 # statistics paths — the histogram NaN/inf regression in test_stats
-# only proves anything under UBSan) are actually present.
-for t in test_sim test_stats test_core test_campaign test_ckpt; do
+# only proves anything under UBSan — and the sampling engine) are
+# actually present.
+for t in test_sim test_stats test_core test_campaign test_ckpt \
+         test_sample; do
     [ -x "$build/tests/$t" ] || {
         echo "error: $build/tests/$t was not built" >&2
         exit 1
@@ -55,13 +57,25 @@ if ! VARSIM_DEBUG=All "$build/tools/varsim" run --workload oltp \
     exit 1
 fi
 
+# The sampling determinism pin, explicitly: compiled-in-but-disabled
+# sampling must reproduce the legacy goldens bit for bit, and this is
+# the one place that claim runs under instrumented memory checking
+# (the ctest sweep above runs it too; a named rerun keeps the gate
+# obvious if the suite's test list ever changes).
+"$build/tests/test_sample" \
+    --gtest_filter='SampledDisabledGolden.*' >/dev/null || {
+    echo "error: disabled-sampling golden failed under asan/ubsan" >&2
+    exit 1
+}
+
 echo "tier-1 suite clean under address,undefined sanitizers"
 
 # ---- ThreadSanitizer flavor: the domained engine's data-race gate ----
 # TSan is incompatible with ASan, so it gets its own tree. Only the
 # suites that exercise the barrier/mailbox machinery with real worker
 # threads are run: the DomainScheduler/DomainRouter/InlineFn units and
-# the ParallelGolden end-to-end matrix (threads 1, 2 and 4). The
+# the ParallelGolden end-to-end matrix (threads 1, 2 and 4, including
+# the ParallelGoldenSampled sampling-under-parallelism pin). The
 # engine's claim is that workers synchronize exclusively through the
 # round barrier — TSan proves the absence of any side channel.
 cmake -S "$repo" -B "$tsan_build" \

@@ -44,6 +44,20 @@
  *   --lookahead <ticks>    conservative lookahead for --threads
  *                          (default: derived from the L2 hit
  *                          latency; 0 forces the serial engine)
+ *   --sample <d:U:W:M[:c]> intra-run statistical sampling: per
+ *                          period of U transactions, fast-forward
+ *                          under functional warming, then run W
+ *                          detailed warm-up and M measured
+ *                          transactions; report each metric as a
+ *                          point estimate with a confidence-c CI
+ *                          (default c = 0.95). Designs: systematic
+ *                          (fixed window phase), stratified (random
+ *                          offset per period, re-drawn per seed),
+ *                          matched (random offset, identical across
+ *                          perturbation seeds). Applies to run and
+ *                          campaign run/resume
+ *   --sample-offset-seed <s>  seed of the window-placement stream
+ *                          (default 12345)
  *
  * Configuration knobs (for run; suffix A/B for compare):
  *   --l2-assoc <w>  --l2-size <bytes>  --dram <ns>  --perturb <ns>
@@ -108,6 +122,8 @@
  *
  * Examples:
  *   varsim run --workload slashcode --runs 20
+ *   varsim run --workload oltp --txns 2000 \
+ *          --sample stratified:200:20:40
  *   varsim compare --l2-assoc-a 1 --l2-assoc-b 4 --runs 15
  *   varsim anova --workload specjbb --checkpoints 5 --step 800
  *   varsim plan --budget 20000
@@ -132,6 +148,7 @@
 #include "campaign/campaign.hh"
 #include "ckpt/library.hh"
 #include "core/varsim.hh"
+#include "sample/runner.hh"
 
 using namespace varsim;
 
@@ -268,6 +285,15 @@ runFromArgs(const Args &args)
     rc.par.threads = args.num("threads", 0);
     if (args.has("lookahead"))
         rc.par.lookahead = args.num("lookahead", 0);
+    const std::string sample = args.str("sample", "");
+    if (!sample.empty() &&
+        !core::SampleConfig::parse(sample, rc.sample))
+        sim::fatal("bad --sample '%s' (want design:U:W:M[:conf] "
+                   "with design systematic|stratified|matched)",
+                   sample.c_str());
+    if (args.has("sample-offset-seed"))
+        rc.sample.offsetSeed =
+            args.num("sample-offset-seed", rc.sample.offsetSeed);
     return rc;
 }
 
@@ -302,23 +328,53 @@ cmdRun(const Args &args)
 
     std::printf("running %zu x %s on %zu CPUs...\n", exp.numRuns,
                 workload::kindName(wl.kind), sys.numCpus());
-    const auto results = core::runMany(sys, wl, rc, exp);
+    if (rc.sample.enabled())
+        std::printf("sampling: %s\n", rc.sample.toString().c_str());
+    const auto results = sample::runMany(sys, wl, rc, exp);
     for (std::size_t i = 0; i < results.size(); ++i) {
         std::printf("  run %2zu: %10.0f cycles/txn  (%llu txns)\n",
                     i, results[i].cyclesPerTxn,
                     static_cast<unsigned long long>(
                         results[i].txns));
     }
+
+    // Sampled runs: per-run point estimates with their within-run
+    // confidence intervals for the headline rates.
+    if (rc.sample.enabled()) {
+        std::printf("\nsampled estimates (per run, %0.f%% CI):\n",
+                    100.0 * rc.sample.confidence);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const core::SampledStats &s = results[i].sampled;
+            std::printf(
+                "  run %2zu: IPC %.4f [%.4f, %.4f]  "
+                "L2 miss %.4f [%.4f, %.4f]  "
+                "(%llu window(s), %llu/%llu txns detailed%s)\n",
+                i, s.ipcMean, s.ipcLo, s.ipcHi, s.l2MissMean,
+                s.l2MissLo, s.l2MissHi,
+                static_cast<unsigned long long>(s.windows),
+                static_cast<unsigned long long>(s.measuredTxns +
+                                                s.warmTxns),
+                static_cast<unsigned long long>(
+                    s.measuredTxns + s.warmTxns + s.fastTxns),
+                s.fullDetailFallback ? ", full-detail fallback"
+                                     : "");
+        }
+    }
     const auto rep = core::analyze(results);
     std::printf("\n%s\n", rep.toString().c_str());
-    const auto ci = stats::meanConfidenceInterval(
-        core::metricOf(results), 0.95);
-    std::printf("95%% CI for the mean: [%.0f, %.0f]\n", ci.lo,
-                ci.hi);
-    std::printf("runs for a 2%% error bound at 95%%: %zu\n",
-                stats::meanPrecisionSampleSize(
-                    rep.coefficientOfVariation / 100.0, 0.02,
-                    0.95));
+    // Across-run inference needs at least two runs; --runs 1 is a
+    // legitimate invocation (e.g. a single sampled run, which
+    // carries its own within-run CI above).
+    if (results.size() >= 2) {
+        const auto ci = stats::meanConfidenceInterval(
+            core::metricOf(results), 0.95);
+        std::printf("95%% CI for the mean: [%.0f, %.0f]\n", ci.lo,
+                    ci.hi);
+        std::printf("runs for a 2%% error bound at 95%%: %zu\n",
+                    stats::meanPrecisionSampleSize(
+                        rep.coefficientOfVariation / 100.0, 0.02,
+                        0.95));
+    }
 
     // --stats <file|->: one schema-stable JSONL line per run (the
     // full metrics-registry dump), plus a host-throughput summary.
