@@ -32,6 +32,12 @@
 
 namespace varsim
 {
+
+namespace ckpt
+{
+class CheckpointLibrary;
+}
+
 namespace campaign
 {
 
@@ -63,6 +69,16 @@ struct CampaignOptions
      * one.
      */
     std::string ckptDir;
+
+    /**
+     * Borrowed, already-open checkpoint library (overrides ckptDir
+     * for access; ckptDir is still what gets recorded in the
+     * store's stats). The serve daemon hands every tenant's
+     * campaign the same instance so they share one on-disk cache,
+     * one advisory lock, and one pin table. Must outlive the
+     * campaign. nullptr: open ckptDir privately (CLI behavior).
+     */
+    ckpt::CheckpointLibrary *sharedLibrary = nullptr;
 
     /** Print per-round progress to stdout. */
     bool verbose = false;

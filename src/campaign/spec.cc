@@ -129,42 +129,58 @@ CampaignSpec::fingerprint() const
     return ckpt::fnv1a64(ckpt::kFnvOffsetBasis, canon);
 }
 
-void
-CampaignSpec::validate() const
+bool
+CampaignSpec::check(std::string *why) const
 {
+    auto bad = [&](std::string msg) {
+        if (why)
+            *why = std::move(msg);
+        return false;
+    };
     if (configs.empty())
-        sim::fatal("campaign spec has no configurations");
+        return bad("campaign spec has no configurations");
     for (const ConfigVariant &cv : configs)
         if (cv.name.empty())
-            sim::fatal("campaign configuration without a name");
+            return bad("campaign configuration without a name");
     if (numCheckpoints && checkpointStep == 0)
-        sim::fatal("campaign with checkpoints needs a nonzero "
+        return bad("campaign with checkpoints needs a nonzero "
                    "checkpoint step");
     if (stop.fixedRuns == 0) {
         if (stop.pilotRuns < 2)
-            sim::fatal("adaptive campaigns need pilotRuns >= 2 "
-                       "(got %zu)", stop.pilotRuns);
+            return bad(sim::format(
+                "adaptive campaigns need pilotRuns >= 2 (got %zu)",
+                stop.pilotRuns));
         if (stop.maxRuns < stop.pilotRuns)
-            sim::fatal("maxRuns (%zu) below pilotRuns (%zu)",
-                       stop.maxRuns, stop.pilotRuns);
+            return bad(sim::format(
+                "maxRuns (%zu) below pilotRuns (%zu)", stop.maxRuns,
+                stop.pilotRuns));
     }
     const std::size_t perGroup =
         stop.fixedRuns ? stop.fixedRuns : stop.maxRuns;
     if (perGroup == 0)
-        sim::fatal("campaign would run zero runs per group");
+        return bad("campaign would run zero runs per group");
     if (perGroup > seedStride)
-        sim::fatal("per-group run cap %zu exceeds the seed stride "
-                   "%llu; seeds would collide between groups",
-                   perGroup,
-                   static_cast<unsigned long long>(seedStride));
+        return bad(sim::format(
+            "per-group run cap %zu exceeds the seed stride %llu; "
+            "seeds would collide between groups", perGroup,
+            static_cast<unsigned long long>(seedStride)));
     if (stop.relativeError < 0.0 || stop.alpha < 0.0 ||
         stop.alpha >= 1.0)
-        sim::fatal("nonsensical stopping thresholds (relative "
-                   "error %g, alpha %g)", stop.relativeError,
-                   stop.alpha);
+        return bad(sim::format(
+            "nonsensical stopping thresholds (relative error %g, "
+            "alpha %g)", stop.relativeError, stop.alpha));
     if (stop.confidence <= 0.0 || stop.confidence >= 1.0)
-        sim::fatal("confidence must be in (0, 1), got %g",
-                   stop.confidence);
+        return bad(sim::format("confidence must be in (0, 1), got "
+                               "%g", stop.confidence));
+    return true;
+}
+
+void
+CampaignSpec::validate() const
+{
+    std::string why;
+    if (!check(&why))
+        sim::fatal("%s", why.c_str());
 }
 
 } // namespace campaign

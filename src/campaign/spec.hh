@@ -178,6 +178,13 @@ struct CampaignSpec
 
     /** fatal() on a nonsensical spec (empty grid, bad rule, ...). */
     void validate() const;
+
+    /**
+     * Non-fatal validate(): true when the spec is runnable, false
+     * with @p why set otherwise. The daemon rejects submissions with
+     * this; the CLI's validate() wraps it in fatal().
+     */
+    bool check(std::string *why) const;
 };
 
 } // namespace campaign

@@ -1,6 +1,8 @@
 #include "campaign/store.hh"
 
 #include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -61,30 +63,76 @@ headerLine(const StoreHeader &h)
 
 } // anonymous namespace
 
-std::unique_ptr<ResultStore>
-ResultStore::openOrCreate(const std::string &dir,
-                          const StoreHeader &header)
+namespace
 {
+
+/**
+ * Take the writer's exclusive advisory lock on an open manifest fd.
+ * Returns false with @p err set when another process (daemon or
+ * CLI campaign) already holds it. The lock lives as long as the fd.
+ */
+bool
+lockManifest(int fd, const std::string &dir, std::string *err)
+{
+    if (::flock(fd, LOCK_EX | LOCK_NB) == 0)
+        return true;
+    if (err) {
+        if (errno == EWOULDBLOCK)
+            *err = sim::format(
+                "campaign store %s is locked by another process "
+                "(a serve daemon or a running `varsim campaign`); "
+                "refusing concurrent appends — use `campaign "
+                "status`/`report` to read, or stop the other "
+                "writer first", dir.c_str());
+        else
+            *err = sim::format("cannot lock campaign store %s: %s",
+                               dir.c_str(), std::strerror(errno));
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+std::unique_ptr<ResultStore>
+ResultStore::tryOpenOrCreate(const std::string &dir,
+                             const StoreHeader &header,
+                             std::string *err)
+{
+    auto fail = [&](std::string msg) {
+        if (err)
+            *err = std::move(msg);
+        return std::unique_ptr<ResultStore>();
+    };
+
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec)
-        sim::fatal("cannot create campaign directory %s: %s",
-                   dir.c_str(), ec.message().c_str());
+        return fail(sim::format(
+            "cannot create campaign directory %s: %s", dir.c_str(),
+            ec.message().c_str()));
 
     std::unique_ptr<ResultStore> store(new ResultStore);
     store->dir_ = dir;
     const std::string path = manifestPath(dir);
-    const bool existed = std::filesystem::exists(path);
     store->fd = ::open(path.c_str(),
                        O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (store->fd < 0)
-        sim::fatal("cannot open %s: %s", path.c_str(),
-                   std::strerror(errno));
+        return fail(sim::format("cannot open %s: %s", path.c_str(),
+                                std::strerror(errno)));
+    if (!lockManifest(store->fd, dir, err))
+        return nullptr;
+
+    // Decide created-vs-resumed *after* winning the lock: a loser
+    // of a concurrent create race must replay the winner's header,
+    // not append a second one.
+    struct stat sb;
+    const bool existed =
+        ::fstat(store->fd, &sb) == 0 && sb.st_size > 0;
 
     if (existed) {
         store->replay(path);
         if (store->header_.fingerprint != header.fingerprint)
-            sim::fatal(
+            return fail(sim::format(
                 "campaign store %s was created for a different "
                 "spec (fingerprint %016llx, expected %016llx); "
                 "refusing to mix results",
@@ -92,13 +140,24 @@ ResultStore::openOrCreate(const std::string &dir,
                 static_cast<unsigned long long>(
                     store->header_.fingerprint),
                 static_cast<unsigned long long>(
-                    header.fingerprint));
+                    header.fingerprint)));
     } else {
         store->header_ = header;
         std::lock_guard<std::mutex> lock(store->mu);
         store->appendLine(headerLine(header));
         syncDirectory(dir);
     }
+    return store;
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::openOrCreate(const std::string &dir,
+                          const StoreHeader &header)
+{
+    std::string err;
+    auto store = tryOpenOrCreate(dir, header, &err);
+    if (!store)
+        sim::fatal("%s", err.c_str());
     return store;
 }
 
@@ -115,7 +174,23 @@ ResultStore::open(const std::string &dir)
     if (store->fd < 0)
         sim::fatal("cannot open %s: %s", path.c_str(),
                    std::strerror(errno));
+    std::string err;
+    if (!lockManifest(store->fd, dir, &err))
+        sim::fatal("%s", err.c_str());
     store->replay(path);
+    return store;
+}
+
+std::unique_ptr<ResultStore>
+ResultStore::openReadOnly(const std::string &dir)
+{
+    const std::string path = manifestPath(dir);
+    if (!std::filesystem::exists(path))
+        sim::fatal("no campaign store at %s (missing %s)",
+                   dir.c_str(), path.c_str());
+    std::unique_ptr<ResultStore> store(new ResultStore);
+    store->dir_ = dir;
+    store->replay(path); // fd stays -1: reader, no lock, no repair
     return store;
 }
 
@@ -145,7 +220,11 @@ ResultStore::replay(const std::string &path)
             sim::warn("%s: discarding torn final line %zu "
                       "(crash during append)", path.c_str(),
                       lineNo);
-            if (::ftruncate(fd, static_cast<off_t>(pos)) != 0)
+            // Read-only opens (fd < 0) just drop the debris from
+            // the replay; only the lock-holding writer repairs the
+            // file so its next append starts on a clean line.
+            if (fd >= 0 &&
+                ::ftruncate(fd, static_cast<off_t>(pos)) != 0)
                 sim::fatal("cannot truncate torn tail of %s: %s",
                            path.c_str(), std::strerror(errno));
             break;

@@ -105,13 +105,39 @@ class ResultStore
      * if absent. When the manifest exists, its header must match
      * @p header's fingerprint — resuming under a different spec is
      * a user error (fatal).
+     *
+     * Writable opens take an exclusive advisory flock(2) on the
+     * manifest for the life of the store, so a daemon and a stray
+     * `varsim campaign run` pointed at the same directory fail fast
+     * with a clear message instead of interleaving appends.
      */
     static std::unique_ptr<ResultStore>
     openOrCreate(const std::string &dir, const StoreHeader &header);
 
-    /** Open an existing store read-write; fatal if absent. */
+    /**
+     * Non-fatal openOrCreate(): nullptr with @p err set when the
+     * store is locked by another process, was created for a
+     * different fingerprint, or cannot be created. The daemon opens
+     * campaign stores with this so a bad submission is an error
+     * reply, not an exit.
+     */
+    static std::unique_ptr<ResultStore>
+    tryOpenOrCreate(const std::string &dir,
+                    const StoreHeader &header, std::string *err);
+
+    /** Open an existing store read-write (locked); fatal if absent. */
     static std::unique_ptr<ResultStore>
     open(const std::string &dir);
+
+    /**
+     * Open an existing store for reading only: no write lock, no
+     * torn-tail truncation (a torn final line is dropped from the
+     * replay but left on disk for the writer to repair). Status and
+     * report paths use this so they work while a daemon or campaign
+     * process holds the write lock.
+     */
+    static std::unique_ptr<ResultStore>
+    openReadOnly(const std::string &dir);
 
     const StoreHeader &header() const { return header_; }
     const std::string &directory() const { return dir_; }

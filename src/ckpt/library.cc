@@ -1,6 +1,7 @@
 #include "ckpt/library.hh"
 
 #include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -74,6 +75,26 @@ CheckpointLibrary::open(const std::string &dir)
     if (ec)
         sim::fatal("cannot create checkpoint library %s: %s",
                    dir.c_str(), ec.message().c_str());
+
+    // Reader/writer coexistence is by design (atomic objects,
+    // append-only index); the shared lock only excludes gc, whose
+    // deletions are the one operation that is NOT safe under a
+    // concurrent fetch from another process.
+    const std::string lockPath = dir + "/.lock";
+    lib->lockFd = ::open(lockPath.c_str(), O_RDWR | O_CREAT, 0644);
+    if (lib->lockFd < 0)
+        sim::fatal("cannot open %s: %s", lockPath.c_str(),
+                   std::strerror(errno));
+    if (::flock(lib->lockFd, LOCK_SH | LOCK_NB) != 0) {
+        if (errno == EWOULDBLOCK)
+            sim::fatal(
+                "checkpoint library %s is locked exclusively "
+                "(a gc sweep in progress?); retry when it "
+                "finishes", dir.c_str());
+        sim::fatal("cannot lock checkpoint library %s: %s",
+                   dir.c_str(), std::strerror(errno));
+    }
+
     lib->indexFd = ::open(lib->indexPath().c_str(),
                           O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (lib->indexFd < 0)
@@ -303,10 +324,51 @@ CheckpointLibrary::verify()
     return rep;
 }
 
+void
+CheckpointLibrary::pin(const std::string &digestHex)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++pins[digestHex];
+}
+
+void
+CheckpointLibrary::unpin(const std::string &digestHex)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = pins.find(digestHex);
+    VARSIM_ASSERT(it != pins.end(),
+                  "unpin of %s without a matching pin",
+                  digestHex.c_str());
+    if (--it->second == 0)
+        pins.erase(it);
+}
+
+bool
+CheckpointLibrary::pinned(const std::string &digestHex) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return pins.count(digestHex) > 0;
+}
+
 GcReport
 CheckpointLibrary::gc(std::uint64_t maxBytes)
 {
     std::lock_guard<std::mutex> lock(mu);
+
+    // Upgrade to the exclusive library lock for the sweep. Any other
+    // open of this library — another process's fetch/publish, or a
+    // second in-process open — holds the shared lock and blocks the
+    // upgrade, which is exactly the protection: gc deletes files.
+    if (::flock(lockFd, LOCK_EX | LOCK_NB) != 0) {
+        if (errno == EWOULDBLOCK)
+            sim::fatal(
+                "checkpoint library %s is in use by another "
+                "process; gc needs exclusive access — stop the "
+                "daemon or campaign first", dir_.c_str());
+        sim::fatal("cannot lock checkpoint library %s for gc: %s",
+                   dir_.c_str(), std::strerror(errno));
+    }
+
     GcReport rep;
 
     // 1. Temporary debris from killed writers.
@@ -342,32 +404,46 @@ CheckpointLibrary::gc(std::uint64_t maxBytes)
         kept.push_back(e);
     }
 
-    // 3. Size cap: evict oldest publications first.
+    // 3. Size cap: evict oldest publications first, but never an
+    // object some in-process user has pinned (a restore in flight,
+    // a warmer about to fetch) — eviction moves on to the next
+    // oldest instead.
     std::uint64_t total = 0;
     for (const LibraryEntry &e : kept)
         total += e.bytes;
-    std::size_t evictUpTo = 0;
+    std::vector<char> evict(kept.size(), 0);
     if (maxBytes) {
-        while (total > maxBytes && evictUpTo < kept.size()) {
-            total -= kept[evictUpTo].bytes;
-            ++evictUpTo;
+        for (std::size_t i = 0;
+             total > maxBytes && i < kept.size(); ++i) {
+            if (pins.count(kept[i].digestHex))
+                continue;
+            evict[i] = 1;
+            total -= kept[i].bytes;
         }
     }
-    for (std::size_t i = 0; i < evictUpTo; ++i) {
+    std::vector<LibraryEntry> survivors;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+        if (!evict[i]) {
+            survivors.push_back(kept[i]);
+            continue;
+        }
         std::error_code ec;
         rep.bytesFreed += kept[i].bytes;
         fs::remove(objectPath(kept[i].digestHex), ec);
         ++rep.evicted;
     }
-    kept.erase(kept.begin(),
-               kept.begin() + static_cast<std::ptrdiff_t>(evictUpTo));
 
-    entries_ = std::move(kept);
+    entries_ = std::move(survivors);
     byDigest.clear();
     for (std::size_t i = 0; i < entries_.size(); ++i)
         byDigest.emplace(entries_[i].digestHex, i);
     rep.bytesKept = total;
     rewriteIndex();
+
+    // Back to the shared lock: normal operation may resume.
+    if (::flock(lockFd, LOCK_SH) != 0)
+        sim::fatal("cannot restore shared library lock on %s: %s",
+                   dir_.c_str(), std::strerror(errno));
     return rep;
 }
 
@@ -396,6 +472,8 @@ CheckpointLibrary::~CheckpointLibrary()
 {
     if (indexFd >= 0)
         ::close(indexFd);
+    if (lockFd >= 0)
+        ::close(lockFd); // releases the advisory lock
 }
 
 } // namespace ckpt

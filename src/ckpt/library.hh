@@ -106,7 +106,18 @@ struct GcReport
 class CheckpointLibrary
 {
   public:
-    /** Open @p dir, creating the layout on first use. */
+    /**
+     * Open @p dir, creating the layout on first use.
+     *
+     * Every open holds a shared advisory flock(2) on `<dir>/.lock`
+     * for the library's lifetime (a dedicated file, not the index
+     * fd: rewriteIndex() replaces the index inode, which would drop
+     * a lock held there). gc() needs the exclusive lock, so a
+     * maintenance sweep cannot run while any process — a serve
+     * daemon, a campaign shard — has the library open, and vice
+     * versa; both sides fail fast with a clear message instead of
+     * deleting objects out from under a restore.
+     */
     static std::unique_ptr<CheckpointLibrary>
     open(const std::string &dir);
 
@@ -139,9 +150,27 @@ class CheckpointLibrary
     VerifyReport verify();
 
     /**
+     * Pin @p digestHex: gc() will not evict the object while any
+     * pin is outstanding. Pins nest (a count per digest) and are
+     * in-process only — cross-process protection is the `.lock`
+     * flock, which excludes gc entirely while the library is open
+     * elsewhere. Pinning an unknown digest is fine (it protects a
+     * concurrent publication about to be indexed).
+     */
+    void pin(const std::string &digestHex);
+
+    /** Release one pin of @p digestHex. */
+    void unpin(const std::string &digestHex);
+
+    /** True while @p digestHex has outstanding pins. */
+    bool pinned(const std::string &digestHex) const;
+
+    /**
      * Sweep temporary debris from killed writers and corrupt
      * objects; when @p maxBytes is nonzero, evict oldest-published
-     * entries until the library fits. Rewrites a compacted index.
+     * entries until the library fits, skipping pinned objects.
+     * Rewrites a compacted index. Fatal when another process holds
+     * the library open (needs the exclusive `.lock`).
      */
     GcReport gc(std::uint64_t maxBytes = 0);
 
@@ -171,10 +200,12 @@ class CheckpointLibrary
 
     std::string dir_;
     int indexFd = -1;
+    int lockFd = -1; ///< shared flock on <dir>/.lock while open
 
     mutable std::mutex mu;
     std::vector<LibraryEntry> entries_;
     std::map<std::string, std::size_t> byDigest;
+    std::map<std::string, std::size_t> pins; ///< digest -> count
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t published = 0;

@@ -1,0 +1,107 @@
+#include "core/task_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace core
+{
+
+TaskQueue::TaskQueue(std::size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    threads.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerMain(); });
+}
+
+TaskQueue::~TaskQueue()
+{
+    stop();
+}
+
+void
+TaskQueue::post(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping)
+            return;
+        queue.push_back(std::move(fn));
+    }
+    wake.notify_one();
+}
+
+void
+TaskQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    idle.wait(lock,
+              [this] { return queue.empty() && running_ == 0; });
+}
+
+void
+TaskQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping && threads.empty())
+            return;
+        stopping = true;
+        queue.clear();
+    }
+    wake.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+    threads.clear();
+    idle.notify_all();
+}
+
+std::size_t
+TaskQueue::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return queue.size();
+}
+
+std::size_t
+TaskQueue::running() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return running_;
+}
+
+void
+TaskQueue::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        wake.wait(lock,
+                  [this] { return stopping || !queue.empty(); });
+        if (stopping)
+            return;
+        std::function<void()> task = std::move(queue.front());
+        queue.pop_front();
+        ++running_;
+        lock.unlock();
+        try {
+            task();
+        } catch (const std::exception &e) {
+            sim::warn("task queue: task failed: %s", e.what());
+        } catch (...) {
+            sim::warn("task queue: task failed with a non-standard "
+                      "exception");
+        }
+        lock.lock();
+        --running_;
+        if (queue.empty() && running_ == 0)
+            idle.notify_all();
+    }
+}
+
+} // namespace core
+} // namespace varsim

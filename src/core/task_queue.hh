@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Asynchronous sibling of HostThreadPool.
+ *
+ * parallelFor() is batch-synchronous: the caller blocks until its
+ * batch drains, and batches serialize behind one another. That shape
+ * fits a CLI invocation running one campaign, but not a resident
+ * daemon multiplexing many tenants — there the scheduler must keep
+ * posting work as results stream in, never blocking a submission on
+ * another tenant's batch. TaskQueue is that executor: a fixed set of
+ * workers draining a FIFO of posted closures.
+ *
+ * The serve scheduler deliberately posts *tokens*, not campaign
+ * cells: each token asks the scheduler for the globally best next
+ * cell at the moment it runs (late binding), which is how fair-share
+ * admission stays accurate under completion-order churn.
+ */
+
+#ifndef VARSIM_CORE_TASK_QUEUE_HH
+#define VARSIM_CORE_TASK_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace varsim
+{
+namespace core
+{
+
+class TaskQueue
+{
+  public:
+    /** Start @p workers threads (0 = hardware concurrency). */
+    explicit TaskQueue(std::size_t workers);
+
+    /** stop()s (discarding queued tasks) and joins. */
+    ~TaskQueue();
+
+    TaskQueue(const TaskQueue &) = delete;
+    TaskQueue &operator=(const TaskQueue &) = delete;
+
+    /**
+     * Enqueue @p fn for execution on some worker, FIFO. Tasks
+     * posted after stop() are silently dropped (the daemon's
+     * shutdown path races its own completion callbacks; dropping
+     * is the correct loser's outcome). A task that throws is
+     * swallowed with a warning — one tenant's failure must not
+     * take down the executor.
+     */
+    void post(std::function<void()> fn);
+
+    /** Block until no task is queued or running. */
+    void drain();
+
+    /**
+     * Stop accepting and discard queued tasks; running tasks
+     * complete. Returns after every worker has exited. Idempotent.
+     */
+    void stop();
+
+    /** Tasks queued but not yet started. */
+    std::size_t pending() const;
+
+    /** Tasks currently executing. */
+    std::size_t running() const;
+
+    std::size_t workerCount() const { return threads.size(); }
+
+  private:
+    void workerMain();
+
+    mutable std::mutex mu;
+    std::condition_variable wake; ///< workers: task posted / stop
+    std::condition_variable idle; ///< drain(): queue+running empty
+    std::deque<std::function<void()>> queue;
+    std::size_t running_ = 0;
+    bool stopping = false;
+    std::vector<std::thread> threads;
+};
+
+} // namespace core
+} // namespace varsim
+
+#endif // VARSIM_CORE_TASK_QUEUE_HH

@@ -1,0 +1,244 @@
+#include "serve/client.hh"
+
+#include "campaign/knobs.hh"
+#include "campaign/spec.hh"
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Extract a daemon error reply into @p err; true when error. */
+bool
+isError(const sim::JsonLine &rep, std::string *err)
+{
+    if (rep.str("type") != "error")
+        return false;
+    if (err)
+        *err = rep.str("message", "daemon error");
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+Client::roundTrip(const std::string &payload, sim::JsonLine &rep,
+                  std::string *err, int timeoutMs)
+{
+    const int fd = connectTo(addr, err);
+    if (fd < 0)
+        return false;
+    FrameIo io(fd);
+    if (timeoutMs > 0)
+        io.setRecvTimeout(timeoutMs);
+    std::string reply;
+    if (!io.send(payload) || !io.recv(reply)) {
+        if (err)
+            *err = io.errorText();
+        return false;
+    }
+    if (!rep.parse(reply)) {
+        if (err)
+            *err = "unparseable daemon reply";
+        return false;
+    }
+    return !isError(rep, err);
+}
+
+bool
+Client::ping(std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("ping"));
+    sim::JsonLine rep;
+    if (!roundTrip(w.str(), rep, err))
+        return false;
+    if (rep.num("schema") !=
+        static_cast<std::uint64_t>(kSchemaVersion)) {
+        if (err)
+            *err = sim::format(
+                "daemon speaks schema %llu, this client %d",
+                static_cast<unsigned long long>(
+                    rep.num("schema")),
+                kSchemaVersion);
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::submit(Submission &sub, std::string *err)
+{
+    // Build the spec locally first: a bad submission fails here
+    // with the CLI's own error text, and a good one gets the
+    // fingerprint the daemon will verify.
+    campaign::CampaignSpec spec;
+    if (!campaign::buildSpec(sub.fields, spec, err))
+        return false;
+    sub.fingerprintHex = sim::format(
+        "%016llx",
+        static_cast<unsigned long long>(spec.fingerprint()));
+
+    sim::JsonLine rep;
+    return roundTrip(encodeSubmission(sub), rep, err);
+}
+
+bool
+Client::status(const std::string &tenant,
+               std::vector<CampaignInfo> &out, std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("status"));
+    if (!tenant.empty())
+        w.field("tenant", tenant);
+
+    const int fd = connectTo(addr, err);
+    if (fd < 0)
+        return false;
+    FrameIo io(fd);
+    io.setRecvTimeout(30000);
+    if (!io.send(w.str())) {
+        if (err)
+            *err = io.errorText();
+        return false;
+    }
+    out.clear();
+    for (;;) {
+        std::string payload;
+        if (!io.recv(payload)) {
+            if (err)
+                *err = io.errorText();
+            return false;
+        }
+        sim::JsonLine obj;
+        if (!obj.parse(payload)) {
+            if (err)
+                *err = "unparseable daemon reply";
+            return false;
+        }
+        if (isError(obj, err))
+            return false;
+        if (obj.str("type") == "end")
+            return true;
+        CampaignInfo info;
+        if (decodeInfo(obj, info))
+            out.push_back(std::move(info));
+    }
+}
+
+bool
+Client::info(const std::string &id, CampaignInfo &out,
+             std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("info"));
+    w.field("id", id);
+    sim::JsonLine rep;
+    if (!roundTrip(w.str(), rep, err))
+        return false;
+    if (!decodeInfo(rep, out)) {
+        if (err)
+            *err = "malformed campaign info reply";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::watch(const std::string &id, std::uint64_t afterSeq,
+              const std::function<void(const Event &)> &onEvent,
+              std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("watch"));
+    w.field("id", id);
+    w.field("after", afterSeq);
+
+    const int fd = connectTo(addr, err);
+    if (fd < 0)
+        return false;
+    FrameIo io(fd);
+    // No receive timeout: a quiet campaign can legitimately sit
+    // between events for as long as a cell takes to simulate.
+    if (!io.send(w.str())) {
+        if (err)
+            *err = io.errorText();
+        return false;
+    }
+    bool sawTerminal = false;
+    for (;;) {
+        std::string payload;
+        if (!io.recv(payload)) {
+            if (err)
+                *err = io.errorText();
+            return false;
+        }
+        sim::JsonLine obj;
+        if (!obj.parse(payload)) {
+            if (err)
+                *err = "unparseable daemon reply";
+            return false;
+        }
+        if (isError(obj, err))
+            return false;
+        if (obj.str("type") == "end")
+            break;
+        Event ev;
+        if (!decodeEvent(obj, ev))
+            continue;
+        if (ev.kind == "complete" || ev.kind == "cancelled" ||
+            ev.kind == "failed")
+            sawTerminal = true;
+        onEvent(ev);
+    }
+    if (!sawTerminal && err)
+        *err = "stream ended before the campaign finished "
+               "(daemon draining?)";
+    return sawTerminal;
+}
+
+bool
+Client::cancel(const std::string &id, std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("cancel"));
+    w.field("id", id);
+    sim::JsonLine rep;
+    return roundTrip(w.str(), rep, err);
+}
+
+bool
+Client::report(const std::string &id, double confidence,
+               const std::string &metric, std::string &text,
+               std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("report"));
+    w.field("id", id);
+    w.field("confidence", confidence);
+    if (!metric.empty())
+        w.field("metric", metric);
+    sim::JsonLine rep;
+    if (!roundTrip(w.str(), rep, err))
+        return false;
+    text = rep.str("text");
+    return true;
+}
+
+bool
+Client::drain(std::string *err)
+{
+    sim::JsonWriter w;
+    w.field("req", std::string("drain"));
+    sim::JsonLine rep;
+    // No timeout: the ok frame arrives only once every campaign
+    // has reached a terminal state.
+    return roundTrip(w.str(), rep, err, 0);
+}
+
+} // namespace serve
+} // namespace varsim

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "campaign/campaign.hh"
 #include "campaign/store.hh"
 
 namespace
@@ -252,6 +253,64 @@ TEST(ResultStore, PlanRecordRoundTrips)
     ASSERT_TRUE(store->plan().valid);
     EXPECT_EQ(store->plan().runLength, 2500u);
     EXPECT_EQ(store->plan().numRuns, 12u);
+}
+
+TEST(ResultStore, WriterLockExcludesSecondWriter)
+{
+    const std::string dir = freshDir("lock");
+    auto writer = ResultStore::openOrCreate(dir, twoGroupHeader());
+    ASSERT_TRUE(writer);
+
+    // A second writable open — a stray `campaign run` aimed at a
+    // directory a daemon owns — fails fast instead of interleaving.
+    std::string err;
+    auto second =
+        ResultStore::tryOpenOrCreate(dir, twoGroupHeader(), &err);
+    EXPECT_EQ(second, nullptr);
+    EXPECT_NE(err.find("locked"), std::string::npos) << err;
+
+    // Releasing the first store releases the lock.
+    writer.reset();
+    second =
+        ResultStore::tryOpenOrCreate(dir, twoGroupHeader(), &err);
+    EXPECT_NE(second, nullptr) << err;
+}
+
+TEST(ResultStore, ReadOnlyOpenWorksWhileWriterHoldsTheLock)
+{
+    const std::string dir = freshDir("rolock");
+    auto writer = ResultStore::openOrCreate(dir, twoGroupHeader());
+    writer->appendRun(record(0, 0, 3.5));
+
+    // Status/report paths read while the daemon is mid-campaign.
+    auto reader = ResultStore::openReadOnly(dir);
+    EXPECT_EQ(reader->totalRuns(), 1u);
+    EXPECT_EQ(reader->groupMetric(0), (std::vector<double>{3.5}));
+
+    // The reader never repairs the manifest: a torn tail is
+    // dropped from its replay but left on disk for the writer.
+    {
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"type\":\"run\",\"gro";
+    }
+    const auto before =
+        std::filesystem::file_size(dir + "/manifest.jsonl");
+    auto reader2 = ResultStore::openReadOnly(dir);
+    EXPECT_EQ(reader2->totalRuns(), 1u);
+    EXPECT_EQ(std::filesystem::file_size(dir + "/manifest.jsonl"),
+              before);
+}
+
+TEST(ResultStore, EmptyStoreReportSaysSoInsteadOfAnEmptyTable)
+{
+    const std::string dir = freshDir("emptyrep");
+    { ResultStore::openOrCreate(dir, twoGroupHeader()); }
+    const auto rep = varsim::campaign::campaignReport(dir);
+    EXPECT_NE(rep.text.find("0 run(s)"), std::string::npos);
+    EXPECT_NE(rep.text.find("no completed runs"),
+              std::string::npos);
+    EXPECT_NE(rep.text.find("campaign status"), std::string::npos);
 }
 
 TEST(ResultStoreDeathTest, FingerprintMismatchIsFatal)

@@ -269,6 +269,80 @@ TEST(CkptLibrary, GcEvictsOldestBeyondTheByteBudget)
     EXPECT_EQ(again->entries().size(), 2u);
 }
 
+TEST(CkptLibrary, PinnedObjectsSurviveGcEviction)
+{
+    // The gc-vs-restore race: a warmer holds a digest it is about
+    // to restore/publish while a byte-budget gc sweeps. The pin
+    // must keep that object; eviction falls to the next-oldest.
+    const std::string dir = freshDir("pin");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->publish(makeKey(10), makeSnapshot(0x10));
+    lib->publish(makeKey(20), makeSnapshot(0x20));
+    lib->publish(makeKey(30), makeSnapshot(0x30));
+
+    const auto entries = lib->entries();
+    ASSERT_EQ(entries.size(), 3u);
+    const std::string oldest = entries[0].digestHex;
+    const std::uint64_t keepTwo =
+        entries[1].bytes + entries[2].bytes;
+
+    lib->pin(oldest);
+    EXPECT_TRUE(lib->pinned(oldest));
+
+    // Budget says evict one; the oldest is pinned, so the
+    // second-oldest goes instead.
+    const auto gc = lib->gc(keepTwo);
+    EXPECT_EQ(gc.evicted, 1u);
+    core::Checkpoint got;
+    EXPECT_TRUE(lib->fetch(makeKey(10), got));
+    EXPECT_FALSE(lib->fetch(makeKey(20), got));
+    EXPECT_TRUE(lib->fetch(makeKey(30), got));
+
+    // Pins nest: one unpin of a double pin still protects.
+    lib->pin(oldest);
+    lib->unpin(oldest);
+    EXPECT_TRUE(lib->pinned(oldest));
+    lib->unpin(oldest);
+    EXPECT_FALSE(lib->pinned(oldest));
+
+    // Fully unpinned, the object is evictable again.
+    const auto gc2 = lib->gc(entries[2].bytes);
+    EXPECT_EQ(gc2.evicted, 1u);
+    EXPECT_FALSE(lib->fetch(makeKey(10), got));
+    EXPECT_TRUE(lib->fetch(makeKey(30), got));
+}
+
+TEST(CkptLibrary, PinningUnknownDigestsIsHarmless)
+{
+    // Pinning a digest not (yet) in the index protects a
+    // publication in flight; it must not be an error.
+    const std::string dir = freshDir("pinunknown");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    lib->pin("feedfacefeedface");
+    EXPECT_TRUE(lib->pinned("feedfacefeedface"));
+    lib->unpin("feedfacefeedface");
+    EXPECT_FALSE(lib->pinned("feedfacefeedface"));
+}
+
+TEST(CkptLibraryDeathTest, UnmatchedUnpinIsABug)
+{
+    const std::string dir = freshDir("unpinbug");
+    auto lib = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_DEATH(lib->unpin("neverpinned"), "matching pin");
+}
+
+TEST(CkptLibraryDeathTest, GcRefusesWhileAnotherHandleIsOpen)
+{
+    // Cross-process (and cross-handle) protection is the .lock
+    // flock: gc needs it exclusively, so a sweep cannot run while
+    // a daemon or campaign shard has the library open.
+    const std::string dir = freshDir("gclock");
+    auto a = ckpt::CheckpointLibrary::open(dir);
+    a->publish(makeKey(), makeSnapshot());
+    auto b = ckpt::CheckpointLibrary::open(dir);
+    EXPECT_DEATH(a->gc(), "exclusive");
+}
+
 TEST(CkptLibrary, TornIndexTailIsIgnoredButObjectStillServes)
 {
     const std::string dir = freshDir("tornindex");

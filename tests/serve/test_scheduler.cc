@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Scheduler tests: admission (validation, fingerprint skew,
+ * duplicates), multi-tenant completion, durable cancel, hard-stop
+ * crash simulation + resumeAll, and the headline contract — a
+ * served campaign's records and report are bit-identical to the
+ * same submission run through the CLI's runCampaign path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "campaign/knobs.hh"
+#include "serve/scheduler.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace varsim;
+
+std::string
+freshRoot(const std::string &name)
+{
+    const auto p = std::filesystem::temp_directory_path() /
+                   ("varsim_test_sched_" + name);
+    std::filesystem::remove_all(p);
+    std::filesystem::create_directories(p);
+    return p.string();
+}
+
+/** Small, fast campaign fields every test starts from. */
+campaign::SpecFields
+smallFields(std::uint64_t seed = 11)
+{
+    campaign::SpecFields f;
+    f.base["cpus"] = "2";
+    f.workload = "oltp";
+    f.threadsPerCpu = 2;
+    f.warmupTxns = 5;
+    f.measureTxns = 20;
+    f.baseSeed = seed;
+    f.fixedRuns = 3;
+    return f;
+}
+
+serve::Submission
+makeSub(const std::string &tenant, const std::string &name,
+        const campaign::SpecFields &fields, int priority = 0)
+{
+    serve::Submission sub;
+    sub.tenant = tenant;
+    sub.name = name;
+    sub.priority = priority;
+    sub.fields = fields;
+    campaign::CampaignSpec spec;
+    std::string err;
+    EXPECT_TRUE(campaign::buildSpec(fields, spec, &err)) << err;
+    sub.fingerprintHex = sim::format(
+        "%016llx",
+        static_cast<unsigned long long>(spec.fingerprint()));
+    return sub;
+}
+
+/** Sorted full record lines of a manifest (order-independent). */
+std::multiset<std::string>
+manifestRecords(const std::string &dir)
+{
+    std::multiset<std::string> out;
+    std::ifstream in(dir + "/manifest.jsonl");
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            out.insert(line);
+    return out;
+}
+
+TEST(ServeScheduler, RunsOneCampaignToCompletion)
+{
+    const std::string root = freshRoot("single");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 2;
+    serve::Scheduler sched(cfg);
+
+    std::string err;
+    ASSERT_TRUE(sched.submit(makeSub("alice", "one", smallFields()),
+                             &err))
+        << err;
+    sched.drain();
+
+    serve::CampaignInfo info;
+    ASSERT_TRUE(sched.info("alice/one", info));
+    EXPECT_EQ(info.state, "complete");
+    EXPECT_EQ(info.recorded, 3u);
+    EXPECT_EQ(info.target, 3u);
+    EXPECT_EQ(sched.cellsExecuted(), 3u);
+
+    // Events: a round announcement, one per run, then complete.
+    std::vector<serve::Event> events;
+    bool terminal = false;
+    ASSERT_TRUE(
+        sched.waitEvents("alice/one", 0, 0, events, &terminal));
+    ASSERT_TRUE(terminal);
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_EQ(events.front().kind, "round");
+    EXPECT_EQ(events.back().kind, "complete");
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].seq, i + 1);
+}
+
+TEST(ServeScheduler, ServedRecordsAreBitIdenticalToTheCli)
+{
+    const campaign::SpecFields fields = smallFields(77);
+
+    // CLI path: the same fields through buildSpec + runCampaign.
+    const std::string cliDir = freshRoot("bitcli") + "/store";
+    campaign::CampaignSpec spec;
+    std::string err;
+    ASSERT_TRUE(campaign::buildSpec(fields, spec, &err)) << err;
+    campaign::CampaignOptions opt;
+    opt.hostThreads = 2;
+    campaign::runCampaign(spec, cliDir, opt);
+
+    // Daemon path: the same fields as a submission.
+    const std::string root = freshRoot("bitsrv");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 3;
+    serve::Scheduler sched(cfg);
+    ASSERT_TRUE(sched.submit(makeSub("t", "c", fields), &err))
+        << err;
+    sched.drain();
+
+    // Same record set (append order is scheduling-dependent even
+    // between two CLI runs, so compare as sets) and the same
+    // rendered report, byte for byte.
+    const auto cli = manifestRecords(cliDir);
+    const auto srv = manifestRecords(sched.storeDir("t/c"));
+    EXPECT_EQ(cli, srv);
+    EXPECT_EQ(campaign::campaignReport(cliDir).text,
+              campaign::campaignReport(sched.storeDir("t/c")).text);
+}
+
+TEST(ServeScheduler, ManyTenantsAllComplete)
+{
+    const std::string root = freshRoot("tenants");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 4;
+    serve::Scheduler sched(cfg);
+
+    std::string err;
+    const char *tenants[] = {"alice", "bob", "carol"};
+    for (const char *tenant : tenants)
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(
+                sched.submit(
+                    makeSub(tenant, "c" + std::to_string(i),
+                            smallFields(100 + i), i),
+                    &err))
+                << err;
+    sched.drain();
+
+    const auto infos = sched.status();
+    ASSERT_EQ(infos.size(), 9u);
+    for (const auto &info : infos)
+        EXPECT_EQ(info.state, "complete") << info.id;
+    EXPECT_EQ(sched.cellsExecuted(), 9u * 3u);
+
+    const auto one = sched.status("bob");
+    EXPECT_EQ(one.size(), 3u);
+}
+
+TEST(ServeScheduler, RejectsBadSubmissions)
+{
+    const std::string root = freshRoot("reject");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 1;
+    serve::Scheduler sched(cfg);
+    std::string err;
+
+    // Fingerprint skew: client claims a different spec.
+    serve::Submission skew = makeSub("t", "skew", smallFields());
+    skew.fingerprintHex = "deadbeefdeadbeef";
+    EXPECT_FALSE(sched.submit(skew, &err));
+    EXPECT_NE(err.find("fingerprint"), std::string::npos);
+
+    // Bad spec fields surface buildSpec's own message.
+    campaign::SpecFields bad = smallFields();
+    bad.strategy = "psychic";
+    serve::Submission badSub;
+    badSub.tenant = "t";
+    badSub.name = "bad";
+    badSub.fields = bad;
+    badSub.fingerprintHex = "1";
+    EXPECT_FALSE(sched.submit(badSub, &err));
+    EXPECT_NE(err.find("strategy"), std::string::npos);
+
+    // Bad names never become paths.
+    serve::Submission traversal = makeSub("t", "ok", smallFields());
+    traversal.tenant = "../up";
+    EXPECT_FALSE(sched.submit(traversal, &err));
+
+    // Same id, identical fields: idempotent ack. Different
+    // fields: conflict.
+    ASSERT_TRUE(sched.submit(makeSub("t", "dup", smallFields()),
+                             &err))
+        << err;
+    EXPECT_TRUE(
+        sched.submit(makeSub("t", "dup", smallFields()), &err));
+    EXPECT_FALSE(sched.submit(
+        makeSub("t", "dup", smallFields(999)), &err));
+    EXPECT_NE(err.find("different fields"), std::string::npos);
+    sched.drain();
+}
+
+TEST(ServeScheduler, CancelIsDurable)
+{
+    const std::string root = freshRoot("cancel");
+    std::string err;
+    {
+        serve::SchedulerConfig cfg;
+        cfg.root = root;
+        cfg.workers = 1;
+        serve::Scheduler sched(cfg);
+        campaign::SpecFields big = smallFields();
+        big.fixedRuns = 50; // enough frontier to cancel into
+        ASSERT_TRUE(sched.submit(makeSub("t", "big", big), &err))
+            << err;
+        ASSERT_TRUE(sched.cancel("t/big", &err)) << err;
+        EXPECT_TRUE(sched.cancel("t/big", &err)); // idempotent
+        EXPECT_FALSE(sched.cancel("t/nosuch", &err));
+        sched.drain();
+        serve::CampaignInfo info;
+        ASSERT_TRUE(sched.info("t/big", info));
+        EXPECT_EQ(info.state, "cancelled");
+    }
+    // A restarted scheduler sees the marker and never reruns it.
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 1;
+    serve::Scheduler sched(cfg);
+    EXPECT_EQ(sched.resumeAll(), 0u);
+    serve::CampaignInfo info;
+    ASSERT_TRUE(sched.info("t/big", info));
+    EXPECT_EQ(info.state, "cancelled");
+}
+
+TEST(ServeScheduler, HardStopThenResumeCompletesEverything)
+{
+    const std::string root = freshRoot("resume");
+    const campaign::SpecFields fields = smallFields(33);
+    std::string err;
+    {
+        serve::SchedulerConfig cfg;
+        cfg.root = root;
+        cfg.workers = 2;
+        serve::Scheduler sched(cfg);
+        for (int i = 0; i < 4; ++i)
+            ASSERT_TRUE(sched.submit(
+                            makeSub(i % 2 ? "a" : "b",
+                                    "c" + std::to_string(i),
+                                    fields),
+                            &err))
+                << err;
+        // Hard stop without drain: undispatched cells are simply
+        // dropped, like a kill between store appends. The durable
+        // state (submission.json + manifests) is all that's left.
+        sched.stop();
+    }
+
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 2;
+    serve::Scheduler sched(cfg);
+    EXPECT_EQ(sched.resumeAll(), 4u);
+    sched.drain();
+
+    const auto infos = sched.status();
+    ASSERT_EQ(infos.size(), 4u);
+    for (const auto &info : infos) {
+        EXPECT_EQ(info.state, "complete") << info.id;
+        EXPECT_EQ(info.recorded, 3u) << info.id;
+    }
+
+    // And the resumed stores still match the CLI run bit for bit.
+    const std::string cliDir = freshRoot("resumecli") + "/store";
+    campaign::CampaignSpec spec;
+    ASSERT_TRUE(campaign::buildSpec(fields, spec, &err)) << err;
+    campaign::CampaignOptions opt;
+    opt.hostThreads = 2;
+    campaign::runCampaign(spec, cliDir, opt);
+    EXPECT_EQ(manifestRecords(cliDir),
+              manifestRecords(sched.storeDir("a/c1")));
+}
+
+TEST(ServeScheduler, DrainingRefusesNewWork)
+{
+    const std::string root = freshRoot("drainref");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 1;
+    serve::Scheduler sched(cfg);
+    sched.drain(); // empty: returns immediately, stays draining
+    std::string err;
+    EXPECT_FALSE(
+        sched.submit(makeSub("t", "late", smallFields()), &err));
+    EXPECT_NE(err.find("draining"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Daemon-over-socket end-to-end tests: the full client/daemon wire
+ * path (ping, submit, watch, status, report, cancel, drain), an
+ * abrupt shutdown + restart resuming durable campaigns, and a soak
+ * — many concurrent client threads pushing campaigns through one
+ * daemon. The soak defaults to a ctest-friendly size; the
+ * sanitized CI runner scales it up with VARSIM_SOAK_CAMPAIGNS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/knobs.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace varsim;
+
+std::string
+freshRoot(const std::string &name)
+{
+    const auto p = std::filesystem::temp_directory_path() /
+                   ("varsim_test_e2e_" + name);
+    std::filesystem::remove_all(p);
+    std::filesystem::create_directories(p);
+    return p.string();
+}
+
+serve::Address
+sockAddr(const std::string &root)
+{
+    serve::Address addr;
+    addr.isUnix = true;
+    addr.path = root + "/serve.sock";
+    return addr;
+}
+
+campaign::SpecFields
+smallFields(std::uint64_t seed = 11, std::uint64_t runs = 2)
+{
+    campaign::SpecFields f;
+    f.base["cpus"] = "2";
+    f.workload = "oltp";
+    f.threadsPerCpu = 2;
+    f.warmupTxns = 2;
+    f.measureTxns = 10;
+    f.baseSeed = seed;
+    f.fixedRuns = runs;
+    return f;
+}
+
+serve::Submission
+makeSub(const std::string &tenant, const std::string &name,
+        const campaign::SpecFields &fields)
+{
+    serve::Submission sub;
+    sub.tenant = tenant;
+    sub.name = name;
+    sub.fields = fields;
+    return sub; // Client::submit stamps the fingerprint
+}
+
+TEST(ServeE2e, FullClientJourney)
+{
+    const std::string root = freshRoot("journey");
+    serve::DaemonConfig cfg;
+    cfg.root = root;
+    cfg.addr = sockAddr(root);
+    cfg.workers = 2;
+    serve::Daemon daemon(cfg);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    serve::Client client(cfg.addr);
+    ASSERT_TRUE(client.ping(&err)) << err;
+
+    serve::Submission sub = makeSub("alice", "one", smallFields());
+    ASSERT_TRUE(client.submit(sub, &err)) << err;
+    EXPECT_EQ(sub.fingerprintHex.size(), 16u);
+
+    // Watch from seq 0 to terminal; events arrive dense + ordered.
+    std::vector<serve::Event> events;
+    ASSERT_TRUE(client.watch(
+        "alice/one", 0,
+        [&](const serve::Event &ev) { events.push_back(ev); },
+        &err))
+        << err;
+    ASSERT_GE(events.size(), 4u);
+    EXPECT_EQ(events.back().kind, "complete");
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].seq, i + 1);
+
+    // A late joiner replays only what it asked for.
+    std::vector<serve::Event> tail;
+    ASSERT_TRUE(client.watch(
+        "alice/one", events.size() - 1,
+        [&](const serve::Event &ev) { tail.push_back(ev); },
+        &err))
+        << err;
+    ASSERT_EQ(tail.size(), 1u);
+    EXPECT_EQ(tail.front().kind, "complete");
+
+    std::vector<serve::CampaignInfo> infos;
+    ASSERT_TRUE(client.status("", infos, &err)) << err;
+    ASSERT_EQ(infos.size(), 1u);
+    EXPECT_EQ(infos.front().state, "complete");
+    EXPECT_EQ(infos.front().recorded, 2u);
+
+    // The served report is the CLI report of the same store.
+    std::string text;
+    ASSERT_TRUE(client.report("alice/one", 0.95, "", text, &err))
+        << err;
+    EXPECT_EQ(
+        text,
+        campaign::campaignReport(
+            daemon.scheduler().storeDir("alice/one"))
+            .text);
+    EXPECT_NE(text.find("campaign report"), std::string::npos);
+
+    // Unknown ids and junk are error replies, not hangs.
+    EXPECT_FALSE(client.cancel("alice/nosuch", &err));
+    EXPECT_FALSE(client.report("no-slash", 0.95, "", text, &err));
+    serve::CampaignInfo info;
+    EXPECT_FALSE(client.info("alice/nosuch", info, &err));
+
+    ASSERT_TRUE(client.drain(&err)) << err;
+    daemon.wait(); // the drain request stops the daemon
+    daemon.shutdown();
+}
+
+TEST(ServeE2e, SubmitRejectionsCarryDaemonMessages)
+{
+    const std::string root = freshRoot("rejects");
+    serve::DaemonConfig cfg;
+    cfg.root = root;
+    cfg.addr = sockAddr(root);
+    cfg.workers = 1;
+    serve::Daemon daemon(cfg);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    serve::Client client(cfg.addr);
+
+    serve::Submission bad = makeSub("t", "bad", smallFields());
+    bad.fields.workload = "quake"; // fails buildSpec client-side
+    EXPECT_FALSE(client.submit(bad, &err));
+    EXPECT_NE(err.find("workload"), std::string::npos);
+
+    serve::Submission dup = makeSub("t", "dup", smallFields());
+    ASSERT_TRUE(client.submit(dup, &err)) << err;
+    serve::Submission dup2 =
+        makeSub("t", "dup", smallFields(999));
+    EXPECT_FALSE(client.submit(dup2, &err));
+    EXPECT_NE(err.find("different fields"), std::string::npos);
+
+    daemon.shutdown();
+}
+
+TEST(ServeE2e, AbruptShutdownThenRestartResumes)
+{
+    const std::string root = freshRoot("restart");
+    const campaign::SpecFields fields = smallFields(55, 3);
+    std::string err;
+    {
+        serve::DaemonConfig cfg;
+        cfg.root = root;
+        cfg.addr = sockAddr(root);
+        cfg.workers = 2;
+        serve::Daemon daemon(cfg);
+        ASSERT_TRUE(daemon.start(&err)) << err;
+        serve::Client client(cfg.addr);
+        for (int i = 0; i < 5; ++i) {
+            serve::Submission sub = makeSub(
+                i % 2 ? "a" : "b", "c" + std::to_string(i),
+                fields);
+            ASSERT_TRUE(client.submit(sub, &err)) << err;
+        }
+        // No drain: like a power cut, in-flight work is dropped
+        // and only the durable state survives.
+        daemon.shutdown();
+    }
+
+    serve::DaemonConfig cfg;
+    cfg.root = root;
+    cfg.addr = sockAddr(root);
+    cfg.workers = 2;
+    serve::Daemon daemon(cfg);
+    ASSERT_TRUE(daemon.start(&err)) << err;
+    EXPECT_EQ(daemon.resumedCount(), 5u);
+
+    serve::Client client(cfg.addr);
+    ASSERT_TRUE(client.drain(&err)) << err;
+    // drain stops the acceptor eventually; query the scheduler.
+    for (const auto &info : daemon.scheduler().status()) {
+        EXPECT_EQ(info.state, "complete") << info.id;
+        EXPECT_EQ(info.recorded, 3u) << info.id;
+    }
+    daemon.wait();
+    daemon.shutdown();
+}
+
+TEST(ServeE2e, SoakManyClientsManyCampaigns)
+{
+    // Defaults sized for ctest; the sanitized runner sets
+    // VARSIM_SOAK_CAMPAIGNS=200+ for the real soak.
+    std::size_t total = 24;
+    if (const char *env = std::getenv("VARSIM_SOAK_CAMPAIGNS"))
+        total = std::strtoull(env, nullptr, 10);
+    const std::size_t clients = 8;
+
+    const std::string root = freshRoot("soak");
+    serve::DaemonConfig cfg;
+    cfg.root = root;
+    cfg.addr = sockAddr(root);
+    cfg.workers = 4;
+    serve::Daemon daemon(cfg);
+    std::string err;
+    ASSERT_TRUE(daemon.start(&err)) << err;
+
+    std::atomic<std::size_t> submitted{0};
+    std::atomic<std::size_t> watched{0};
+    std::atomic<std::size_t> failures{0};
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            serve::Client client(cfg.addr);
+            for (std::size_t i = c; i < total; i += clients) {
+                std::string terr;
+                serve::Submission sub = makeSub(
+                    "tenant" + std::to_string(i % 5),
+                    "camp" + std::to_string(i),
+                    smallFields(1000 + i, 2));
+                if (!client.submit(sub, &terr)) {
+                    ++failures;
+                    continue;
+                }
+                ++submitted;
+                // Every 3rd submitter stays attached to the
+                // stream; the rest poll status like a dashboard.
+                if (i % 3 == 0) {
+                    bool sawComplete = false;
+                    if (client.watch(
+                            sub.id(), 0,
+                            [&](const serve::Event &ev) {
+                                sawComplete |=
+                                    ev.kind == "complete";
+                            },
+                            &terr) &&
+                        sawComplete)
+                        ++watched;
+                    else
+                        ++failures;
+                } else {
+                    std::vector<serve::CampaignInfo> infos;
+                    if (!client.status(sub.tenant, infos, &terr))
+                        ++failures;
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    serve::Client client(cfg.addr);
+    ASSERT_TRUE(client.drain(&err)) << err;
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(submitted.load(), total);
+    EXPECT_EQ(watched.load(), (total + 2) / 3);
+    const auto infos = daemon.scheduler().status();
+    ASSERT_EQ(infos.size(), total);
+    for (const auto &info : infos)
+        EXPECT_EQ(info.state, "complete") << info.id;
+    EXPECT_EQ(daemon.scheduler().cellsExecuted(), total * 2u);
+
+    daemon.wait();
+    daemon.shutdown();
+}
+
+} // namespace

@@ -5,8 +5,10 @@ Usage:
     tools/perfcmp.py BASELINE.json CANDIDATE.json [--min-speedup X]
 
 Accepts any emitter that follows the bench_sim_throughput schema
-(bench_sim_throughput, bench_ckpt_restore, ...); both files must
-come from the same emitter ("bench" fields must match).
+(bench_sim_throughput, bench_ckpt_restore, bench_serve_throughput,
+...); both files must come from the same emitter ("bench" fields
+must match). serve_throughput emissions additionally get a service
+report comparing submit / time-to-first-result latency percentiles.
 
 Prints a per-row table of ticks/host-second speedups (candidate over
 baseline) and the geometric-mean speedup. Rows are matched on
@@ -84,6 +86,42 @@ def scaling_report(rows, label):
                   f"{rel}")
 
 
+def service_report(base, cand, matched):
+    """Service-bench latencies: printed for serve_throughput rows.
+
+    The throughput table above already compares ticks/s; a campaign
+    service is additionally judged on its tail latency, so for every
+    matched row that carries the serve_throughput latency fields
+    this prints submit and time-to-first-result percentiles side by
+    side (candidate/baseline ratio; below 1.0 is faster).
+    """
+    fields = (("submit_p50_ms", "submit p50"),
+              ("submit_p99_ms", "submit p99"),
+              ("first_result_p50_ms", "first-result p50"),
+              ("first_result_p99_ms", "first-result p99"))
+    rows = [key for key in matched
+            if all(f in base[key] and f in cand[key]
+                   for f, _ in fields)]
+    if not rows:
+        return
+    print("\nservice latencies (ms, candidate vs baseline; "
+          "<1.00x is faster):")
+    print(f"{'clients':<8} {'metric':<18} {'base':>9} "
+          f"{'cand':>9} {'ratio':>8}")
+    for key in rows:
+        for field, label in fields:
+            b, c = base[key][field], cand[key][field]
+            ratio = f"{c / b:>7.2f}x" if b else f"{'n/a':>8}"
+            print(f"{key[1]:<8} {label:<18} {b:>9.2f} "
+                  f"{c:>9.2f} {ratio}")
+        camp_b = base[key].get("campaigns_per_sec")
+        camp_c = cand[key].get("campaigns_per_sec")
+        if camp_b and camp_c:
+            print(f"{key[1]:<8} {'campaigns/sec':<18} "
+                  f"{camp_b:>9.2f} {camp_c:>9.2f} "
+                  f"{camp_c / camp_b:>7.2f}x")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -136,6 +174,7 @@ def main():
 
     scaling_report(base, "baseline")
     scaling_report(cand, "candidate")
+    service_report(base, cand, matched)
 
     if failed:
         print(f"FAIL: {len(failed)} row(s) below "

@@ -81,9 +81,10 @@ echo "tier-1 suite clean under address,undefined sanitizers"
 cmake -S "$repo" -B "$tsan_build" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVARSIM_SANITIZE=thread
-cmake --build "$tsan_build" -j "$jobs" --target test_sim test_core
+cmake --build "$tsan_build" -j "$jobs" \
+    --target test_sim test_core test_serve varsim
 
-for t in test_sim test_core; do
+for t in test_sim test_core test_serve; do
     [ -x "$tsan_build/tests/$t" ] || {
         echo "error: $tsan_build/tests/$t was not built" >&2
         exit 1
@@ -95,3 +96,90 @@ ctest --test-dir "$tsan_build" --output-on-failure -j "$jobs" \
     -R 'InlineFn|DomainRouter|DomainScheduler|ParallelGolden'
 
 echo "domained engine clean under thread sanitizer"
+
+# ---- Service soak: the serve daemon's data-race + crash gate ----
+# Phase 1, in-process under TSan: the scheduler/daemon suites plus
+# the e2e soak scaled up to its CI size — 8 concurrent client
+# threads pushing 200 campaigns through one daemon (ctest runs the
+# same test at a 24-campaign smoke size; this is the real load).
+# The daemon's claim is that worker threads, watch streams, and the
+# acceptor share state only under the scheduler mutex — TSan holds
+# it to that across hundreds of concurrent campaigns.
+VARSIM_SOAK_CAMPAIGNS=200 "$tsan_build/tests/test_serve" \
+    --gtest_filter='ServeScheduler.*:ServeE2e.*' || {
+    echo "error: serve soak failed under thread sanitizer" >&2
+    exit 1
+}
+
+# Phase 2, out-of-process: the kill-safety claim with a real kill.
+# Submit campaigns to a real daemon, SIGKILL it mid-flight (no
+# drain, no signal handler — nothing runs), restart on the same
+# root, and require that every campaign is resumed and runs to
+# completion. This is the one path gtest cannot exercise honestly
+# (fork/exec under TSan inside a test binary is off the table).
+soak_root="$tsan_build/serve-soak"
+rm -rf "$soak_root"
+mkdir -p "$soak_root"
+"$tsan_build/tools/varsim" serve --root "$soak_root" --workers 2 \
+    >"$soak_root/daemon1.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$soak_root/serve.sock" ] && break
+    sleep 0.1
+done
+[ -S "$soak_root/serve.sock" ] || {
+    echo "error: daemon never created its socket; log:" >&2
+    cat "$soak_root/daemon1.log" >&2
+    exit 1
+}
+
+# 6 campaigns x 40 runs each: far more work than the daemon can
+# finish before the kill below lands mid-flight.
+for i in $(seq 1 6); do
+    "$tsan_build/tools/varsim" client submit \
+        --root "$soak_root" --tenant "soak$((i % 2))" \
+        --name "camp$i" --workload oltp --cpus 2 \
+        --warmup 5 --txns 20 --runs 40 --seed "$((400 + i))" \
+        >/dev/null
+done
+
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
+# The stale socket file from the killed daemon still exists, so
+# readiness here is the startup line, not the socket.
+"$tsan_build/tools/varsim" serve --root "$soak_root" --workers 2 \
+    >"$soak_root/daemon2.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "campaign(s) resumed" "$soak_root/daemon2.log" && break
+    sleep 0.1
+done
+grep -q "6 campaign(s) resumed" "$soak_root/daemon2.log" || {
+    echo "error: restarted daemon did not resume all 6; log:" >&2
+    cat "$soak_root/daemon2.log" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+}
+
+"$tsan_build/tools/varsim" client drain --root "$soak_root" || {
+    echo "error: drain after restart failed" >&2
+    kill "$daemon_pid" 2>/dev/null || true
+    exit 1
+}
+wait "$daemon_pid"
+
+# Every campaign's store must hold exactly its 40 runs — the
+# resumed daemon finished the interrupted work without duplicating
+# any record the first daemon had already appended.
+for i in $(seq 1 6); do
+    store="$soak_root/tenants/soak$((i % 2))/camp$i/store"
+    runs=$(grep -c '"type":"run"' "$store/manifest.jsonl")
+    [ "$runs" -eq 40 ] || {
+        echo "error: camp$i has $runs/40 runs after resume" >&2
+        exit 1
+    }
+done
+
+echo "serve daemon clean under thread sanitizer (200-campaign" \
+    "soak) and kill-9/restart resumed all campaigns"

@@ -18,6 +18,22 @@
  *   ckpt <create|ls|verify|gc> --dir <path> [options]
  *                             the persistent warm-up checkpoint
  *                             library campaigns restore from
+ *   serve --root <dir> [--listen <addr>] [--workers <n>]
+ *                             resident multi-tenant campaign
+ *                             daemon: durable submissions, shared
+ *                             checkpoint library, fair-share
+ *                             scheduling, streaming progress;
+ *                             SIGTERM drains, kill -9 + restart
+ *                             resumes every in-flight campaign
+ *   client <ping|submit|status|watch|cancel|report|drain>
+ *                             talk to a serve daemon
+ *                             (--connect unix:<path>|tcp:[h:]<p>,
+ *                             or --root <dir> for the default
+ *                             socket). submit takes the campaign
+ *                             flags below plus --tenant/--name/
+ *                             --priority (and --watch yes to stay
+ *                             attached); watch/cancel/report take
+ *                             --id <tenant>/<name>
  *
  * Common options:
  *   --workload <name>      oltp|apache|specjbb|slashcode|ecperf|
@@ -139,16 +155,21 @@
  *   varsim ckpt verify --dir ckpts
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "campaign/campaign.hh"
+#include "campaign/knobs.hh"
 #include "ckpt/library.hh"
 #include "core/varsim.hh"
 #include "sample/runner.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
 
 using namespace varsim;
 
@@ -532,129 +553,60 @@ cmdPlan(const Args &args)
     return 0;
 }
 
-/** Apply one "--vary" knob value to a configuration. */
-void
-applyKnob(core::SystemConfig &sys, const std::string &knob,
-          const std::string &value)
+/**
+ * Collect the campaign-spec fields these flags carry. Translation
+ * into a validated CampaignSpec lives in campaign::buildSpec — the
+ * same path `varsim client submit` and the serve daemon use, which
+ * is what keeps all three front ends agreeing on what a campaign
+ * submission means.
+ */
+campaign::SpecFields
+specFieldsFromArgs(const Args &args)
 {
-    auto n = [&] {
-        return std::strtoull(value.c_str(), nullptr, 10);
-    };
-    if (knob == "l2-assoc") {
-        sys.mem.l2Assoc = n();
-    } else if (knob == "l2-size") {
-        sys.mem.l2Size = n();
-    } else if (knob == "dram") {
-        sys.mem.dramLatency = n();
-    } else if (knob == "perturb") {
-        sys.mem.perturbMaxNs = n();
-    } else if (knob == "rob") {
-        sys.cpu.robEntries = static_cast<std::uint32_t>(n());
-    } else if (knob == "quantum") {
-        sys.os.quantum = n();
-    } else if (knob == "model") {
-        if (value == "ooo")
-            sys.cpu.model = cpu::CpuConfig::Model::OutOfOrder;
-        else if (value == "simple")
-            sys.cpu.model = cpu::CpuConfig::Model::Simple;
-        else
-            sim::fatal("unknown CPU model '%s'", value.c_str());
-    } else if (knob == "protocol") {
-        if (value == "directory")
-            sys.mem.protocol = mem::CoherenceProtocol::Directory;
-        else if (value == "snooping")
-            sys.mem.protocol = mem::CoherenceProtocol::Snooping;
-        else
-            sim::fatal("unknown protocol '%s'", value.c_str());
-    } else if (knob == "prefetch") {
-        sys.mem.l2NextLinePrefetch = value == "on";
-    } else {
-        sim::fatal("unknown --vary knob '%s' (see the campaign "
-                   "flag list)", knob.c_str());
-    }
-}
-
-/** Split "knob=v1,v2,v3" into (knob, values). */
-std::pair<std::string, std::vector<std::string>>
-parseVary(const std::string &arg)
-{
-    const auto eq = arg.find('=');
-    if (eq == std::string::npos || eq == 0 ||
-        eq + 1 >= arg.size())
-        sim::fatal("--vary wants knob=v1,v2,... (got '%s')",
-                   arg.c_str());
-    const std::string knob = arg.substr(0, eq);
-    std::vector<std::string> values;
-    std::string rest = arg.substr(eq + 1);
-    std::size_t pos = 0;
-    while (pos <= rest.size()) {
-        const auto comma = rest.find(',', pos);
-        const auto end =
-            comma == std::string::npos ? rest.size() : comma;
-        if (end > pos)
-            values.push_back(rest.substr(pos, end - pos));
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    if (values.empty())
-        sim::fatal("--vary %s has no values", knob.c_str());
-    return {knob, values};
-}
-
-/** Build the campaign configuration grid from base + --vary flags. */
-std::vector<campaign::ConfigVariant>
-configGridFromArgs(const Args &args)
-{
-    const core::SystemConfig base = systemFromArgs(args, "");
-    std::vector<campaign::ConfigVariant> grid = {{"base", base}};
-    for (const std::string &vary : args.allStr("vary")) {
-        const auto [knob, values] = parseVary(vary);
-        std::vector<campaign::ConfigVariant> next;
-        for (const auto &cv : grid) {
-            for (const std::string &v : values) {
-                campaign::ConfigVariant out = cv;
-                applyKnob(out.sys, knob, v);
-                out.name = cv.name == "base"
-                               ? knob + "=" + v
-                               : cv.name + "," + knob + "=" + v;
-                next.push_back(out);
-            }
-        }
-        grid = std::move(next);
-    }
-    return grid;
+    campaign::SpecFields f;
+    static const char *const kBaseKnobs[] = {
+        "cpus",    "l2-assoc", "l2-size",  "dram",    "perturb",
+        "rob",     "quantum",  "model",    "protocol", "prefetch"};
+    for (const char *knob : kBaseKnobs)
+        if (args.has(knob))
+            f.base[knob] = args.str(knob, "");
+    f.vary = args.allStr("vary");
+    f.workload = args.str("workload", f.workload);
+    f.workloadSeed = args.num("workload-seed", f.workloadSeed);
+    f.threadsPerCpu =
+        args.num("threads-per-cpu", f.threadsPerCpu);
+    f.warmupTxns = args.num("warmup", f.warmupTxns);
+    f.measureTxns = args.num("txns", f.measureTxns);
+    // Campaigns use --intra-threads (--threads would collide with
+    // the cross-run --host-threads split users already know).
+    f.intraThreads = args.num("intra-threads", f.intraThreads);
+    if (args.has("lookahead"))
+        f.lookahead =
+            static_cast<std::int64_t>(args.num("lookahead", 0));
+    f.sample = args.str("sample", f.sample);
+    f.sampleOffsetSeed =
+        args.num("sample-offset-seed", f.sampleOffsetSeed);
+    f.baseSeed = args.num("seed", f.baseSeed);
+    f.numCheckpoints = args.num("checkpoints", f.numCheckpoints);
+    f.checkpointStep = args.num("step", f.checkpointStep);
+    f.strategy = args.str("strategy", f.strategy);
+    f.fixedRuns = args.num("runs", f.fixedRuns);
+    f.pilotRuns = args.num("pilot-runs", f.pilotRuns);
+    f.maxRuns = args.num("max-runs", f.maxRuns);
+    f.relativeError = args.real("rel-err", f.relativeError);
+    if (args.has("alpha"))
+        f.alpha = args.real("alpha", 0.0);
+    f.budgetTxns = args.num("budget", f.budgetTxns);
+    return f;
 }
 
 campaign::CampaignSpec
 campaignSpecFromArgs(const Args &args)
 {
     campaign::CampaignSpec spec;
-    spec.configs = configGridFromArgs(args);
-    spec.wl = workloadFromArgs(args);
-    spec.run = runFromArgs(args);
-    // Campaigns use --intra-threads (--threads would collide with
-    // the cross-run --host-threads split users already know).
-    spec.run.par.threads = args.num("intra-threads", 0);
-    spec.baseSeed = args.num("seed", 1000);
-    spec.numCheckpoints = args.num("checkpoints", 0);
-    spec.checkpointStep = args.num("step", 400);
-    const std::string stratName =
-        args.str("strategy", "systematic");
-    if (stratName == "random")
-        spec.strategy = core::SamplingStrategy::Random;
-    else if (stratName == "stratified")
-        spec.strategy = core::SamplingStrategy::Stratified;
-    else if (stratName != "systematic")
-        sim::fatal("unknown strategy '%s'", stratName.c_str());
-
-    spec.stop.fixedRuns = args.num("runs", 0);
-    spec.stop.pilotRuns = args.num("pilot-runs", 6);
-    spec.stop.maxRuns = args.num("max-runs", 32);
-    spec.stop.relativeError = args.real("rel-err", 0.02);
-    spec.stop.alpha = args.real(
-        "alpha", spec.configs.size() >= 2 ? 0.05 : 0.0);
-    spec.budgetTxns = args.num("budget", 0);
+    std::string err;
+    if (!campaign::buildSpec(specFieldsFromArgs(args), spec, &err))
+        sim::fatal("%s", err.c_str());
     return spec;
 }
 
@@ -788,16 +740,240 @@ cmdCkpt(const std::string &action, const Args &args)
     return 1;
 }
 
+volatile std::sig_atomic_t gSignals = 0;
+
+void
+onStopSignal(int)
+{
+    gSignals = gSignals + 1;
+}
+
+/** Resolve the daemon address from --connect or --root. */
+serve::Address
+addressFromArgs(const Args &args, const char *what)
+{
+    std::string text = args.str("connect", "");
+    if (text.empty()) {
+        const std::string root = args.str("root", "");
+        if (root.empty())
+            sim::fatal("%s needs --connect <addr> or --root <dir> "
+                       "(default socket is <root>/serve.sock)",
+                       what);
+        text = "unix:" + root + "/serve.sock";
+    }
+    serve::Address addr;
+    std::string err;
+    if (!serve::Address::parse(text, addr, &err))
+        sim::fatal("%s", err.c_str());
+    return addr;
+}
+
+int
+cmdServe(const Args &args)
+{
+    const std::string root = args.str("root", "");
+    if (root.empty())
+        sim::fatal("serve needs --root <dir> (durable daemon "
+                   "state: tenants/, ckpts/, serve.sock)");
+
+    serve::DaemonConfig cfg;
+    cfg.root = root;
+    std::string aerr;
+    if (!serve::Address::parse(
+            args.str("listen", "unix:" + root + "/serve.sock"),
+            cfg.addr, &aerr))
+        sim::fatal("%s", aerr.c_str());
+    cfg.workers = args.num("workers", 0);
+
+    serve::Daemon daemon(cfg);
+    std::string err;
+    if (!daemon.start(&err))
+        sim::fatal("%s", err.c_str());
+    std::printf("varsim serve: listening on %s, root %s, "
+                "%zu campaign(s) resumed\n",
+                cfg.addr.toString().c_str(), root.c_str(),
+                daemon.resumedCount());
+    std::fflush(stdout);
+
+    // First SIGTERM/SIGINT drains (finish every campaign, then
+    // exit); a second one stops now — durable state re-runs
+    // whatever was in flight on the next start.
+    std::signal(SIGTERM, onStopSignal);
+    std::signal(SIGINT, onStopSignal);
+    std::thread drainer;
+    bool draining = false;
+    std::thread poller([&] {
+        for (;;) {
+            if (gSignals > 0 && !draining) {
+                draining = true;
+                std::printf("varsim serve: draining (signal "
+                            "again to stop now)\n");
+                std::fflush(stdout);
+                drainer = std::thread([&daemon] {
+                    daemon.scheduler().drain();
+                    daemon.requestStop();
+                });
+            }
+            if (gSignals > 1) {
+                daemon.requestStop();
+                return;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    });
+    poller.detach(); // exits with the process on clean stop
+
+    daemon.wait();
+    daemon.shutdown();
+    if (drainer.joinable())
+        drainer.join();
+    std::printf("varsim serve: stopped\n");
+    return 0;
+}
+
+int
+cmdClient(std::string action, const Args &args)
+{
+    serve::Client client(addressFromArgs(args, "client"));
+    std::string err;
+
+    auto campaignId = [&]() -> std::string {
+        std::string id = args.str("id", "");
+        if (id.empty()) {
+            const std::string name = args.str("name", "");
+            if (name.empty())
+                sim::fatal("client %s needs --id <tenant>/<name> "
+                           "(or --tenant/--name)", action.c_str());
+            id = args.str("tenant", "default") + "/" + name;
+        }
+        return id;
+    };
+    auto printEvent = [](const serve::Event &ev) {
+        if (ev.kind == "run")
+            std::printf("  %s g%llu.r%llu  %10.0f cycles/txn  "
+                        "(%llu/%llu)\n",
+                        ev.campaignId.c_str(),
+                        static_cast<unsigned long long>(ev.group),
+                        static_cast<unsigned long long>(ev.runIdx),
+                        ev.value,
+                        static_cast<unsigned long long>(
+                            ev.recorded),
+                        static_cast<unsigned long long>(
+                            ev.target));
+        else if (ev.kind == "round")
+            std::printf("  %s round: %llu/%llu run(s)\n",
+                        ev.campaignId.c_str(),
+                        static_cast<unsigned long long>(
+                            ev.recorded),
+                        static_cast<unsigned long long>(
+                            ev.target));
+        else
+            std::printf("  %s %s%s%s\n", ev.campaignId.c_str(),
+                        ev.kind.c_str(),
+                        ev.message.empty() ? "" : ": ",
+                        ev.message.c_str());
+    };
+
+    if (action == "ping") {
+        if (!client.ping(&err))
+            sim::fatal("%s", err.c_str());
+        std::printf("ok: daemon speaks submission schema %d\n",
+                    serve::kSchemaVersion);
+        return 0;
+    }
+    if (action == "submit") {
+        serve::Submission sub;
+        sub.tenant = args.str("tenant", "default");
+        sub.name = args.str("name", "");
+        if (sub.name.empty())
+            sim::fatal("client submit needs --name (and usually "
+                       "--tenant)");
+        sub.priority = static_cast<int>(std::strtol(
+            args.str("priority", "0").c_str(), nullptr, 10));
+        sub.fields = specFieldsFromArgs(args);
+        if (!client.submit(sub, &err))
+            sim::fatal("%s", err.c_str());
+        std::printf("submitted %s (fingerprint %s)\n",
+                    sub.id().c_str(), sub.fingerprintHex.c_str());
+        if (args.str("watch", "") != "yes")
+            return 0;
+        action = "watch"; // fall through into the watch loop
+    }
+    if (action == "watch") {
+        const std::string id = campaignId();
+        if (!client.watch(id, args.num("after", 0), printEvent,
+                          &err))
+            sim::fatal("%s", err.c_str());
+        return 0;
+    }
+    if (action == "status") {
+        std::vector<serve::CampaignInfo> infos;
+        if (!client.status(args.str("tenant", ""), infos, &err))
+            sim::fatal("%s", err.c_str());
+        if (infos.empty()) {
+            std::printf("no campaigns\n");
+            return 0;
+        }
+        std::printf("%-32s %-10s %4s %14s %8s\n", "campaign",
+                    "state", "prio", "runs", "inflight");
+        for (const auto &info : infos) {
+            std::printf("%-32s %-10s %4d %6llu/%-7llu %8llu%s%s\n",
+                        info.id.c_str(), info.state.c_str(),
+                        info.priority,
+                        static_cast<unsigned long long>(
+                            info.recorded),
+                        static_cast<unsigned long long>(
+                            info.target),
+                        static_cast<unsigned long long>(
+                            info.inFlight),
+                        info.error.empty() ? "" : "  ",
+                        info.error.c_str());
+        }
+        return 0;
+    }
+    if (action == "cancel") {
+        if (!client.cancel(campaignId(), &err))
+            sim::fatal("%s", err.c_str());
+        std::printf("cancelled %s\n", campaignId().c_str());
+        return 0;
+    }
+    if (action == "report") {
+        std::string text;
+        if (!client.report(campaignId(),
+                           args.real("confidence", 0.95),
+                           args.str("metric", ""), text, &err))
+            sim::fatal("%s", err.c_str());
+        std::printf("%s\n", text.c_str());
+        return 0;
+    }
+    if (action == "drain") {
+        if (!client.drain(&err))
+            sim::fatal("%s", err.c_str());
+        std::printf("daemon drained and stopping\n");
+        return 0;
+    }
+    sim::fatal("unknown client action '%s' (ping, submit, status, "
+               "watch, cancel, report, drain)", action.c_str());
+    return 1;
+}
+
 void
 usage()
 {
     std::printf("usage: varsim "
-                "<list|run|compare|anova|plan|campaign|ckpt> "
-                "[--flag value]...\n"
+                "<list|run|compare|anova|plan|campaign|ckpt|"
+                "serve|client> [--flag value]...\n"
                 "       varsim campaign <run|resume|status|report> "
                 "--dir DIR [--flag value]...\n"
                 "       varsim ckpt <create|ls|verify|gc> "
                 "--dir DIR [--flag value]...\n"
+                "       varsim serve --root DIR "
+                "[--listen unix:PATH|tcp:PORT] [--workers N]\n"
+                "       varsim client <ping|submit|status|watch|"
+                "cancel|report|drain>\n"
+                "              [--connect ADDR | --root DIR] "
+                "[--tenant T --name N | --id T/N]...\n"
                 "see the header of tools/varsim_cli.cc or "
                 "README.md for the full flag list\n");
 }
@@ -827,6 +1003,15 @@ main(int argc, char **argv)
             return 1;
         }
         return cmdCkpt(argv[2], Args(argc - 1, argv + 1));
+    }
+    if (cmd == "serve")
+        return cmdServe(Args(argc, argv));
+    if (cmd == "client") {
+        if (argc < 3) {
+            usage();
+            return 1;
+        }
+        return cmdClient(argv[2], Args(argc - 1, argv + 1));
     }
     Args args(argc, argv);
     if (cmd == "list")
