@@ -185,8 +185,16 @@ Client::watch(const std::string &id, std::uint64_t afterSeq,
         }
         if (isError(obj, err))
             return false;
-        if (obj.str("type") == "end")
+        if (obj.str("type") == "end") {
+            // A cursor already past the terminal event sees no
+            // events at all; the end frame's state field is what
+            // distinguishes "finished" from a daemon drain.
+            const std::string st = obj.str("state");
+            if (st == "complete" || st == "cancelled" ||
+                st == "failed")
+                sawTerminal = true;
             break;
+        }
         Event ev;
         if (!decodeEvent(obj, ev))
             continue;

@@ -29,11 +29,17 @@ errorFrame(const std::string &message)
 }
 
 std::string
-endFrame(std::uint64_t count)
+endFrame(std::uint64_t count, const std::string &state = "")
 {
     sim::JsonWriter w;
     w.field("type", std::string("end"));
     w.field("count", count);
+    // Watch streams carry the campaign's terminal state: a
+    // subscriber whose cursor is already past the terminal event
+    // receives no events, so the end frame is its only proof the
+    // campaign actually finished (vs a daemon drain cutting in).
+    if (!state.empty())
+        w.field("state", state);
     return w.str();
 }
 
@@ -286,7 +292,11 @@ Daemon::handleWatch(FrameIo &io, const std::string &id,
                 return; // subscriber vanished
         after += events.size();
         if (terminal || stopping.load()) {
-            io.send(endFrame(after));
+            CampaignInfo info;
+            const std::string state =
+                terminal && sched->info(id, info) ? info.state
+                                                  : "";
+            io.send(endFrame(after, state));
             return;
         }
     }

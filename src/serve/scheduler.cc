@@ -170,23 +170,47 @@ Scheduler::submit(const Submission &sub, std::string *err)
             return fail("campaign " + id +
                         " already exists with different fields");
         }
+        // One durable write per id at a time: concurrent first-time
+        // submits would otherwise race temp+rename on the same file
+        // and could ack an in-memory job whose on-disk record is
+        // the *other* client's fields.
+        if (!admitting.insert(id).second)
+            return fail("campaign " + id +
+                        " is being submitted by another client; "
+                        "retry");
     }
+    auto unadmit = [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        admitting.erase(id);
+    };
 
     const std::string dir = tenantsDir() + "/" + id;
     std::error_code ec;
     fs::create_directories(dir, ec);
-    if (ec)
+    if (ec) {
+        unadmit();
         return fail("cannot create " + dir + ": " + ec.message());
+    }
     // Durable before acknowledged: a kill -9 after the ack must
     // find the submission on disk to resume it.
     if (!writeFileDurable(dir, "submission.json", payload + "\n",
-                          err))
+                          err)) {
+        unadmit();
         return false;
+    }
 
     {
         std::lock_guard<std::mutex> lock(mu);
-        if (jobs.count(id))
-            return true; // lost a benign double-submit race
+        admitting.erase(id);
+        const auto it = jobs.find(id);
+        if (it != jobs.end()) {
+            // resumeAll() admitted it from disk meanwhile; ack only
+            // if what it admitted is what this client sent.
+            if (encodeSubmission(it->second->sub) == payload)
+                return true;
+            return fail("campaign " + id +
+                        " already exists with different fields");
+        }
         auto job = std::make_unique<Job>();
         job->sub = sub;
         job->dir = dir;
@@ -217,13 +241,21 @@ Scheduler::cancel(const std::string &id, std::string *err)
         return true; // terminal already; cancel is idempotent
 
     // Durable first: the marker is what a restarted daemon reads.
+    // The two fsyncs are slow; drop mu for them (jobs are never
+    // erased, so the reference stays valid) and revalidate after.
+    const std::string dir = job.dir;
+    lock.unlock();
     std::string werr;
-    if (!writeFileDurable(job.dir, "cancelled", "cancelled\n",
+    if (!writeFileDurable(dir, "cancelled", "cancelled\n",
                           &werr)) {
         if (err)
             *err = werr;
         return false;
     }
+    lock.lock();
+    if (job.state == "complete" || job.state == "cancelled" ||
+        job.state == "failed")
+        return true; // reached terminal while we were writing
     job.cancelRequested = true;
     job.frontier.clear();
     if (job.inFlight == 0 && !job.starting)
@@ -282,6 +314,10 @@ Scheduler::waitEvents(const std::string &id,
     if (it == jobs.end())
         return false;
     const Job &job = *it->second;
+    // A cursor past the end (bogus client, or state from a prior
+    // daemon life) must not make terminal detection unreachable.
+    if (afterSeq > job.events.size())
+        afterSeq = job.events.size();
 
     auto fresh = [&] {
         return job.events.size() > afterSeq ||
@@ -481,17 +517,22 @@ Scheduler::startJob(Job &job)
         job.spec, job.dir + "/store", opt, &err);
 
     std::unique_lock<std::mutex> lock(mu);
-    job.starting = false;
     if (job.cancelRequested) {
+        job.starting = false;
         finishJob(job, "cancelled", "");
         return;
     }
     if (!exec) {
+        job.starting = false;
         finishJob(job, "failed", err);
         return;
     }
     job.exec = std::move(exec);
     job.state = "running";
+    // starting stays true across the unlock: it is what keeps
+    // cancel() from finishJob()ing — and freeing exec — while
+    // refillJob() walks the store outside mu. refillJob clears it
+    // under mu, as the end-of-round path does.
     lock.unlock();
 
     refillJob(job);
@@ -501,13 +542,28 @@ void
 Scheduler::refillJob(Job &job)
 {
     // Outside mu: recomputing decisions replays store state and may
-    // contend only on the store's own mutex.
-    std::vector<campaign::Cell> cells = job.exec->pendingCells();
+    // contend only on the store's own mutex. An escaped exception
+    // would leave starting=true forever (TaskQueue swallows it), so
+    // convert throws into a terminal failed state.
+    std::vector<campaign::Cell> cells;
     std::uint64_t target = 0;
-    for (const auto &d : job.exec->decisions())
-        target += d.target;
-    const std::uint64_t recorded =
-        job.exec->resultStore().totalRuns();
+    std::uint64_t recorded = 0;
+    try {
+        cells = job.exec->pendingCells();
+        for (const auto &d : job.exec->decisions())
+            target += d.target;
+        recorded = job.exec->resultStore().totalRuns();
+    } catch (const std::exception &e) {
+        std::lock_guard<std::mutex> lock(mu);
+        job.starting = false;
+        failJob(job, e.what());
+        return;
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        job.starting = false;
+        failJob(job, "unknown exception recomputing frontier");
+        return;
+    }
 
     std::unique_lock<std::mutex> lock(mu);
     job.starting = false;
@@ -536,13 +592,32 @@ Scheduler::refillJob(Job &job)
 void
 Scheduler::runCell(Job &job, const campaign::Cell &cell)
 {
-    job.exec->prepareCell(cell);
-    const campaign::RunRecord rec = job.exec->runCell(cell);
+    // An exception here must still run the bookkeeping below:
+    // TaskQueue swallows throws, and a job with phantom inFlight
+    // never terminates (watchers spin, drain() hangs) while its
+    // tenant's fair share stays inflated.
+    campaign::RunRecord rec;
+    bool threw = false;
+    std::string what;
+    try {
+        job.exec->prepareCell(cell);
+        rec = job.exec->runCell(cell);
+    } catch (const std::exception &e) {
+        threw = true;
+        what = e.what();
+    } catch (...) {
+        threw = true;
+        what = "unknown exception running cell";
+    }
 
     std::unique_lock<std::mutex> lock(mu);
     --job.inFlight;
     auto &tenant = tenants[job.sub.tenant];
     --tenant.inFlight;
+    if (threw) {
+        failJob(job, what);
+        return;
+    }
     ++tenant.served;
     ++executed;
     ++job.recorded;
@@ -559,6 +634,13 @@ Scheduler::runCell(Job &job, const campaign::Cell &cell)
     if (job.cancelRequested) {
         if (job.inFlight == 0 && !job.starting)
             finishJob(job, "cancelled", "");
+        return;
+    }
+    if (job.failRequested) {
+        // Another worker's cell threw; the last one out fails the
+        // job with that first error.
+        if (job.inFlight == 0 && !job.starting)
+            finishJob(job, "failed", job.error);
         return;
     }
     if (job.frontier.empty() && job.inFlight == 0 &&
@@ -578,6 +660,19 @@ Scheduler::emit(Job &job, Event ev)
     ev.campaignId = job.sub.tenant + "/" + job.sub.name;
     job.events.push_back(std::move(ev));
     eventCv.notify_all();
+}
+
+void
+Scheduler::failJob(Job &job, const std::string &what)
+{
+    job.frontier.clear();
+    if (job.error.empty())
+        job.error = what;
+    job.failRequested = true;
+    if (job.inFlight == 0 && !job.starting)
+        finishJob(job,
+                  job.cancelRequested ? "cancelled" : "failed",
+                  job.error);
 }
 
 void

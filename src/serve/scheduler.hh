@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -155,6 +156,8 @@ class Scheduler
         std::size_t inFlight = 0;
         bool starting = false;
         bool cancelRequested = false;
+        /** A cell or refill threw: fail once the job is idle. */
+        bool failRequested = false;
 
         std::uint64_t recorded = 0;
         std::uint64_t target = 0;
@@ -185,6 +188,10 @@ class Scheduler
     /** Recompute the frontier after a round drains. mu held out. */
     void refillJob(Job &job);
 
+    /** Record a thrown cell/refill error on @p job and fail it
+     *  once no other worker still holds a piece of it. */
+    void failJob(Job &job, const std::string &what);
+
     /** Append an event + notify watchers. mu held. */
     void emit(Job &job, Event ev);
 
@@ -202,6 +209,10 @@ class Scheduler
     mutable std::mutex mu;
     mutable std::condition_variable eventCv; ///< events/terminals
     std::map<std::string, std::unique_ptr<Job>> jobs; ///< by id
+    /** Ids whose durable submission write is in progress; a second
+     *  submit of the same id is refused until it settles, so the
+     *  file on disk always matches the job that was admitted. */
+    std::set<std::string> admitting;
     std::map<std::string, Tenant> tenants;
     std::uint64_t nextOrder = 0;
     std::size_t executed = 0;

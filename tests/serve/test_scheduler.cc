@@ -13,6 +13,7 @@
 #include <fstream>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "campaign/campaign.hh"
 #include "campaign/knobs.hh"
@@ -219,6 +220,108 @@ TEST(ServeScheduler, RejectsBadSubmissions)
         makeSub("t", "dup", smallFields(999)), &err));
     EXPECT_NE(err.find("different fields"), std::string::npos);
     sched.drain();
+}
+
+TEST(ServeScheduler, ConflictingConcurrentSubmitsNeverBothAck)
+{
+    // Two clients race a first-time submit of the same id with
+    // *different* fields: at most one may be acked, and whatever
+    // lands in submission.json must be the acked job's fields —
+    // otherwise a restart resumes a spec nobody was told is
+    // running.
+    const std::string root = freshRoot("race");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 2;
+    serve::Scheduler sched(cfg);
+
+    const serve::Submission a = makeSub("t", "conc", smallFields(1));
+    const serve::Submission b = makeSub("t", "conc", smallFields(2));
+    bool okA = false, okB = false;
+    std::thread ta([&] {
+        std::string err;
+        okA = sched.submit(a, &err);
+    });
+    std::thread tb([&] {
+        std::string err;
+        okB = sched.submit(b, &err);
+    });
+    ta.join();
+    tb.join();
+    ASSERT_NE(okA, okB); // exactly one admitted
+
+    const std::string onDisk =
+        [&] {
+            std::ifstream in(root + "/tenants/t/conc/submission.json");
+            std::string line;
+            std::getline(in, line);
+            return line;
+        }();
+    EXPECT_EQ(onDisk, serve::encodeSubmission(okA ? a : b));
+
+    // The loser keeps failing; the winner's resubmit still acks.
+    std::string err;
+    EXPECT_FALSE(sched.submit(okA ? b : a, &err));
+    EXPECT_NE(err.find("different fields"), std::string::npos);
+    EXPECT_TRUE(sched.submit(okA ? a : b, &err)) << err;
+    sched.drain();
+}
+
+TEST(ServeScheduler, CancelRacesStartupSafely)
+{
+    // Cancel landing inside the startup -> first-frontier window
+    // used to free the Execution a worker was still reading
+    // (startJob dropped `starting` before replaying the store).
+    // Hammer that window: each round submits and immediately
+    // cancels from this thread while a worker is starting the job.
+    // TSan runs of this suite hold the no-use-after-free claim.
+    const std::string root = freshRoot("cancelrace");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 2;
+    serve::Scheduler sched(cfg);
+    std::string err;
+    campaign::SpecFields big = smallFields();
+    big.fixedRuns = 20;
+    for (int i = 0; i < 20; ++i) {
+        const std::string name = "r" + std::to_string(i);
+        ASSERT_TRUE(
+            sched.submit(makeSub("t", name, big, 0), &err))
+            << err;
+        ASSERT_TRUE(sched.cancel("t/" + name, &err)) << err;
+    }
+    sched.drain();
+    for (const auto &info : sched.status()) {
+        // Every job must reach a terminal state (cancelled, or
+        // complete when the workers outran the cancel).
+        EXPECT_TRUE(info.state == "cancelled" ||
+                    info.state == "complete")
+            << info.id << " stuck in " << info.state;
+    }
+}
+
+TEST(ServeScheduler, WaitEventsClampsOutOfRangeCursor)
+{
+    const std::string root = freshRoot("cursor");
+    serve::SchedulerConfig cfg;
+    cfg.root = root;
+    cfg.workers = 1;
+    serve::Scheduler sched(cfg);
+    std::string err;
+    ASSERT_TRUE(sched.submit(makeSub("t", "one", smallFields()),
+                             &err))
+        << err;
+    sched.drain();
+
+    // A cursor far past the last event must still observe the
+    // terminal state (empty batch, terminal=true) instead of
+    // keeping a watcher polling forever.
+    std::vector<serve::Event> events;
+    bool terminal = false;
+    ASSERT_TRUE(
+        sched.waitEvents("t/one", 9999, 0, events, &terminal));
+    EXPECT_TRUE(events.empty());
+    EXPECT_TRUE(terminal);
 }
 
 TEST(ServeScheduler, CancelIsDurable)
