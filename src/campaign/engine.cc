@@ -49,7 +49,7 @@ runCampaign(const CampaignSpec &spec, const std::string &dir,
                 std::printf(
                     "  %-24s %zu/%zu recorded (%s)\n",
                     eff.groupName(g).c_str(),
-                    exec.resultStore().groupMetric(g).size(),
+                    exec.resultStore().prefixLength(g),
                     dec[g].target, dec[g].reason.c_str());
         }
 
@@ -98,6 +98,10 @@ CampaignStatus::toString() const
             ckpt.entries == 1 ? "y" : "ies",
             static_cast<unsigned long long>(ckpt.bytes),
             ckpt.restored, ckpt.warmed);
+    if (segmentCount)
+        s += sim::format(
+            "compacted: %zu run(s) in %zu segment(s), %zu in the "
+            "journal tail\n", segmentRuns, segmentCount, tailRuns);
     for (std::size_t g = 0; g < runsPerGroup.size(); ++g)
         s += sim::format("  %-24s %zu run(s)\n",
                          groupNames[g].c_str(), runsPerGroup[g]);
@@ -113,6 +117,9 @@ campaignStatus(const std::string &dir)
     st.plan = store->plan();
     st.ckpt = store->ckptStats();
     st.totalRuns = store->totalRuns();
+    st.segmentCount = store->segmentCount();
+    st.segmentRuns = store->segmentRunCount();
+    st.tailRuns = store->tailRunCount();
     const std::size_t slots =
         st.header.numCheckpoints ? st.header.numCheckpoints : 1;
     for (std::size_t g = 0; g < st.header.numGroups; ++g) {

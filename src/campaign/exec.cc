@@ -364,9 +364,16 @@ Execution::pendingCells()
     const std::size_t cellStride =
         std::max(eff.stop.fixedRuns, eff.stop.maxRuns);
 
+    // The stopping controller only ever reads the pilot prefix (the
+    // fixed-runs path reads no metrics at all), so cap the replayed
+    // vectors there: decisions stay bit-identical while the cost of
+    // a decision stops growing with the number of recorded runs.
+    const std::size_t pilotCap =
+        eff.stop.fixedRuns ? 0 : eff.stop.pilotRuns;
+
     std::vector<std::vector<double>> metrics(groups);
     for (std::size_t g = 0; g < groups; ++g)
-        metrics[g] = store->groupMetric(g);
+        metrics[g] = store->groupMetric(g, pilotCap);
     // Sampled specs: hand the controller each run's within-run CI
     // half-width so the stopping rule sizes the sample against the
     // full (between + within) uncertainty.
@@ -374,10 +381,10 @@ Execution::pendingCells()
     if (eff.run.sample.enabled()) {
         ciHalf.resize(groups);
         for (std::size_t g = 0; g < groups; ++g) {
-            const auto lo =
-                store->groupMetricNamed(g, "sim.sampled.cpt_lo");
-            const auto hi =
-                store->groupMetricNamed(g, "sim.sampled.cpt_hi");
+            const auto lo = store->groupMetricNamed(
+                g, "sim.sampled.cpt_lo", pilotCap);
+            const auto hi = store->groupMetricNamed(
+                g, "sim.sampled.cpt_hi", pilotCap);
             const std::size_t n = std::min(lo.size(), hi.size());
             ciHalf[g].reserve(n);
             for (std::size_t i = 0; i < n; ++i)
@@ -481,17 +488,19 @@ bool
 Execution::pendingCellsComplete()
 {
     const std::size_t groups = eff.numGroups();
+    const std::size_t pilotCap =
+        eff.stop.fixedRuns ? 0 : eff.stop.pilotRuns;
     std::vector<std::vector<double>> metrics(groups);
     for (std::size_t g = 0; g < groups; ++g)
-        metrics[g] = store->groupMetric(g);
+        metrics[g] = store->groupMetric(g, pilotCap);
     std::vector<std::vector<double>> ciHalf;
     if (eff.run.sample.enabled()) {
         ciHalf.resize(groups);
         for (std::size_t g = 0; g < groups; ++g) {
-            const auto lo =
-                store->groupMetricNamed(g, "sim.sampled.cpt_lo");
-            const auto hi =
-                store->groupMetricNamed(g, "sim.sampled.cpt_hi");
+            const auto lo = store->groupMetricNamed(
+                g, "sim.sampled.cpt_lo", pilotCap);
+            const auto hi = store->groupMetricNamed(
+                g, "sim.sampled.cpt_hi", pilotCap);
             const std::size_t n = std::min(lo.size(), hi.size());
             ciHalf[g].reserve(n);
             for (std::size_t i = 0; i < n; ++i)

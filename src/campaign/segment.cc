@@ -1,0 +1,477 @@
+#include "campaign/segment.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "ckpt/archive.hh"
+#include "sim/logging.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+using ckpt::fnvBytes;
+using ckpt::getLe;
+using ckpt::putLe;
+
+namespace
+{
+
+constexpr char kMagic[8] = {'V', 'S', 'I', 'M', 'S', 'E', 'G', '1'};
+
+/** Fixed bytes of one record before its metric pairs. */
+constexpr std::size_t kRecordFixed = 8 * 8 + 4;
+
+/** Bytes of one (dict index, value bits) metric pair. */
+constexpr std::size_t kMetricPair = 4 + 8;
+
+/** Bytes of one group-summary footer entry. */
+constexpr std::size_t kSummaryEntry = 6 * 8;
+
+void
+putDouble(std::vector<std::uint8_t> &out, double v)
+{
+    putLe<std::uint64_t>(out, std::bit_cast<std::uint64_t>(v));
+}
+
+double
+getDouble(const std::uint8_t *p)
+{
+    return std::bit_cast<double>(getLe<std::uint64_t>(p));
+}
+
+SegmentLoad
+failure(const std::string &why)
+{
+    SegmentLoad r;
+    r.error = why;
+    return r;
+}
+
+} // anonymous namespace
+
+std::vector<std::uint8_t>
+buildSegment(const std::vector<RunRecord> &records,
+             const std::map<std::size_t, GroupSummary> &summaries)
+{
+    // Dictionary: sorted unique metric names across all records.
+    std::vector<std::string> dict;
+    for (const RunRecord &r : records)
+        for (const auto &kv : r.metrics)
+            dict.push_back(kv.first);
+    std::sort(dict.begin(), dict.end());
+    dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+    auto dictIdx = [&](const std::string &name) {
+        const auto it =
+            std::lower_bound(dict.begin(), dict.end(), name);
+        return static_cast<std::uint32_t>(it - dict.begin());
+    };
+
+    std::size_t metricPairs = 0;
+    std::size_t dictBytes = 0;
+    for (const RunRecord &r : records)
+        metricPairs += r.metrics.size();
+    for (const std::string &name : dict)
+        dictBytes += 4 + name.size();
+
+    std::vector<std::uint8_t> out;
+    out.reserve(32 + dictBytes + records.size() * kRecordFixed +
+                metricPairs * kMetricPair +
+                summaries.size() * (8 + kSummaryEntry - 8) + 16);
+
+    for (char c : kMagic)
+        out.push_back(static_cast<std::uint8_t>(c));
+    putLe<std::uint32_t>(out, kSegmentVersion);
+    putLe<std::uint32_t>(out,
+                         static_cast<std::uint32_t>(dict.size()));
+    putLe<std::uint64_t>(out, records.size());
+    putLe<std::uint64_t>(out, summaries.size());
+
+    for (const std::string &name : dict) {
+        putLe<std::uint32_t>(out,
+                             static_cast<std::uint32_t>(
+                                 name.size()));
+        out.insert(out.end(), name.begin(), name.end());
+    }
+
+    for (const RunRecord &r : records) {
+        putLe<std::uint64_t>(out, r.group);
+        putLe<std::uint64_t>(out, r.runIdx);
+        putLe<std::uint64_t>(out, r.configIdx);
+        putLe<std::uint64_t>(out, r.ckptIdx);
+        putLe<std::uint64_t>(out, r.seed);
+        putDouble(out, r.cyclesPerTxn);
+        putLe<std::uint64_t>(out, r.runtimeTicks);
+        putLe<std::uint64_t>(out, r.txns);
+        // Metric pairs sorted by dictionary index (= name order):
+        // the canonical on-disk order, binary-searchable per record.
+        std::vector<std::pair<std::uint32_t, double>> pairs;
+        pairs.reserve(r.metrics.size());
+        for (const auto &kv : r.metrics)
+            pairs.emplace_back(dictIdx(kv.first), kv.second);
+        std::sort(pairs.begin(), pairs.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        putLe<std::uint32_t>(out,
+                             static_cast<std::uint32_t>(
+                                 pairs.size()));
+        for (const auto &p : pairs) {
+            putLe<std::uint32_t>(out, p.first);
+            putDouble(out, p.second);
+        }
+    }
+
+    for (const auto &[g, s] : summaries) {
+        putLe<std::uint64_t>(out, g);
+        putLe<std::uint64_t>(out, s.count);
+        putDouble(out, s.mean);
+        putDouble(out, s.m2);
+        putDouble(out, s.minValue);
+        putDouble(out, s.maxValue);
+    }
+
+    putLe<std::uint64_t>(out, fnvBytes(out.data(), out.size()));
+    return out;
+}
+
+/** Shared parse over a byte span; fills @p view's index on success. */
+struct SegmentParser
+{
+    /** A view over an owned byte buffer (the direct-parse form). */
+    static std::shared_ptr<SegmentView>
+    fromOwned(std::vector<std::uint8_t> bytes)
+    {
+        std::shared_ptr<SegmentView> view(new SegmentView);
+        view->owned = std::move(bytes);
+        view->base = view->owned.data();
+        view->size_ = view->owned.size();
+        return view;
+    }
+
+    /** A view over an established mapping. */
+    static std::shared_ptr<SegmentView>
+    fromMapping(void *map, std::size_t len)
+    {
+        std::shared_ptr<SegmentView> view(new SegmentView);
+        view->mapping = map;
+        view->mappingLen = len;
+        view->base = static_cast<const std::uint8_t *>(map);
+        view->size_ = len;
+        return view;
+    }
+
+    static SegmentLoad
+    parse(std::shared_ptr<SegmentView> view)
+    {
+        const std::uint8_t *base = view->base;
+        const std::size_t size = view->size_;
+
+        if (size < 32 + 8)
+            return failure(sim::format(
+                "file too small (%zu bytes)", size));
+        if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0)
+            return failure(
+                "bad magic (not a varsim result segment)");
+        const auto version = getLe<std::uint32_t>(base + 8);
+        if (version != kSegmentVersion)
+            return failure(sim::format(
+                "unsupported segment version %u (this build "
+                "reads %u)", version, kSegmentVersion));
+        const auto dictCount = getLe<std::uint32_t>(base + 12);
+        const auto runCount = getLe<std::uint64_t>(base + 16);
+        const auto sumCount = getLe<std::uint64_t>(base + 24);
+
+        // The trailing checksum first: it catches any bit flip or
+        // truncation, so the structural walk below only ever sees
+        // bytes the writer produced.
+        const std::uint64_t want =
+            getLe<std::uint64_t>(base + size - 8);
+        const std::uint64_t got = fnvBytes(base, size - 8);
+        if (want != got)
+            return failure(sim::format(
+                "checksum mismatch (stored %016llx, computed "
+                "%016llx)",
+                static_cast<unsigned long long>(want),
+                static_cast<unsigned long long>(got)));
+        view->fnv = want;
+
+        const std::size_t end = size - 8; // body end
+        std::size_t pos = 32;
+
+        view->dict.reserve(dictCount);
+        for (std::uint32_t d = 0; d < dictCount; ++d) {
+            if (pos + 4 > end)
+                return failure(
+                    "truncated inside the metric dictionary");
+            const auto len = getLe<std::uint32_t>(base + pos);
+            pos += 4;
+            if (len > end - pos)
+                return failure(sim::format(
+                    "dictionary entry %u declares %u bytes but "
+                    "only %zu remain", d, len, end - pos));
+            view->dict.emplace_back(
+                reinterpret_cast<const char *>(base) + pos, len);
+            pos += len;
+            if (d > 0 && view->dict[d] <= view->dict[d - 1])
+                return failure(
+                    "dictionary names not sorted and unique");
+        }
+
+        view->index.reserve(runCount);
+        std::uint64_t lastG = 0, lastR = 0;
+        for (std::uint64_t i = 0; i < runCount; ++i) {
+            if (pos + kRecordFixed > end)
+                return failure(sim::format(
+                    "truncated inside record %llu of %llu",
+                    static_cast<unsigned long long>(i),
+                    static_cast<unsigned long long>(runCount)));
+            const auto g = getLe<std::uint64_t>(base + pos);
+            const auto r = getLe<std::uint64_t>(base + pos + 8);
+            if (i > 0 &&
+                (g < lastG || (g == lastG && r <= lastR)))
+                return failure(sim::format(
+                    "record keys not strictly increasing at "
+                    "(%llu, %llu)",
+                    static_cast<unsigned long long>(g),
+                    static_cast<unsigned long long>(r)));
+            lastG = g;
+            lastR = r;
+            const auto m = getLe<std::uint32_t>(
+                base + pos + kRecordFixed - 4);
+            view->index.push_back(
+                {g, r, pos});
+            pos += kRecordFixed;
+            if (static_cast<std::size_t>(m) * kMetricPair >
+                end - pos)
+                return failure(sim::format(
+                    "record (%llu, %llu) declares %u metrics but "
+                    "only %zu bytes remain",
+                    static_cast<unsigned long long>(g),
+                    static_cast<unsigned long long>(r), m,
+                    end - pos));
+            std::uint32_t lastIdx = 0;
+            for (std::uint32_t k = 0; k < m; ++k) {
+                const auto idx = getLe<std::uint32_t>(base + pos);
+                if (idx >= dictCount)
+                    return failure(sim::format(
+                        "record (%llu, %llu) references "
+                        "dictionary entry %u of %u",
+                        static_cast<unsigned long long>(g),
+                        static_cast<unsigned long long>(r), idx,
+                        dictCount));
+                if (k > 0 && idx <= lastIdx)
+                    return failure(
+                        "record metric indices not sorted");
+                lastIdx = idx;
+                pos += kMetricPair;
+            }
+        }
+
+        for (std::uint64_t s = 0; s < sumCount; ++s) {
+            if (pos + kSummaryEntry > end)
+                return failure(
+                    "truncated inside the summary footer");
+            const auto g = getLe<std::uint64_t>(base + pos);
+            GroupSummary sum;
+            sum.count = getLe<std::uint64_t>(base + pos + 8);
+            sum.mean = getDouble(base + pos + 16);
+            sum.m2 = getDouble(base + pos + 24);
+            sum.minValue = getDouble(base + pos + 32);
+            sum.maxValue = getDouble(base + pos + 40);
+            if (!view->sums.emplace(g, sum).second)
+                return failure(sim::format(
+                    "duplicate summary for group %llu",
+                    static_cast<unsigned long long>(g)));
+            pos += kSummaryEntry;
+        }
+
+        if (pos != end)
+            return failure(sim::format(
+                "%zu byte(s) not covered by any frame",
+                end - pos));
+
+        SegmentLoad r;
+        r.ok = true;
+        r.view = std::move(view);
+        return r;
+    }
+};
+
+SegmentLoad
+parseSegment(std::vector<std::uint8_t> bytes)
+{
+    return SegmentParser::parse(
+        SegmentParser::fromOwned(std::move(bytes)));
+}
+
+SegmentLoad
+loadSegmentFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return failure(sim::format("cannot open %s: %s",
+                                   path.c_str(),
+                                   std::strerror(errno)));
+    struct stat sb;
+    if (::fstat(fd, &sb) != 0 || sb.st_size <= 0) {
+        ::close(fd);
+        return failure(sim::format("cannot stat %s", path.c_str()));
+    }
+    const std::size_t len = static_cast<std::size_t>(sb.st_size);
+
+    std::shared_ptr<SegmentView> view;
+    void *map =
+        ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+        view = SegmentParser::fromMapping(map, len);
+        ::close(fd); // the mapping outlives the descriptor
+    } else {
+        // mmap can fail on exotic filesystems; fall back to a read.
+        ::close(fd);
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return failure(sim::format("cannot read %s",
+                                       path.c_str()));
+        std::vector<std::uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        view = SegmentParser::fromOwned(std::move(bytes));
+    }
+
+    SegmentLoad r = SegmentParser::parse(std::move(view));
+    if (!r.ok)
+        r.error = path + ": " + r.error;
+    return r;
+}
+
+SegmentView::~SegmentView()
+{
+    if (mapping)
+        ::munmap(mapping, mappingLen);
+}
+
+std::size_t
+SegmentView::runsInGroup(std::size_t group) const
+{
+    const auto cmp = [](const Entry &e,
+                        std::pair<std::uint64_t, std::uint64_t> k) {
+        return e.group < k.first ||
+               (e.group == k.first && e.run < k.second);
+    };
+    const auto lo = std::lower_bound(
+        index.begin(), index.end(),
+        std::pair<std::uint64_t, std::uint64_t>{group, 0}, cmp);
+    const auto hi = std::lower_bound(
+        index.begin(), index.end(),
+        std::pair<std::uint64_t, std::uint64_t>{group + 1, 0},
+        cmp);
+    return static_cast<std::size_t>(hi - lo);
+}
+
+SegmentView::Ref
+SegmentView::find(std::size_t group, std::size_t run) const
+{
+    const auto cmp = [](const Entry &e,
+                        std::pair<std::uint64_t, std::uint64_t> k) {
+        return e.group < k.first ||
+               (e.group == k.first && e.run < k.second);
+    };
+    const auto it = std::lower_bound(
+        index.begin(), index.end(),
+        std::pair<std::uint64_t, std::uint64_t>{group, run}, cmp);
+    if (it == index.end() || it->group != group || it->run != run)
+        return {};
+    return {static_cast<std::size_t>(it - index.begin())};
+}
+
+double
+SegmentView::cyclesPerTxn(Ref r) const
+{
+    return getDouble(base + index[r.idx].offset + 40);
+}
+
+std::uint64_t
+SegmentView::runtimeTicks(Ref r) const
+{
+    return getLe<std::uint64_t>(base + index[r.idx].offset + 48);
+}
+
+std::uint64_t
+SegmentView::txns(Ref r) const
+{
+    return getLe<std::uint64_t>(base + index[r.idx].offset + 56);
+}
+
+RunRecord
+SegmentView::materialize(Ref r) const
+{
+    const std::uint8_t *p = base + index[r.idx].offset;
+    RunRecord rec;
+    rec.group = getLe<std::uint64_t>(p);
+    rec.runIdx = getLe<std::uint64_t>(p + 8);
+    rec.configIdx = getLe<std::uint64_t>(p + 16);
+    rec.ckptIdx = getLe<std::uint64_t>(p + 24);
+    rec.seed = getLe<std::uint64_t>(p + 32);
+    rec.cyclesPerTxn = getDouble(p + 40);
+    rec.runtimeTicks = getLe<std::uint64_t>(p + 48);
+    rec.txns = getLe<std::uint64_t>(p + 56);
+    const auto m = getLe<std::uint32_t>(p + 64);
+    rec.metrics.reserve(m);
+    const std::uint8_t *q = p + kRecordFixed;
+    for (std::uint32_t k = 0; k < m; ++k) {
+        rec.metrics.emplace_back(
+            dict[getLe<std::uint32_t>(q)], getDouble(q + 4));
+        q += kMetricPair;
+    }
+    return rec;
+}
+
+int
+SegmentView::dictIndex(const std::string &name) const
+{
+    const auto it =
+        std::lower_bound(dict.begin(), dict.end(), name);
+    if (it == dict.end() || *it != name)
+        return -1;
+    return static_cast<int>(it - dict.begin());
+}
+
+bool
+SegmentView::metricValue(Ref r, std::uint32_t dictIdx,
+                         double *out) const
+{
+    const std::uint8_t *p = base + index[r.idx].offset;
+    const auto m = getLe<std::uint32_t>(p + 64);
+    const std::uint8_t *q = p + kRecordFixed;
+    // Pairs are sorted by dict index; binary search over the span.
+    std::size_t lo = 0, hi = m;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        const auto idx =
+            getLe<std::uint32_t>(q + mid * kMetricPair);
+        if (idx == dictIdx) {
+            *out = getDouble(q + mid * kMetricPair + 4);
+            return true;
+        }
+        if (idx < dictIdx)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return false;
+}
+
+} // namespace campaign
+} // namespace varsim

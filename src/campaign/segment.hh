@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The compacted binary result-segment format.
+ *
+ * A segment holds every run record of a campaign store at the moment
+ * of compaction, in one checksummed, length-framed, mmap-able file —
+ * the same container conventions as the checkpoint archives in
+ * src/ckpt/archive.hh (little-endian fixed-width integers, trailing
+ * whole-file FNV-1a 64 checksum, parse-never-aborts). Layout:
+ *
+ *     offset  size  field
+ *     0       8     magic "VSIMSEG1"
+ *     8       4     format version (currently 1)
+ *     12      4     dictionary entry count D
+ *     16      8     run record count R
+ *     24      8     group summary count G
+ *     32      ...   dictionary: D x { u32 length, bytes } metric
+ *                   names, sorted, unique
+ *     ...           records: R x {
+ *                     u64 group, u64 run, u64 config, u64 ckpt,
+ *                     u64 seed, u64 cycles_per_txn (double bits),
+ *                     u64 runtime_ticks, u64 txns,
+ *                     u32 metric count M,
+ *                     M x { u32 dict index, u64 value (double
+ *                     bits) } sorted by dict index
+ *                   } sorted by (group, run), strictly increasing
+ *     ...           summaries: G x { u64 group, u64 count,
+ *                     u64 mean, u64 m2, u64 min, u64 max (double
+ *                     bits) } — the canonical streaming fold
+ *                     snapshot, sorted by group
+ *     end-8   8     FNV-1a 64 checksum over every preceding byte
+ *
+ * Metric doubles travel as raw IEEE-754 bits, so a segment round
+ * trip is bit-exact by construction (the JSONL journal achieves the
+ * same through %.17g). The per-segment dictionary makes a record's
+ * metric list an array of (u32, u64) pairs instead of repeated name
+ * strings — the dominant space and parse cost of large journals.
+ *
+ * Truncation and bit flips are rejected with a description, not
+ * misread: every frame is bounds-checked, record keys must strictly
+ * increase, dictionary references must resolve, the declared frames
+ * must exactly tile the file, and the trailing checksum must match.
+ */
+
+#ifndef VARSIM_CAMPAIGN_SEGMENT_HH
+#define VARSIM_CAMPAIGN_SEGMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "campaign/store.hh"
+
+namespace varsim
+{
+namespace campaign
+{
+
+constexpr std::uint32_t kSegmentVersion = 1;
+
+/**
+ * Serialize @p records (must be sorted by (group, run), unique) and
+ * the canonical per-group summaries into segment bytes.
+ */
+std::vector<std::uint8_t>
+buildSegment(const std::vector<RunRecord> &records,
+             const std::map<std::size_t, GroupSummary> &summaries);
+
+/**
+ * A parsed, validated segment. Read-only and immutable: accessors
+ * read straight out of the backing bytes (an mmap'd file or an
+ * owned buffer), so holding a view costs index + dictionary memory,
+ * not a copy of the records.
+ */
+class SegmentView
+{
+  public:
+    /** Handle to one record inside the view. */
+    struct Ref
+    {
+        std::size_t idx = SIZE_MAX;
+        bool valid() const { return idx != SIZE_MAX; }
+    };
+
+    std::size_t runCount() const { return index.size(); }
+
+    /** Recorded runs of @p group (any run indices). */
+    std::size_t runsInGroup(std::size_t group) const;
+
+    /** Locate (group, run); !valid() when absent. */
+    Ref find(std::size_t group, std::size_t run) const;
+
+    double cyclesPerTxn(Ref r) const;
+    std::uint64_t runtimeTicks(Ref r) const;
+    std::uint64_t txns(Ref r) const;
+
+    /** Full record, metric names resolved through the dictionary. */
+    RunRecord materialize(Ref r) const;
+
+    /**
+     * Dictionary index of @p name, or -1. Resolve once per walk,
+     * then look values up by index.
+     */
+    int dictIndex(const std::string &name) const;
+
+    /** Value of dictionary metric @p dictIdx in record @p r. */
+    bool metricValue(Ref r, std::uint32_t dictIdx,
+                     double *out) const;
+
+    /** Sorted unique metric names the segment's records carry. */
+    const std::vector<std::string> &dictionary() const
+    {
+        return dict;
+    }
+
+    /** Canonical streaming-summary snapshot taken at compaction. */
+    const std::map<std::size_t, GroupSummary> &summaries() const
+    {
+        return sums;
+    }
+
+    /** The trailing whole-file checksum (manifest cross-check). */
+    std::uint64_t checksum() const { return fnv; }
+
+    /** Total size of the backing bytes. */
+    std::size_t bytes() const { return size_; }
+
+    ~SegmentView();
+
+    SegmentView(const SegmentView &) = delete;
+    SegmentView &operator=(const SegmentView &) = delete;
+
+  private:
+    SegmentView() = default;
+
+    friend struct SegmentParser;
+
+    struct Entry
+    {
+        std::uint64_t group;
+        std::uint64_t run;
+        std::size_t offset; ///< record start within the bytes
+    };
+
+    const std::uint8_t *base = nullptr;
+    std::size_t size_ = 0;
+    void *mapping = nullptr;         ///< munmap'd when set
+    std::size_t mappingLen = 0;
+    std::vector<std::uint8_t> owned; ///< backing when not mapped
+
+    std::vector<std::string> dict;
+    std::vector<Entry> index; ///< sorted by (group, run)
+    std::map<std::size_t, GroupSummary> sums;
+    std::uint64_t fnv = 0;
+};
+
+/** Outcome of loading a segment; never aborts on damage. */
+struct SegmentLoad
+{
+    bool ok = false;
+
+    /** Human-readable reason when !ok. */
+    std::string error;
+
+    std::shared_ptr<SegmentView> view;
+};
+
+/**
+ * Validate and index @p bytes (the view takes ownership). Tests and
+ * the damage sweeps use this direct form.
+ */
+SegmentLoad parseSegment(std::vector<std::uint8_t> bytes);
+
+/**
+ * mmap (falling back to a plain read) and parse @p path. I/O errors
+ * land in SegmentLoad.
+ */
+SegmentLoad loadSegmentFile(const std::string &path);
+
+} // namespace campaign
+} // namespace varsim
+
+#endif // VARSIM_CAMPAIGN_SEGMENT_HH

@@ -1,42 +1,78 @@
 /**
  * @file
- * Durable, append-only result store for campaigns.
+ * Durable result store for campaigns: an append-only JSONL journal
+ * plus optional compacted binary segments.
  *
- * One directory per campaign holding a single `manifest.jsonl`:
- * a header record identifying the spec, an optional budget-plan
+ * One directory per campaign. `manifest.jsonl` is the journal: a
+ * header record identifying the spec, an optional budget-plan
  * record, and one record per completed run. Appends are single
  * `write(2)` calls followed by `fsync(2)`, so a record is either
  * fully on disk or absent; replay on open tolerates a torn final
  * line (the signature of a crash mid-append) by discarding it.
  *
+ * Replaying a large journal re-parses every record, which makes the
+ * open cost of `status`/`report`/resume O(campaign size). compact()
+ * fixes that: it folds every recorded run into one checksummed
+ * binary segment under `segments/` (see campaign/segment.hh), then
+ * atomically rewrites the manifest to a header + one "segment"
+ * reference record. Open cost becomes proportional to the
+ * un-compacted JSONL *tail* — the appends since the last compaction
+ * — while the JSONL journal remains the interchange format
+ * (exportJsonl() re-emits any store, compacted or not, as pure
+ * JSONL). Compaction is observationally a no-op: a compacted store
+ * replays to the same records, the same reports, and the same
+ * resume decisions as its pure-JSONL twin.
+ *
  * The store is the campaign's only authority on what has already
  * happened: the scheduler asks it which (group, run) cells exist and
  * schedules only the rest, which is what makes kill-and-resume free
  * of duplicated work, and the aggregate statistics are computed from
- * replayed records (metric doubles round-trip %.17g exactly), which
- * is what makes a resumed campaign's statistics bit-identical to an
- * uninterrupted one's.
+ * replayed records (metric doubles round-trip %.17g in the journal
+ * and as raw bits in segments), which is what makes a resumed
+ * campaign's statistics bit-identical to an uninterrupted one's.
+ *
+ * Streaming aggregation: the store maintains one Welford summary per
+ * group, always folded in canonical order (ascending run index over
+ * the group's contiguous prefix) regardless of the order appends
+ * arrive in, so the summary of a given set of records is
+ * bit-deterministic. Compaction snapshots the summaries into the
+ * segment footer; open restores them and folds only the tail.
  */
 
 #ifndef VARSIM_CAMPAIGN_STORE_HH
 #define VARSIM_CAMPAIGN_STORE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace varsim
 {
+
+namespace sim
+{
+class JsonLine;
+}
+
 namespace campaign
 {
+
+class SegmentView; // campaign/segment.hh
 
 /** Identity record written when a store is created. */
 struct StoreHeader
 {
+    /**
+     * Manifest format version. 1 = pure JSONL journal; 2 = journal
+     * that may reference compacted binary segments. Replay accepts
+     * both and rejects anything newer with a clear message.
+     */
     int version = 1;
     std::uint64_t fingerprint = 0;
     std::size_t numGroups = 0;
@@ -58,10 +94,12 @@ struct RunRecord
     std::uint64_t txns = 0;
 
     /**
-     * The run's full metrics-registry dump (name, value), in
-     * registration order. Persisted as a companion "metrics" record
-     * so pre-existing manifests (and older readers) still parse the
-     * unchanged "run" record.
+     * The run's full metrics-registry dump (name, value). Persisted
+     * as a companion "metrics" record so pre-existing manifests (and
+     * older readers) still parse the unchanged "run" record. Order
+     * is registration order when freshly appended and name order
+     * after a replay or compaction; every consumer looks metrics up
+     * by name, so the order is not part of the contract.
      */
     std::vector<std::pair<std::string, double>> metrics;
 };
@@ -97,6 +135,30 @@ struct CkptStatsRecord
     std::uint64_t bytes = 0;
 };
 
+/**
+ * Streaming (Welford) summary of one group's primary metric over its
+ * contiguous run-index prefix. Folds happen in exactly one order —
+ * ascending run index, gaps deferred until filled — so a summary is
+ * a bit-deterministic function of the records it covers, no matter
+ * how appends, replays, and compactions interleave.
+ */
+struct GroupSummary
+{
+    /** Runs folded so far == the group's contiguous-prefix length. */
+    std::uint64_t count = 0;
+
+    double mean = 0.0;
+    double m2 = 0.0; ///< sum of squared deviations from the mean
+    double minValue = 0.0;
+    double maxValue = 0.0;
+
+    /** Fold the next prefix value (must be run index == count). */
+    void fold(double x);
+
+    /** Sample standard deviation (0 when count < 2). */
+    double stddev() const;
+};
+
 class ResultStore
 {
   public:
@@ -106,10 +168,14 @@ class ResultStore
      * @p header's fingerprint — resuming under a different spec is
      * a user error (fatal).
      *
-     * Writable opens take an exclusive advisory flock(2) on the
-     * manifest for the life of the store, so a daemon and a stray
-     * `varsim campaign run` pointed at the same directory fail fast
-     * with a clear message instead of interleaving appends.
+     * Writable opens take an exclusive advisory flock(2) on a
+     * dedicated `.lock` file in the store directory for the life of
+     * the store, so a daemon and a stray `varsim campaign run`
+     * pointed at the same directory fail fast with a clear message
+     * instead of interleaving appends. (The lock cannot live on the
+     * manifest itself: compaction replaces the manifest by
+     * rename(2), which would strand a manifest-fd lock on the old
+     * inode.)
      */
     static std::unique_ptr<ResultStore>
     openOrCreate(const std::string &dir, const StoreHeader &header);
@@ -132,9 +198,9 @@ class ResultStore
     /**
      * Open an existing store for reading only: no write lock, no
      * torn-tail truncation (a torn final line is dropped from the
-     * replay but left on disk for the writer to repair). Status and
-     * report paths use this so they work while a daemon or campaign
-     * process holds the write lock.
+     * replay but left on disk — it may simply be a live writer's
+     * append in progress). Status and report paths use this so they
+     * work while a daemon or campaign process holds the write lock.
      */
     static std::unique_ptr<ResultStore>
     openReadOnly(const std::string &dir);
@@ -156,22 +222,28 @@ class ResultStore
      * contiguous prefix starting at run 0 is returned: a gap (a run
      * another shard has not recorded yet) ends the sequence, so
      * every consumer sees a deterministic prefix of the group's
-     * seed sequence.
+     * seed sequence. @p maxRuns caps the prefix — the stopping
+     * controller only ever reads the pilot, so it passes the pilot
+     * size and stops paying O(recorded runs) per decision.
      */
-    std::vector<double> groupMetric(std::size_t group) const;
+    std::vector<double>
+    groupMetric(std::size_t group,
+                std::size_t maxRuns = SIZE_MAX) const;
 
     /** Full records of @p group's contiguous prefix, by run index. */
     std::vector<RunRecord> groupRuns(std::size_t group) const;
 
     /**
-     * Values of metric @p name over @p group's contiguous prefix.
-     * @p name is a built-in run metric ("cycles_per_txn",
-     * "runtime_ticks", "txns") or any registry metric stored with the
-     * runs. The sequence stops at the first run lacking the metric
-     * (e.g. runs recorded before the metric existed).
+     * Values of metric @p name over @p group's contiguous prefix,
+     * capped at @p maxRuns. @p name is a built-in run metric
+     * ("cycles_per_txn", "runtime_ticks", "txns") or any registry
+     * metric stored with the runs. The sequence stops at the first
+     * run lacking the metric (e.g. runs recorded before the metric
+     * existed).
      */
-    std::vector<double> groupMetricNamed(std::size_t group,
-                                         const std::string &name) const;
+    std::vector<double>
+    groupMetricNamed(std::size_t group, const std::string &name,
+                     std::size_t maxRuns = SIZE_MAX) const;
 
     /**
      * Sorted union of every metric name any recorded run carries,
@@ -180,9 +252,31 @@ class ResultStore
     std::vector<std::string> metricNames() const;
 
     /**
+     * Streaming summary of @p group's primary metric over its
+     * contiguous prefix; O(1), maintained at append and compaction
+     * time. count == groupMetric(group).size() always.
+     */
+    GroupSummary groupSummary(std::size_t group) const;
+
+    /** Length of @p group's contiguous run prefix; O(1). */
+    std::size_t prefixLength(std::size_t group) const;
+
+    /** Compacted segments currently referenced by the manifest. */
+    std::size_t segmentCount() const;
+
+    /** Runs living in compacted segments. */
+    std::size_t segmentRunCount() const;
+
+    /** Runs living in the JSONL journal tail (not yet compacted). */
+    std::size_t tailRunCount() const;
+
+    /**
      * Durably append one run record (thread-safe). A duplicate
      * (group, runIdx) — possible when two shards of the same index
-     * race — keeps the first record and drops this one.
+     * race — keeps the first record and drops this one. May trigger
+     * an automatic compaction when the journal tail crosses the
+     * VARSIM_STORE_COMPACT_TAIL threshold (default 8192 runs;
+     * 0 disables).
      */
     void appendRun(const RunRecord &rec);
 
@@ -197,6 +291,54 @@ class ResultStore
     /** Durably record a checkpoint-library statistics snapshot. */
     void appendCkptStats(const CkptStatsRecord &rec);
 
+    struct CompactResult
+    {
+        /** False when the store was already fully compacted. */
+        bool performed = false;
+
+        /** Runs in the segment the compaction wrote. */
+        std::size_t runs = 0;
+
+        /** Segment file, relative to the store directory. */
+        std::string segmentFile;
+    };
+
+    /**
+     * Fold every recorded run (segments + journal tail) into one new
+     * binary segment and atomically rewrite the manifest to
+     * reference it (writer only — fatal on a read-only store).
+     *
+     * Crash-safe by ordering: the segment is written and fsync'd
+     * first, the manifest swap (temp + fsync + rename) second. A
+     * crash between the two leaves the old manifest authoritative
+     * and the new segment an unreferenced orphan that the next
+     * compaction atomically overwrites; referenced segments are
+     * never deleted, so a reader that replayed the old manifest can
+     * always open the files it references.
+     */
+    CompactResult compact();
+
+    /**
+     * Re-emit the store as pure version-1 JSONL (header, plan,
+     * checkpoint stats, then every run with its metrics companion,
+     * sorted by (group, run)). This is the interchange guarantee:
+     * any store, compacted or not, exports to a journal that any
+     * version-1 reader replays to the same records.
+     */
+    void exportJsonl(std::ostream &os) const;
+
+    /** @name Manifest line builders
+     * The single source of the journal's record formats, shared by
+     * the append path, compaction, exportJsonl(), and the store
+     * benchmarks (which synthesize large journals without paying an
+     * fsync per record). @{ */
+    static std::string headerLineFor(const StoreHeader &h);
+    static std::string runLineFor(const RunRecord &r);
+    static std::string metricsLineFor(const RunRecord &r);
+    static std::string planLineFor(const PlanRecord &p);
+    static std::string ckptStatsLineFor(const CkptStatsRecord &r);
+    /** @} */
+
     ~ResultStore();
 
     ResultStore(const ResultStore &) = delete;
@@ -208,17 +350,47 @@ class ResultStore
     /** Replay manifest lines into the in-memory index. */
     void replay(const std::string &path);
 
+    /** Load and verify one "segment" reference record. */
+    void loadSegmentRecord(const sim::JsonLine &obj,
+                           const std::string &path,
+                           std::size_t lineNo);
+
     /** Write one line + '\n' with fsync; requires mu held. */
     void appendLine(const std::string &line);
 
+    /** @name Accessor internals (require mu held) @{ */
+    bool hasRunLocked(std::size_t g, std::size_t i) const;
+    bool cptAtLocked(std::size_t g, std::size_t i, double *v) const;
+    void advanceSummaryLocked(std::size_t g);
+    void rebuildSummariesLocked();
+    CompactResult compactLocked();
+    void maybeAutoCompactLocked();
+    std::vector<RunRecord> allRunsSortedLocked() const;
+    /** @} */
+
     std::string dir_;
-    int fd = -1;
+    int fd = -1;     ///< manifest append fd (-1: read-only)
+    int lockFd = -1; ///< .lock fd holding the writer flock
     StoreHeader header_;
     PlanRecord plan_;
     CkptStatsRecord ckpt_;
 
+    /** Auto-compaction tail threshold (runs); 0 disables. */
+    std::size_t autoCompactTail = 0;
+
+    /** Next segment file sequence number (orphans overwritten). */
+    std::size_t nextSegmentSeq = 1;
+
     mutable std::mutex mu;
+
+    /** Journal-tail runs (records appended since last compaction). */
     std::map<std::pair<std::size_t, std::size_t>, RunRecord> runs;
+
+    /** Compacted segments, in manifest order (normally 0 or 1). */
+    std::vector<std::shared_ptr<SegmentView>> segments_;
+
+    /** Canonical per-group streaming summaries (see GroupSummary). */
+    std::map<std::size_t, GroupSummary> summaries_;
 };
 
 } // namespace campaign

@@ -29,37 +29,6 @@ constexpr std::uint32_t kSectionMeta = 1;
 constexpr std::uint32_t kSectionPayload = 2;
 constexpr std::size_t kMaxSections = 16;
 
-/** FNV-1a 64 over raw bytes. */
-std::uint64_t
-fnv1aBytes(const std::uint8_t *p, std::size_t n)
-{
-    std::uint64_t h = kFnvOffsetBasis;
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
-template <typename T>
-void
-putLe(std::vector<std::uint8_t> &out, T v)
-{
-    static_assert(std::is_unsigned_v<T>);
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-template <typename T>
-T
-getLe(const std::uint8_t *p)
-{
-    T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i)
-        v |= static_cast<T>(p[i]) << (8 * i);
-    return v;
-}
-
 /** The metadata section: one JSON line, parseable without aborting. */
 std::string
 metaJson(const ArchiveMeta &meta)
@@ -84,6 +53,17 @@ failure(const std::string &why)
 
 } // anonymous namespace
 
+std::uint64_t
+fnvBytes(const std::uint8_t *p, std::size_t n)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 std::vector<std::uint8_t>
 buildArchive(const ArchiveMeta &meta,
              const std::vector<std::uint8_t> &payload)
@@ -102,7 +82,7 @@ buildArchive(const ArchiveMeta &meta,
     putLe<std::uint64_t>(out, payload.size());
     out.insert(out.end(), mj.begin(), mj.end());
     out.insert(out.end(), payload.begin(), payload.end());
-    putLe<std::uint64_t>(out, fnv1aBytes(out.data(), out.size()));
+    putLe<std::uint64_t>(out, fnvBytes(out.data(), out.size()));
     return out;
 }
 
@@ -163,7 +143,7 @@ parseArchive(const std::vector<std::uint8_t> &bytes)
     const std::uint64_t want =
         getLe<std::uint64_t>(bytes.data() + bytes.size() - 8);
     const std::uint64_t got =
-        fnv1aBytes(bytes.data(), bytes.size() - 8);
+        fnvBytes(bytes.data(), bytes.size() - 8);
     if (want != got)
         return failure(sim::format(
             "checksum mismatch (stored %016llx, computed %016llx)",

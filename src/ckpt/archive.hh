@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace varsim
@@ -39,6 +40,35 @@ namespace ckpt
 {
 
 constexpr std::uint32_t kArchiveVersion = 1;
+
+/**
+ * FNV-1a 64 over raw bytes: the whole-file checksum primitive every
+ * binary container in this tree trails its bytes with (checkpoint
+ * archives, campaign result segments).
+ */
+std::uint64_t fnvBytes(const std::uint8_t *p, std::size_t n);
+
+/** Append @p v to @p out little-endian, fixed width. */
+template <typename T>
+void
+putLe(std::vector<std::uint8_t> &out, T v)
+{
+    static_assert(std::is_unsigned_v<T>);
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/** Read a little-endian fixed-width T at @p p. */
+template <typename T>
+T
+getLe(const std::uint8_t *p)
+{
+    static_assert(std::is_unsigned_v<T>);
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+        v |= static_cast<T>(p[i]) << (8 * i);
+    return v;
+}
 
 /** Metadata stored alongside the snapshot payload. */
 struct ArchiveMeta

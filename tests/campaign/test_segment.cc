@@ -1,0 +1,501 @@
+/**
+ * @file
+ * Compacted binary segment tests: format round-trips, damage
+ * rejection sweeps, and the compaction-is-a-no-op contract — a
+ * compacted store must replay to byte-identical reports and
+ * bit-identical resume decisions versus its pure-JSONL twin, survive
+ * kill -9 mid-compaction, and stay readable under a live writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "campaign/campaign.hh"
+#include "campaign/segment.hh"
+#include "core/varsim.hh"
+
+namespace
+{
+
+using namespace varsim;
+using namespace varsim::campaign;
+
+std::string
+freshDir(const std::string &name)
+{
+    const auto p = std::filesystem::temp_directory_path() /
+                   ("varsim_test_segment_" + name + ".camp");
+    std::filesystem::remove_all(p);
+    return p.string();
+}
+
+StoreHeader
+twoGroupHeader()
+{
+    StoreHeader h;
+    h.fingerprint = 0xfeedfaceull;
+    h.numGroups = 2;
+    h.workload = "OLTP";
+    h.configNames = {"a", "b"};
+    return h;
+}
+
+/** Deterministic record with awkward doubles and a metrics dump. */
+RunRecord
+record(std::size_t group, std::size_t run)
+{
+    RunRecord r;
+    r.group = group;
+    r.configIdx = group;
+    r.runIdx = run;
+    r.seed = 1000 + group * 100 + run;
+    r.cyclesPerTxn = 20.0 + group + run / 3.0;
+    r.runtimeTicks = 7000 + run;
+    r.txns = 40 + run;
+    r.metrics = {{"system.kernel.dispatches",
+                  40.0 + group + run},
+                 {"system.mem.bus.l2_misses",
+                  3000.0 + run * (1.0 / 7.0)}};
+    return r;
+}
+
+std::vector<RunRecord>
+sampleRecords()
+{
+    std::vector<RunRecord> rs;
+    for (std::size_t g = 0; g < 2; ++g)
+        for (std::size_t i = 0; i < 4; ++i)
+            rs.push_back(record(g, i));
+    return rs;
+}
+
+std::map<std::size_t, GroupSummary>
+summariesOf(const std::vector<RunRecord> &rs)
+{
+    std::map<std::size_t, GroupSummary> sums;
+    for (const RunRecord &r : rs)
+        sums[r.group].fold(r.cyclesPerTxn);
+    return sums;
+}
+
+TEST(SegmentFormat, RoundTripAndLookup)
+{
+    const auto rs = sampleRecords();
+    const auto sums = summariesOf(rs);
+    const auto bytes = buildSegment(rs, sums);
+
+    const SegmentLoad l = parseSegment(bytes);
+    ASSERT_TRUE(l.ok) << l.error;
+    const SegmentView &v = *l.view;
+    EXPECT_EQ(v.runCount(), rs.size());
+    EXPECT_EQ(v.runsInGroup(0), 4u);
+    EXPECT_EQ(v.runsInGroup(1), 4u);
+    EXPECT_EQ(v.runsInGroup(7), 0u);
+    EXPECT_FALSE(v.find(0, 4).valid());
+    EXPECT_FALSE(v.find(2, 0).valid());
+
+    for (const RunRecord &want : rs) {
+        const auto ref = v.find(want.group, want.runIdx);
+        ASSERT_TRUE(ref.valid());
+        EXPECT_EQ(v.cyclesPerTxn(ref), want.cyclesPerTxn)
+            << "metric doubles must round-trip bit-exactly";
+        EXPECT_EQ(v.runtimeTicks(ref), want.runtimeTicks);
+        EXPECT_EQ(v.txns(ref), want.txns);
+
+        const RunRecord got = v.materialize(ref);
+        EXPECT_EQ(got.configIdx, want.configIdx);
+        EXPECT_EQ(got.seed, want.seed);
+        ASSERT_EQ(got.metrics.size(), want.metrics.size());
+        for (const auto &kv : want.metrics) {
+            const int idx = v.dictIndex(kv.first);
+            ASSERT_GE(idx, 0) << kv.first;
+            double value = 0.0;
+            ASSERT_TRUE(v.metricValue(
+                ref, static_cast<std::uint32_t>(idx), &value));
+            EXPECT_EQ(value, kv.second) << kv.first;
+        }
+    }
+    EXPECT_EQ(v.dictIndex("no.such.metric"), -1);
+
+    // The summary footer snapshot survives bit-for-bit.
+    ASSERT_EQ(v.summaries().size(), sums.size());
+    for (const auto &[g, s] : sums) {
+        const auto it = v.summaries().find(g);
+        ASSERT_NE(it, v.summaries().end());
+        EXPECT_EQ(it->second.count, s.count);
+        EXPECT_EQ(it->second.mean, s.mean);
+        EXPECT_EQ(it->second.m2, s.m2);
+        EXPECT_EQ(it->second.minValue, s.minValue);
+        EXPECT_EQ(it->second.maxValue, s.maxValue);
+    }
+}
+
+TEST(SegmentFormat, EmptySegmentParses)
+{
+    const auto bytes = buildSegment({}, {});
+    const SegmentLoad l = parseSegment(bytes);
+    ASSERT_TRUE(l.ok) << l.error;
+    EXPECT_EQ(l.view->runCount(), 0u);
+    EXPECT_TRUE(l.view->dictionary().empty());
+}
+
+TEST(SegmentFormat, TruncationSweepRejectsEveryPrefix)
+{
+    const auto bytes =
+        buildSegment(sampleRecords(), summariesOf(sampleRecords()));
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        const SegmentLoad l = parseSegment(std::vector<std::uint8_t>(
+            bytes.begin(), bytes.begin() + n));
+        EXPECT_FALSE(l.ok)
+            << "a " << n << "-byte prefix of a " << bytes.size()
+            << "-byte segment parsed as valid";
+        EXPECT_FALSE(l.error.empty());
+    }
+}
+
+TEST(SegmentFormat, BitFlipSweepRejectsEveryFlip)
+{
+    const auto bytes =
+        buildSegment(sampleRecords(), summariesOf(sampleRecords()));
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        auto damaged = bytes;
+        damaged[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+        const SegmentLoad l = parseSegment(std::move(damaged));
+        EXPECT_FALSE(l.ok)
+            << "flipping bit " << (i % 8) << " of byte " << i
+            << " went undetected";
+    }
+}
+
+TEST(StoreCompaction, CompactReopenPreservesEverything)
+{
+    const std::string dir = freshDir("preserve");
+    auto store = ResultStore::openOrCreate(dir, twoGroupHeader());
+    // Out-of-order appends: the canonical summary fold must not
+    // depend on arrival order.
+    for (std::size_t i : {1u, 0u, 3u, 2u})
+        for (std::size_t g = 0; g < 2; ++g)
+            store->appendRun(record(g, i));
+    PlanRecord plan;
+    plan.runLength = 2000;
+    plan.numRuns = 12;
+    store->appendPlan(plan);
+
+    const auto metric0 = store->groupMetric(0);
+    const auto metric1 = store->groupMetric(1);
+    const auto misses =
+        store->groupMetricNamed(0, "system.mem.bus.l2_misses");
+    const auto names = store->metricNames();
+    const GroupSummary sum0 = store->groupSummary(0);
+    ASSERT_EQ(sum0.count, 4u);
+
+    const auto res = store->compact();
+    EXPECT_TRUE(res.performed);
+    EXPECT_EQ(res.runs, 8u);
+    EXPECT_EQ(store->segmentCount(), 1u);
+    EXPECT_EQ(store->segmentRunCount(), 8u);
+    EXPECT_EQ(store->tailRunCount(), 0u);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" +
+                                        res.segmentFile));
+
+    // In-memory view unchanged by the swap.
+    EXPECT_EQ(store->groupMetric(0), metric0);
+    EXPECT_EQ(store->groupMetric(1), metric1);
+    EXPECT_EQ(
+        store->groupMetricNamed(0, "system.mem.bus.l2_misses"),
+        misses);
+    EXPECT_EQ(store->metricNames(), names);
+    EXPECT_EQ(store->groupSummary(0).mean, sum0.mean);
+    EXPECT_EQ(store->groupSummary(0).m2, sum0.m2);
+
+    // A second compaction with nothing new is a no-op.
+    EXPECT_FALSE(store->compact().performed);
+
+    // The tail keeps working after compaction, and a reopen replays
+    // segment + tail to the same state.
+    store->appendRun(record(0, 4));
+    EXPECT_EQ(store->tailRunCount(), 1u);
+    store.reset();
+
+    auto reopened = ResultStore::open(dir);
+    EXPECT_EQ(reopened->header().version, 2);
+    EXPECT_EQ(reopened->totalRuns(), 9u);
+    EXPECT_EQ(reopened->segmentRunCount(), 8u);
+    EXPECT_EQ(reopened->tailRunCount(), 1u);
+    auto withTail = metric0;
+    withTail.push_back(record(0, 4).cyclesPerTxn);
+    EXPECT_EQ(reopened->groupMetric(0), withTail);
+    EXPECT_EQ(reopened->groupMetric(1), metric1);
+    EXPECT_EQ(
+        reopened->groupMetricNamed(0, "system.mem.bus.l2_misses")
+            .size(),
+        5u);
+    EXPECT_EQ(reopened->prefixLength(0), 5u);
+    EXPECT_EQ(reopened->groupSummary(0).count, 5u);
+    EXPECT_TRUE(reopened->plan().valid);
+    EXPECT_EQ(reopened->plan().numRuns, 12u);
+}
+
+TEST(StoreCompaction, ReportByteIdenticalToJsonlTwin)
+{
+    // The acceptance contract: a compacted store and its pure-JSONL
+    // twin produce byte-identical reports.
+    const std::string plain = freshDir("twin_plain");
+    const std::string compacted = freshDir("twin_compact");
+    for (const std::string &dir : {plain, compacted}) {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        for (std::size_t i : {2u, 0u, 1u, 4u, 3u, 5u})
+            for (std::size_t g = 0; g < 2; ++g)
+                store->appendRun(record(g, i));
+    }
+    ASSERT_TRUE(ResultStore::open(compacted)->compact().performed);
+
+    EXPECT_EQ(campaignReport(plain).text,
+              campaignReport(compacted).text);
+    EXPECT_EQ(
+        campaignMetricReport(plain, "system.mem.bus.l2_misses")
+            .text,
+        campaignMetricReport(compacted, "system.mem.bus.l2_misses")
+            .text);
+    EXPECT_EQ(campaignMetricReport(plain, "list").text,
+              campaignMetricReport(compacted, "list").text);
+}
+
+TEST(StoreCompaction, ResumeDecisionsBitIdentical)
+{
+    // Resume decisions are a pure function of the replayed metric
+    // prefixes, so bit-identical prefixes mean bit-identical
+    // decisions. Check both halves: compacted twin == JSONL twin,
+    // and the pilot-capped controller inputs == the full ones.
+    const std::string plain = freshDir("dec_plain");
+    const std::string compacted = freshDir("dec_compact");
+    for (const std::string &dir : {plain, compacted}) {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        for (std::size_t g = 0; g < 2; ++g)
+            for (std::size_t i = 0; i < 9; ++i)
+                store->appendRun(record(g, i));
+    }
+    ASSERT_TRUE(ResultStore::open(compacted)->compact().performed);
+
+    CampaignSpec spec;
+    const auto sys = core::SystemConfig::testDefault();
+    spec.configs = {{"a", sys}, {"b", sys}};
+    spec.stop.fixedRuns = 0;
+    spec.stop.pilotRuns = 4;
+    spec.stop.maxRuns = 20;
+    spec.stop.relativeError = 0.02;
+
+    auto a = ResultStore::openReadOnly(plain);
+    auto b = ResultStore::openReadOnly(compacted);
+    std::vector<std::vector<double>> full, capped, fromSegments;
+    for (std::size_t g = 0; g < 2; ++g) {
+        full.push_back(a->groupMetric(g));
+        capped.push_back(a->groupMetric(g, spec.stop.pilotRuns));
+        fromSegments.push_back(
+            b->groupMetric(g, spec.stop.pilotRuns));
+        EXPECT_EQ(a->groupMetric(g), b->groupMetric(g));
+    }
+    EXPECT_EQ(capped, fromSegments);
+
+    const auto dFull = decideTargets(spec, full);
+    const auto dCapped = decideTargets(spec, capped);
+    const auto dSegment = decideTargets(spec, fromSegments);
+    ASSERT_EQ(dFull.size(), dCapped.size());
+    for (std::size_t g = 0; g < dFull.size(); ++g) {
+        EXPECT_EQ(dFull[g].target, dCapped[g].target);
+        EXPECT_EQ(dFull[g].reason, dCapped[g].reason);
+        EXPECT_EQ(dFull[g].covPercent, dCapped[g].covPercent);
+        EXPECT_EQ(dCapped[g].target, dSegment[g].target);
+        EXPECT_EQ(dCapped[g].reason, dSegment[g].reason);
+    }
+}
+
+TEST(StoreCompaction, CompactedCampaignResumesBitIdentical)
+{
+    // End to end: kill a real campaign, compact the survivor, and
+    // the resumed statistics must still match the uninterrupted
+    // twin bit for bit.
+    campaign::CampaignSpec spec;
+    core::SystemConfig sysA = core::SystemConfig::testDefault();
+    sysA.mem.perturbMaxNs = 4;
+    core::SystemConfig sysB = sysA;
+    sysB.mem.l2Assoc *= 2;
+    spec.configs = {{"assoc-lo", sysA}, {"assoc-hi", sysB}};
+    spec.wl.kind = workload::WorkloadKind::Oltp;
+    spec.wl.threadsPerCpu = 2;
+    spec.run.warmupTxns = 5;
+    spec.run.measureTxns = 20;
+    spec.baseSeed = 11;
+    spec.stop.fixedRuns = 4;
+
+    const std::string whole = freshDir("resume_whole");
+    const std::string killed = freshDir("resume_killed");
+    campaign::runCampaign(spec, whole);
+
+    campaign::CampaignOptions opt;
+    opt.interruptAfter = 3;
+    const auto first = campaign::runCampaign(spec, killed, opt);
+    ASSERT_TRUE(first.interrupted);
+    ASSERT_TRUE(
+        ResultStore::open(killed)->compact().performed);
+
+    const auto second = campaign::runCampaign(spec, killed);
+    EXPECT_TRUE(second.complete);
+
+    auto a = ResultStore::openReadOnly(whole);
+    auto b = ResultStore::openReadOnly(killed);
+    ASSERT_EQ(a->totalRuns(), b->totalRuns());
+    for (std::size_t g = 0; g < spec.numGroups(); ++g)
+        EXPECT_EQ(a->groupMetric(g), b->groupMetric(g))
+            << "group " << g;
+    EXPECT_EQ(campaignReport(whole).text,
+              campaignReport(killed).text);
+}
+
+TEST(StoreCompaction, AutoCompactsPastTailThreshold)
+{
+    ::setenv("VARSIM_STORE_COMPACT_TAIL", "8", 1);
+    const std::string dir = freshDir("autocompact");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        for (std::size_t i = 0; i < 5; ++i)
+            store->appendRun(record(0, i));
+        EXPECT_EQ(store->segmentCount(), 0u);
+        for (std::size_t i = 0; i < 5; ++i)
+            store->appendRun(record(1, i));
+        // The tail crossed 8 runs mid-loop: compacted automatically.
+        EXPECT_EQ(store->segmentCount(), 1u);
+        EXPECT_LT(store->tailRunCount(), 8u);
+        EXPECT_EQ(store->totalRuns(), 10u);
+    }
+    ::unsetenv("VARSIM_STORE_COMPACT_TAIL");
+
+    auto store = ResultStore::openReadOnly(dir);
+    EXPECT_EQ(store->totalRuns(), 10u);
+    ASSERT_EQ(store->groupMetric(0).size(), 5u);
+    EXPECT_EQ(store->groupMetric(0)[3], record(0, 3).cyclesPerTxn);
+}
+
+TEST(StoreCompaction, ExportRoundTripsThroughAFreshStore)
+{
+    const std::string dir = freshDir("export_src");
+    const std::string copy = freshDir("export_copy");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        for (std::size_t g = 0; g < 2; ++g)
+            for (std::size_t i = 0; i < 3; ++i)
+                store->appendRun(record(g, i));
+        PlanRecord plan;
+        plan.runLength = 2000;
+        plan.numRuns = 12;
+        store->appendPlan(plan);
+        ASSERT_TRUE(store->compact().performed);
+    }
+
+    // Export the compacted store as pure JSONL and replay it cold.
+    auto src = ResultStore::openReadOnly(dir);
+    std::ostringstream jsonl;
+    src->exportJsonl(jsonl);
+    std::filesystem::create_directories(copy);
+    {
+        std::ofstream f(copy + "/manifest.jsonl",
+                        std::ios::binary);
+        f << jsonl.str();
+    }
+    auto dst = ResultStore::openReadOnly(copy);
+    EXPECT_EQ(dst->header().version, 1);
+    EXPECT_EQ(dst->header().fingerprint,
+              src->header().fingerprint);
+    EXPECT_EQ(dst->totalRuns(), src->totalRuns());
+    EXPECT_TRUE(dst->plan().valid);
+    for (std::size_t g = 0; g < 2; ++g) {
+        EXPECT_EQ(dst->groupMetric(g), src->groupMetric(g));
+        EXPECT_EQ(
+            dst->groupMetricNamed(g, "system.mem.bus.l2_misses"),
+            src->groupMetricNamed(g, "system.mem.bus.l2_misses"));
+    }
+    EXPECT_EQ(campaignReport(copy).text, campaignReport(dir).text);
+}
+
+TEST(StoreCompaction, LiveReaderNeverSeesATornStore)
+{
+    // Readers race a writer that appends and periodically compacts.
+    // Every replayed prefix must be consistent: the expected values
+    // for however many runs the reader happened to observe.
+    const std::string dir = freshDir("liveread");
+    {
+        ResultStore::openOrCreate(dir, twoGroupHeader());
+    }
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+        auto store = ResultStore::open(dir);
+        for (std::size_t i = 0; i < 40; ++i) {
+            store->appendRun(record(0, i));
+            if (i % 10 == 9)
+                store->compact();
+        }
+        done.store(true);
+    });
+    std::size_t observations = 0;
+    while (!done.load()) {
+        auto reader = ResultStore::openReadOnly(dir);
+        const auto xs = reader->groupMetric(0);
+        for (std::size_t i = 0; i < xs.size(); ++i)
+            ASSERT_EQ(xs[i], record(0, i).cyclesPerTxn)
+                << "reader saw a corrupt prefix at run " << i;
+        ASSERT_EQ(reader->prefixLength(0), xs.size());
+        ++observations;
+    }
+    writer.join();
+    EXPECT_GT(observations, 0u);
+
+    auto reader = ResultStore::openReadOnly(dir);
+    EXPECT_EQ(reader->totalRuns(), 40u);
+    EXPECT_EQ(reader->groupMetric(0).size(), 40u);
+}
+
+TEST(StoreCompactionDeathTest, KillNineDuringCompactionLeavesStoreIntact)
+{
+    const std::string dir = freshDir("kill9");
+    auto store = ResultStore::openOrCreate(dir, twoGroupHeader());
+    for (std::size_t g = 0; g < 2; ++g)
+        for (std::size_t i = 0; i < 3; ++i)
+            store->appendRun(record(g, i));
+    const std::string before = campaignReport(dir).text;
+
+    // Die after the segment file lands but before the manifest
+    // references it — the window a kill -9 would hit.
+    EXPECT_EXIT(
+        {
+            ::setenv("VARSIM_STORE_CRASH_COMPACT", "1", 1);
+            store->compact();
+        },
+        testing::ExitedWithCode(137), "");
+
+    // The parent's store never compacted; the old manifest is still
+    // authoritative and the orphan segment is ignored.
+    store.reset();
+    auto reopened = ResultStore::open(dir);
+    EXPECT_EQ(reopened->totalRuns(), 6u);
+    EXPECT_EQ(reopened->segmentCount(), 0u);
+    EXPECT_EQ(campaignReport(dir).text, before);
+
+    // The next compaction atomically overwrites the orphan and
+    // completes; the report still doesn't change.
+    const auto res = reopened->compact();
+    EXPECT_TRUE(res.performed);
+    EXPECT_EQ(res.runs, 6u);
+    EXPECT_EQ(campaignReport(dir).text, before);
+}
+
+} // namespace

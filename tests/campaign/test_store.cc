@@ -313,6 +313,90 @@ TEST(ResultStore, EmptyStoreReportSaysSoInsteadOfAnEmptyTable)
     EXPECT_NE(rep.text.find("campaign status"), std::string::npos);
 }
 
+TEST(ResultStore, DuplicateRunKeepsItsOwnMetrics)
+{
+    // Two shards racing the same cell append run+metrics pairs
+    // adjacently, so a duplicate interleaves as runA, metricsA,
+    // runB, metricsB. The duplicate run is dropped — and its
+    // companion metrics record must go with it, not clobber the
+    // kept run's dump.
+    const std::string dir = freshDir("dupmetrics");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        RunRecord kept = record(0, 0, 2.0);
+        kept.metrics = {{"system.kernel.dispatches", 43.0}};
+        store->appendRun(kept);
+    }
+    {
+        RunRecord dup = record(0, 0, 2.0);
+        dup.metrics = {{"system.kernel.dispatches", 999.0}};
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << ResultStore::runLineFor(dup) << "\n"
+          << ResultStore::metricsLineFor(dup) << "\n";
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 1u);
+    const auto xs =
+        store->groupMetricNamed(0, "system.kernel.dispatches");
+    ASSERT_EQ(xs.size(), 1u);
+    EXPECT_EQ(xs[0], 43.0)
+        << "the dropped duplicate's metrics clobbered the kept run";
+}
+
+TEST(ResultStore, SecondMetricsRecordDoesNotClobber)
+{
+    // A stray extra metrics record for an already-dumped run (a
+    // hand-merged manifest) must not overwrite the first dump.
+    const std::string dir = freshDir("extrametrics");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        RunRecord r = record(0, 0, 2.0);
+        r.metrics = {{"system.kernel.dispatches", 43.0}};
+        store->appendRun(r);
+    }
+    {
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"type\":\"metrics\",\"group\":0,\"run\":0,"
+             "\"m:system.kernel.dispatches\":7.0}\n";
+    }
+    auto store = ResultStore::open(dir);
+    const auto xs =
+        store->groupMetricNamed(0, "system.kernel.dispatches");
+    ASSERT_EQ(xs.size(), 1u);
+    EXPECT_EQ(xs[0], 43.0);
+}
+
+TEST(ResultStore, OrphanMetricsRecordIsSkipped)
+{
+    // A metrics record with no run (a hand-edited manifest) is
+    // warned about and skipped, never attached to anything.
+    const std::string dir = freshDir("orphanmetrics");
+    {
+        auto store =
+            ResultStore::openOrCreate(dir, twoGroupHeader());
+        store->appendRun(record(0, 0, 2.0));
+    }
+    {
+        std::ofstream f(dir + "/manifest.jsonl",
+                        std::ios::app | std::ios::binary);
+        f << "{\"type\":\"metrics\",\"group\":1,\"run\":5,"
+             "\"m:system.kernel.dispatches\":7.0}\n";
+    }
+    auto store = ResultStore::open(dir);
+    EXPECT_EQ(store->totalRuns(), 1u);
+    EXPECT_TRUE(
+        store->groupMetricNamed(1, "system.kernel.dispatches")
+            .empty());
+    // The store stays appendable and consistent after the skip.
+    store->appendRun(record(0, 1, 3.0));
+    EXPECT_EQ(store->groupMetric(0),
+              (std::vector<double>{2.0, 3.0}));
+}
+
 TEST(ResultStoreDeathTest, FingerprintMismatchIsFatal)
 {
     const std::string dir = freshDir("mismatch");
@@ -327,6 +411,37 @@ TEST(ResultStoreDeathTest, OpenMissingStoreIsFatal)
 {
     const std::string dir = freshDir("absent");
     EXPECT_DEATH(ResultStore::open(dir), "");
+}
+
+TEST(ResultStoreDeathTest, UnknownHeaderVersionIsFatal)
+{
+    // A manifest from a future format must be rejected, not
+    // half-understood: guessed records would silently skew resume
+    // decisions and reports.
+    const std::string dir = freshDir("futurever");
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir + "/manifest.jsonl", std::ios::binary);
+        f << "{\"type\":\"header\",\"version\":3,\"fingerprint\":"
+             "\"00000000feedface\",\"groups\":2,\"checkpoints\":0,"
+             "\"workload\":\"OLTP\",\"configs\":[\"a\",\"b\"]}\n";
+    }
+    EXPECT_DEATH(ResultStore::openReadOnly(dir), "version");
+}
+
+TEST(ResultStoreDeathTest, GarbageFingerprintIsFatal)
+{
+    // Previously strtoull's errors were ignored and a mangled
+    // fingerprint replayed as whatever prefix happened to parse.
+    const std::string dir = freshDir("badfp");
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream f(dir + "/manifest.jsonl", std::ios::binary);
+        f << "{\"type\":\"header\",\"version\":1,\"fingerprint\":"
+             "\"not-a-fingerprint\",\"groups\":2,\"checkpoints\":0,"
+             "\"workload\":\"OLTP\",\"configs\":[\"a\",\"b\"]}\n";
+    }
+    EXPECT_DEATH(ResultStore::openReadOnly(dir), "fingerprint");
 }
 
 } // namespace

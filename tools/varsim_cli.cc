@@ -12,7 +12,8 @@
  *                             over checkpoints
  *   plan     [options]        fixed-budget run-length/run-count
  *                             advice from self-measured pilots
- *   campaign <run|resume|status|report> --dir <path> [options]
+ *   campaign <run|resume|status|report|compact|export> --dir <path>
+ *                             [options]
  *                             durable, resumable, adaptively-stopped
  *                             experiment orchestration (see below)
  *   ckpt <create|ls|verify|gc> --dir <path> [options]
@@ -124,6 +125,17 @@
  *                          (e.g. system.mem.bus.l2_misses); "list"
  *                          enumerates the recorded names
  *
+ * compact: fold the store's records into one checksummed binary
+ *          segment so status/report/resume open in time proportional
+ *          to the appends since the last compaction, not the
+ *          campaign's size. Observationally a no-op (same reports,
+ *          same resume decisions); also triggered automatically when
+ *          the journal tail passes VARSIM_STORE_COMPACT_TAIL runs
+ *          (default 8192, 0 disables).
+ * export:  re-emit any store (compacted or not) as pure version-1
+ *          JSONL on stdout or --out <file> — the interchange format
+ *          for external tooling.
+ *
  * ckpt options:
  *   create: --dir <library> plus the campaign flags above (the same
  *           grid/seed/checkpoint flags the campaign will use; needs
@@ -159,6 +171,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <thread>
@@ -638,9 +652,43 @@ cmdCampaign(const std::string &action, const Args &args)
                     .text.c_str());
         return 0;
     }
+    if (action == "compact") {
+        const std::string dir = args.str("dir", "");
+        if (dir.empty())
+            sim::fatal("campaign compact needs --dir");
+        auto store = campaign::ResultStore::open(dir);
+        const auto res = store->compact();
+        if (!res.performed)
+            std::printf("%s is already compact (%zu run(s))\n",
+                        dir.c_str(), store->totalRuns());
+        else
+            std::printf("compacted %zu run(s) into %s/%s\n",
+                        res.runs, dir.c_str(),
+                        res.segmentFile.c_str());
+        return 0;
+    }
+    if (action == "export") {
+        // Interchange escape hatch: re-emit any store — compacted
+        // or not — as the pure JSONL any version-1 reader replays.
+        const std::string dir = args.str("dir", "");
+        if (dir.empty())
+            sim::fatal("campaign export needs --dir");
+        auto store = campaign::ResultStore::openReadOnly(dir);
+        const std::string out = args.str("out", "");
+        if (out.empty()) {
+            store->exportJsonl(std::cout);
+        } else {
+            std::ofstream os(out, std::ios::binary);
+            if (!os)
+                sim::fatal("cannot write %s", out.c_str());
+            store->exportJsonl(os);
+        }
+        return 0;
+    }
     if (action != "run" && action != "resume") {
         sim::fatal("unknown campaign action '%s' (run, resume, "
-                   "status, report)", action.c_str());
+                   "status, report, compact, export)",
+                   action.c_str());
     }
 
     const std::string dir = args.str("dir", "");
