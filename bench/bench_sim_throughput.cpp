@@ -21,11 +21,13 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hh"
@@ -57,11 +59,14 @@ struct WorkloadSpec
 core::SystemConfig
 benchSystem()
 {
-    // A mid-size 8-processor target: large enough that coherence
-    // traffic and the OS scheduler are exercised, small enough that
-    // the benchmark completes in seconds.
+    // A 16-processor directory target: the configuration the
+    // intra-run scaling bar is set on. Sixteen CPU domains give the
+    // domained engine real width, and the directory fabric is the
+    // protocol whose per-hop latencies the adaptive horizons are
+    // derived from.
     core::SystemConfig sys;
-    sys.mem.numNodes = 8;
+    sys.mem.numNodes = 16;
+    sys.mem.protocol = mem::CoherenceProtocol::Directory;
     return sys;
 }
 
@@ -169,12 +174,15 @@ emitJson(std::ostream &os, const std::vector<Row> &rows)
 {
     os << "{\n  \"bench\": \"sim_throughput\",\n"
        << "  \"quick\": " << (bench::quick() ? "true" : "false")
+       << ",\n  \"host_concurrency\": "
+       << std::thread::hardware_concurrency()
        << ",\n  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         os << "    {\"workload\": \"" << r.workload
            << "\", \"mode\": \"" << r.mode
-           << "\", \"sim_ticks\": " << r.simTicks
+           << "\", \"host_threads\": " << r.hostThreads
+           << ", \"sim_ticks\": " << r.simTicks
            << ", \"txns\": " << r.txns
            << ", \"wall_seconds\": " << r.wallSeconds
            << ", \"ticks_per_sec\": " << r.ticksPerSec()
@@ -182,6 +190,52 @@ emitJson(std::ostream &os, const std::vector<Row> &rows)
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
+}
+
+/**
+ * The intra-run scaling gate: geomean of par8 over single ticks/s
+ * across every measured workload must reach @p floor. Only enforced
+ * when the host can actually run 8 workers — on smaller hosts the
+ * clamped par8 row measures engine overhead, not scaling, and the
+ * gate prints the geomean without judging it.
+ */
+int
+gatePar8(const std::vector<Row> &rows, double floor)
+{
+    double logSum = 0.0;
+    int matched = 0;
+    for (const Row &r : rows) {
+        if (r.mode != "par8")
+            continue;
+        for (const Row &s : rows) {
+            if (s.mode == "single" && s.workload == r.workload) {
+                logSum += std::log(r.ticksPerSec() /
+                                   s.ticksPerSec());
+                ++matched;
+            }
+        }
+    }
+    if (matched == 0)
+        return 0;
+    const double geomean =
+        std::exp(logSum / static_cast<double>(matched));
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("par8 vs single geomean: %.2fx "
+                "(host concurrency %u)\n",
+                geomean, hw);
+    if (hw < 8) {
+        std::printf("par8 gate skipped: host has %u hardware "
+                    "threads, scaling not measurable\n",
+                    hw);
+        return 0;
+    }
+    if (geomean < floor) {
+        std::printf("FAIL: par8 geomean %.2fx below the %.2fx "
+                    "floor\n",
+                    geomean, floor);
+        return 1;
+    }
+    return 0;
 }
 
 } // anonymous namespace
@@ -229,11 +283,12 @@ main(int argc, char **argv)
                     s.ticksPerSec() / 1e6, s.txnsPerSec(),
                     s.wallSeconds);
         // Intra-run scaling: one simulation on the domained engine
-        // with 2/4/8 workers. The domained engine is a slightly
-        // different timing model (the lookahead becomes a hop
-        // latency), so parN's sim_ticks differ from single's — the
-        // scaling metric is ticks/s across parN rows, not vs single.
-        for (std::size_t threads : {2u, 4u, 8u}) {
+        // with 1/2/4/8 workers (par1 isolates the engine's own
+        // overhead from the scaling). The domained engine is a
+        // slightly different timing model (the lookahead becomes a
+        // hop latency), so parN's sim_ticks differ from single's —
+        // the honest scaling metric is ticks/s.
+        for (std::size_t threads : {1u, 2u, 4u, 8u}) {
             rows.push_back(parRun(spec, threads, repeat));
             const Row &p = rows.back();
             std::printf("%-10s %-8s %12.3fM ticks/s %10.0f txns/s "
@@ -259,5 +314,5 @@ main(int argc, char **argv)
     } else {
         emitJson(std::cout, rows);
     }
-    return 0;
+    return gatePar8(rows, 2.0);
 }

@@ -48,6 +48,20 @@ Simulation::Simulation(const SystemConfig &sys,
         }
         scheduler_ = std::make_unique<sim::DomainScheduler>(
             queues, *router_, workers);
+        // All cross-CPU traffic flows through the shared domain
+        // (bus/directory + kernel); CPU↔CPU lanes never carry a
+        // message. Declaring them unused frees every CPU domain's
+        // round horizon from its siblings' positions — CPUs are
+        // coupled only through the shared fabric's pending work.
+        const std::size_t nd = router_->numDomains();
+        for (std::size_t i = 1; i < nd; ++i) {
+            for (std::size_t j = 1; j < nd; ++j) {
+                if (i != j)
+                    router_->markLaneUnused(
+                        static_cast<sim::DomainId>(i),
+                        static_cast<sim::DomainId>(j));
+            }
+        }
     }
 
     mem_ = std::make_unique<mem::MemSystem>(
@@ -102,6 +116,58 @@ Simulation::Simulation(const SystemConfig &sys,
         "sim.txns",
         [this] { return static_cast<double>(txnCount); },
         "transactions completed");
+
+    // Intra-run parallel engine health. The round and message
+    // counters are pure functions of simulated state — identical
+    // for every --threads value — so they live in the default dump.
+    // The wall-clock breakdowns depend on the host and are
+    // registered as host metrics, excluded from the default dump so
+    // recorded per-run stats stay bit-identical across hosts and
+    // thread counts.
+    statsReg.regFormula(
+        "sim.par.rounds",
+        [this] {
+            return static_cast<double>(
+                scheduler_ ? scheduler_->rounds() : 0);
+        },
+        "synchronization rounds executed by the domain scheduler");
+    statsReg.regFormula(
+        "sim.par.serial_rounds",
+        [this] {
+            return static_cast<double>(
+                scheduler_ ? scheduler_->serialRoundCount() : 0);
+        },
+        "rounds whose runnable set had at most one domain");
+    statsReg.regFormula(
+        "sim.par.messages_routed",
+        [this] {
+            return static_cast<double>(
+                router_ ? router_->delivered() : 0);
+        },
+        "cross-domain messages delivered");
+    if (scheduler_) {
+        statsReg.regDistribution(
+            "sim.par.events_per_round",
+            &scheduler_->eventsPerRound(),
+            "events dispatched per synchronization round");
+        statsReg.regHostFormula(
+            "sim.par.host.barrier_wait_ns",
+            [this] {
+                return static_cast<double>(
+                    scheduler_->barrierWaitNs());
+            },
+            "host wall-ns parties spent waiting at the rendezvous");
+        for (std::size_t d = 0; d < router_->numDomains(); ++d) {
+            statsReg.regHostFormula(
+                sim::format("sim.par.host.domain%zu.wall_ns", d),
+                [this, d] {
+                    return static_cast<double>(
+                        scheduler_->domainWallNs(
+                            static_cast<sim::DomainId>(d)));
+                },
+                "host wall-ns draining and dispatching this domain");
+        }
+    }
 
     // Sampled-estimate exports. Registered unconditionally so every
     // run (sampled or not) emits the same metric schema; the slots

@@ -141,8 +141,19 @@ L2Controller::handleNack(sim::Addr block_addr)
     const BusCmd cmd = tbe->issued;
     DPRINTF(Coherence, "NACK blk=%#llx, retrying",
             static_cast<unsigned long long>(block_addr));
-    callIn(cfg.retryDelay,
-           [this, block_addr, cmd] { issue(block_addr, cmd); });
+    // Reach: the retry re-issues into the fabric, so nothing it
+    // causes — toward any node, including our own — happens before
+    // the fabric's entry latency (bus traversal before the snoop
+    // broadcasts, directory latency before the home tile acts).
+    const sim::Tick crossDelay =
+        cfg.protocol == CoherenceProtocol::Snooping
+            ? cfg.netTraversal
+            : cfg.dirLatency;
+    callIn(
+        cfg.retryDelay,
+        [this, block_addr, cmd] { issue(block_addr, cmd); },
+        sim::Event::defaultPri,
+        sim::SendReach{sim::SendReach::noDomain, 0, crossDelay});
 }
 
 void

@@ -110,13 +110,20 @@ SnoopBus::snoop(BusMsg msg)
     busy.insert(msg.blockAddr);
     L2Controller *requestor = nodes[src];
     const sim::Addr block = msg.blockAddr;
+    // Reach: the fill completes node `src`'s miss — responses and
+    // victim back-probes go to that node's own domain immediately,
+    // while anything it triggers toward other nodes (a writeback or
+    // prefetch it issues) first waits the bus's network traversal
+    // before the resulting snoop broadcasts.
     callIn(
         dataDelay,
         [this, requestor, block, writable] {
             busy.erase(block);
             requestor->fillArrived(block, writable);
         },
-        sim::Event::memoryResponsePri);
+        sim::Event::memoryResponsePri,
+        sim::SendReach{static_cast<sim::DomainId>(1 + src), 0,
+                       cfg.netTraversal});
 }
 
 bool

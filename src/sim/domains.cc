@@ -1,6 +1,8 @@
 #include "sim/domains.hh"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace varsim
@@ -8,60 +10,191 @@ namespace varsim
 namespace sim
 {
 
+namespace
+{
+
+/** Tick addition that saturates at maxTick instead of wrapping. */
+inline Tick
+satAdd(Tick a, Tick b)
+{
+    return a > maxTick - b ? maxTick : a + b;
+}
+
+inline std::uint64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+} // anonymous namespace
+
 DomainRouter::DomainRouter(std::vector<EventQueue *> queues,
                            Tick lookahead)
     : queues_(std::move(queues)), lookahead_(lookahead),
-      lanes_(queues_.size() * queues_.size())
+      lanes_(queues_.size() * queues_.size()),
+      laneLa_(queues_.size() * queues_.size(), lookahead),
+      deliveredByDst_(queues_.size()), touched_(queues_.size()),
+      incoming_(queues_.size())
+#ifndef NDEBUG
+      ,
+      debugBound_(queues_.size(), maxTick)
+#endif
 {
     assert(!queues_.empty());
     assert(lookahead_ > 0 && "zero lookahead cannot make progress");
 }
 
 void
+DomainRouter::setLaneLookahead(DomainId src, DomainId dst, Tick la)
+{
+    assert(src < queues_.size() && dst < queues_.size());
+    assert(la > 0 && "zero lane lookahead cannot make progress");
+    laneLa_[src * queues_.size() + dst] = la;
+    ++laneVersion_;
+}
+
+void
 DomainRouter::checkSend(DomainId src, DomainId dst, Tick when) const
 {
     assert(src < queues_.size() && dst < queues_.size());
-    assert(when >= queues_[src]->curTick() + lookahead_ &&
-           "cross-domain message inside the conservative horizon");
+    const Tick la = laneLa_[src * queues_.size() + dst];
+    assert(la != laneUnused &&
+           "send on a lane the topology declared unused");
+    assert(when >= queues_[src]->curTick() + la &&
+           "cross-domain message inside the lane's lookahead");
+#ifndef NDEBUG
+    // The receiver may already have dispatched past its horizon this
+    // round; a message at or before it means some SendReach
+    // annotation promised more delay than the model provides.
+    if (debugBoundsActive_) {
+        assert(when > debugBound_[dst] &&
+               "message violates the receiver's round horizon — "
+               "unsound SendReach annotation upstream");
+    }
+#endif
     (void)src;
     (void)dst;
     (void)when;
+    (void)la;
+}
+
+void
+DomainRouter::deliver(DomainId dst, std::vector<Message> &buf)
+{
+    EventQueue *q = queues_[dst];
+    for (Message &msg : buf) {
+        // The reach rides along: once delivered, the message is a
+        // pending event and must keep widening horizons exactly as
+        // it did while in flight.
+        q->callAt(
+            msg.when, [fn = std::move(msg.fn)]() mutable { fn(); },
+            msg.pri, msg.reach);
+    }
+    deliveredByDst_[dst].delivered += buf.size();
+    buf.clear();
+}
+
+void
+DomainRouter::flipEpoch()
+{
+#ifndef NDEBUG
+    for (const Lane &lane : lanes_)
+        assert(lane.buf[1 - epoch_].empty() &&
+               "epoch flip with undrained read side");
+    for (const DstIncoming &in : incoming_)
+        assert(in.srcs.empty() &&
+               "epoch flip with undrained incoming lists");
+#endif
+    // Turn the per-source touched lists into per-destination
+    // incoming lists. Ascending source order here is what keeps the
+    // drain's per-destination delivery order (source-ascending, FIFO
+    // per lane) identical to the full-matrix sweep it replaces —
+    // cost is O(lanes with traffic), not O(N²).
+    const std::size_t n = queues_.size();
+    for (std::size_t src = 0; src < n; ++src) {
+        auto &t = touched_[src].dsts;
+        for (std::uint32_t dst : t)
+            incoming_[dst].srcs.push_back(
+                static_cast<std::uint32_t>(src));
+        t.clear();
+    }
+    epoch_ = 1 - epoch_;
+}
+
+void
+DomainRouter::drainTo(DomainId dst)
+{
+    const std::size_t n = queues_.size();
+    const unsigned read = 1 - epoch_;
+    auto &srcs = incoming_[dst].srcs;
+    for (std::uint32_t src : srcs)
+        deliver(dst, lanes_[src * n + dst].buf[read]);
+    srcs.clear();
 }
 
 void
 DomainRouter::drainAll()
 {
     const std::size_t n = queues_.size();
+    const unsigned read = 1 - epoch_;
     for (std::size_t dst = 0; dst < n; ++dst) {
-        for (std::size_t src = 0; src < n; ++src) {
-            auto &lane = lanes_[src * n + dst];
-            for (auto &msg : lane) {
-                queues_[dst]->callAt(
-                    msg.when,
-                    [fn = std::move(msg.fn)]() mutable { fn(); },
-                    msg.pri);
-                ++delivered_;
-            }
-            lane.clear();
-        }
+        // Read side first: those messages were sent a round earlier
+        // than anything on the write side, so FIFO order per lane is
+        // preserved across the two sides.
+        for (std::size_t src = 0; src < n; ++src)
+            deliver(static_cast<DomainId>(dst),
+                    lanes_[src * n + dst].buf[read]);
+        for (std::size_t src = 0; src < n; ++src)
+            deliver(static_cast<DomainId>(dst),
+                    lanes_[src * n + dst].buf[epoch_]);
     }
+    // Everything is delivered; reset the traffic bookkeeping so the
+    // next flip starts from a clean slate (cold path: tests and
+    // quiesce points, never the round loop).
+    for (SrcTouched &t : touched_)
+        t.dsts.clear();
+    for (DstIncoming &in : incoming_)
+        in.srcs.clear();
 }
 
 bool
 DomainRouter::anyPending() const
 {
-    for (const auto &lane : lanes_) {
-        if (!lane.empty())
+    for (const Lane &lane : lanes_) {
+        if (!lane.buf[0].empty() || !lane.buf[1].empty())
             return true;
     }
     return false;
+}
+
+std::uint64_t
+DomainRouter::delivered() const
+{
+    std::uint64_t total = 0;
+    for (const DstCounter &c : deliveredByDst_)
+        total += c.delivered;
+    return total;
 }
 
 DomainScheduler::DomainScheduler(std::vector<EventQueue *> queues,
                                  DomainRouter &router,
                                  std::size_t workers)
     : queues_(std::move(queues)), router_(router),
-      parties_(std::min(workers == 0 ? 1 : workers, queues_.size()))
+      parties_(std::min(workers == 0 ? 1 : workers, queues_.size())),
+      nextEvt_(queues_.size(), maxTick),
+      aMin_(queues_.size(), maxTick),
+      sMin_(queues_.size() * queues_.size(), maxTick),
+      lastMut_(queues_.size(), ~0ull),
+      rowAnn_(queues_.size(), 0),
+      laneMinIn_(queues_.size(), maxTick),
+      aMsg_(queues_.size(), maxTick),
+      sMsg_(queues_.size() * queues_.size(), maxTick),
+      pIn_(queues_.size(), maxTick),
+      dispSeen_(queues_.size(), 0), plan_(queues_.size()),
+      prof_(queues_.size()), partyProf_(parties_)
 {
     assert(!queues_.empty());
 }
@@ -70,9 +203,13 @@ DomainScheduler::~DomainScheduler()
 {
     if (pool_.empty())
         return;
-    exit_.store(true, std::memory_order_relaxed);
-    // Release the start barrier so blocked workers observe exit_.
-    barrier();
+    // Workers are parked at the rendezvous (each re-arrived after
+    // the last Done). This final arrival completes it; whoever is
+    // last observes exit_ and publishes Exit.
+    exit_ = true;
+    const Phase p = arrive(0);
+    assert(p == Phase::Exit);
+    (void)p;
     for (auto &t : pool_)
         t.join();
 }
@@ -86,78 +223,322 @@ DomainScheduler::startPool()
 }
 
 void
-DomainScheduler::barrier()
+DomainScheduler::workerLoop(std::size_t party)
 {
-    const std::uint64_t gen =
-        generation_.load(std::memory_order_relaxed);
-    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-        parties_) {
-        arrived_.store(0, std::memory_order_relaxed);
-        generation_.store(gen + 1, std::memory_order_release);
-    } else {
-        std::uint32_t spins = 0;
-        while (generation_.load(std::memory_order_acquire) == gen) {
-            if (++spins > 1000) {
-                std::this_thread::yield();
-                spins = 0;
-            }
-        }
+    // On RunRound the stripe executes inside arrive(); on Done the
+    // loop simply re-arrives and parks until run() is called again.
+    while (arrive(party) != Phase::Exit) {
     }
 }
 
-void
-DomainScheduler::runStripe(std::size_t worker, Tick bound)
+DomainScheduler::Phase
+DomainScheduler::arrive(std::size_t party)
 {
-    for (std::size_t i = worker; i < queues_.size(); i += parties_)
-        queues_[i]->run(bound);
+    // generation_ only advances once all parties arrive, and each
+    // party arrives exactly once per cycle, so this load is stable
+    // until our own fetch_add below.
+    const std::uint64_t gen =
+        generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        parties_) {
+        closure(gen);
+    } else {
+        await(gen, party);
+    }
+    const Phase p = phase_;
+    if (p == Phase::RunRound)
+        executeStripe(party);
+    return p;
 }
 
 void
-DomainScheduler::workerLoop(std::size_t worker)
+DomainScheduler::await(std::uint64_t gen, std::size_t party)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    // Bounded spin: rounds are usually back to back, so the next
+    // plan tends to land within the spin window. Park only when it
+    // does not (idle phases, serial-round stretches).
+    for (int spins = 0; spins < 4096; ++spins) {
+        if (generation_.load(std::memory_order_acquire) != gen) {
+            partyProf_[party].barrierNs += nsSince(t0);
+            return;
+        }
+    }
+    {
+        std::unique_lock<std::mutex> lock(parkMu_);
+        parkCv_.wait(lock, [&] {
+            return generation_.load(std::memory_order_acquire) !=
+                   gen;
+        });
+    }
+    partyProf_[party].barrierNs += nsSince(t0);
+}
+
+void
+DomainScheduler::publish(Phase phase, std::uint64_t gen)
+{
+    if (phase != Phase::RunRound)
+        router_.setDebugBoundsActive(false);
+    phase_ = phase;
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.store(gen + 1, std::memory_order_release);
+    {
+        // Empty critical section: orders the store against the
+        // predicate check inside parkCv_.wait, closing the missed-
+        // wakeup window.
+        std::lock_guard<std::mutex> lock(parkMu_);
+    }
+    parkCv_.notify_all();
+}
+
+void
+DomainScheduler::sampleRound()
+{
+    if (!roundOpen_)
+        return;
+    // Every dispatch happens inside executeDomain, and executeDomain
+    // only runs for domains in active_, so last round's delta lives
+    // entirely in last round's active set (still untouched here —
+    // computePlan rebuilds it after this sample).
+    std::uint64_t delta = 0;
+    for (DomainId d : active_) {
+        const std::uint64_t now = queues_[d]->numDispatched();
+        delta += now - dispSeen_[d];
+        dispSeen_[d] = now;
+    }
+    eventsPerRound_.sample(static_cast<double>(delta));
+    roundOpen_ = false;
+}
+
+void
+DomainScheduler::computePlan()
+{
+    const std::size_t n = queues_.size();
+
+    // Cache the used-lane edge list (per destination: the sources
+    // that can reach it, with their lookaheads). The lane table is
+    // fixed after wiring, so this rebuilds approximately once.
+    if (usedInVersion_ != router_.laneVersion()) {
+        usedIn_.assign(n, {});
+        for (std::size_t d = 0; d < n; ++d) {
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == d)
+                    continue;
+                const Tick la = router_.laneLookahead(
+                    static_cast<DomainId>(j),
+                    static_cast<DomainId>(d));
+                if (la != DomainRouter::laneUnused)
+                    usedIn_[d].push_back(
+                        {static_cast<std::uint32_t>(j), la});
+            }
+        }
+        usedInVersion_ = router_.laneVersion();
+    }
+
+    std::fill(laneMinIn_.begin(), laneMinIn_.end(), maxTick);
+    std::fill(aMsg_.begin(), aMsg_.end(), maxTick);
+    // sMsg_ is N² but sparse (few lanes carry annotated messages per
+    // round); clear exactly the slots the last round wrote.
+    for (std::uint32_t idx : sMsgDirty_)
+        sMsg_[idx] = maxTick;
+    sMsgDirty_.clear();
+
+    for (std::size_t j = 0; j < n; ++j) {
+        // nextEvt_/aMin_/sMin_ are pure functions of the queue's
+        // pending set; if the mutation stamp is unchanged since the
+        // row was computed, the cached values still hold. In steady
+        // state only last round's few active domains pay a rescan.
+        const std::uint64_t mut = queues_[j]->mutations();
+        if (mut == lastMut_[j])
+            continue;
+        lastMut_[j] = mut;
+        nextEvt_[j] = queues_[j]->nextEventTick();
+        Tick *sRow = sMin_.data() + j * n;
+        if (rowAnn_[j]) {
+            std::fill(sRow, sRow + n, maxTick);
+            rowAnn_[j] = 0;
+        }
+        if (queues_[j]->annotatedPending() == 0) {
+            // Every pending event is conservative (otherDelay 0), so
+            // the reduction collapses to the earliest event tick —
+            // the O(1) fast path all CPU domains take.
+            aMin_[j] = nextEvt_[j];
+            continue;
+        }
+        // Exact split of the per-item reduction: unannotated items
+        // contribute w (otherDelay 0) via a pruned heap search, and
+        // the annotated few come from the queue's side index — cost
+        // is the annotated count, not the heap size.
+        rowAnn_[j] = 1;
+        Tick a = queues_[j]->minUnannotatedTick();
+        queues_[j]->forEachAnnotated(
+            [&](Tick w, const SendReach &r) {
+                a = std::min(a, satAdd(w, r.otherDelay));
+                if (r.dom != SendReach::noDomain && r.dom < n)
+                    sRow[r.dom] = std::min(sRow[r.dom],
+                                           satAdd(w, r.selfDelay));
+            });
+        aMin_[j] = a;
+    }
+
+    // Undelivered read-side messages will be delivered this round:
+    // they are items of their destination. They accumulate into the
+    // per-round scratch, never the cached queue rows.
+    router_.forEachUndelivered(
+        [&](DomainId, DomainId dst, Tick w, const SendReach &r) {
+            laneMinIn_[dst] = std::min(laneMinIn_[dst], w);
+            aMsg_[dst] = std::min(aMsg_[dst],
+                                  satAdd(w, r.otherDelay));
+            if (r.dom != SendReach::noDomain && r.dom < n) {
+                Tick &slot = sMsg_[dst * n + r.dom];
+                if (slot == maxTick)
+                    sMsgDirty_.push_back(static_cast<std::uint32_t>(
+                        dst * n + r.dom));
+                slot = std::min(slot, satAdd(w, r.selfDelay));
+            }
+        });
+
+    // Earliest-future-delivery fixpoint. An item of j bounds not
+    // only j's direct sends but also *reflected* chains: a message
+    // it causes wakes domain k, whose own response (conservative:
+    // immediate) re-enters the graph one more lookahead later. So
+    // the earliest tick a message could ever be delivered into d is
+    //
+    //   P_d = min over used lanes (j, d) of
+    //             la(j, d) + min(C_{j,d}, P_j)
+    //
+    // with C_{j,d} = min(A_j, S_j[d]) the concrete-item term.
+    // Relaxing to the fixpoint is a positive-weight shortest path
+    // (every hop adds la >= 1), so the sweep below terminates; on
+    // the star topology the engine wires (CPU↔CPU lanes unused) it
+    // stabilizes in a few iterations.
+    std::fill(pIn_.begin(), pIn_.end(), maxTick);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t d = 0; d < n; ++d) {
+            Tick best = maxTick;
+            for (const auto &[j, la] : usedIn_[d]) {
+                // Concrete-item term: queue-resident items (cached
+                // rows) and in-flight messages (round scratch).
+                const Tick cj =
+                    std::min(std::min(aMin_[j], aMsg_[j]),
+                             std::min(sMin_[j * n + d],
+                                      sMsg_[j * n + d]));
+                const Tick e = std::min(cj, pIn_[j]);
+                if (e == maxTick)
+                    continue;
+                best = std::min(best, satAdd(e, la));
+            }
+            if (best < pIn_[d]) {
+                pIn_[d] = best;
+                changed = true;
+            }
+        }
+    }
+
+    // One pass: the plan, the quiescence verdict, the runnable
+    // count, and the active list (who executes this round).
+    quiescent_ = true;
+    nRunnable_ = 0;
+    active_.clear();
+    for (std::size_t d = 0; d < n; ++d) {
+        const Tick bound =
+            pIn_[d] == maxTick ? maxTick : pIn_[d] - 1;
+        plan_[d].runTo = bound;
+        const Tick ready = std::min(nextEvt_[d], laneMinIn_[d]);
+        const bool runnable = ready != maxTick && ready <= bound;
+        plan_[d].runnable = runnable;
+        if (ready != maxTick)
+            quiescent_ = false;
+        nRunnable_ += runnable ? 1 : 0;
+        const DomainId id = static_cast<DomainId>(d);
+        // laneMinIn_[d] != maxTick iff d has undelivered read-side
+        // messages (every one of them fed the min above), so this is
+        // the has-incoming test without touching the router's lanes.
+        if (runnable || laneMinIn_[d] != maxTick)
+            active_.push_back(id);
+        router_.setDebugBound(id, bound);
+    }
+    router_.setDebugBoundsActive(true);
+}
+
+void
+DomainScheduler::executeDomain(DomainId d)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    router_.drainTo(d);
+    if (plan_[d].runnable)
+        queues_[d]->run(plan_[d].runTo);
+    prof_[d].wallNs += nsSince(t0);
+}
+
+void
+DomainScheduler::executeStripe(std::size_t party)
+{
+    // Stripe over the active list, not the full domain set: idle
+    // domains cost nothing, and the stripes stay balanced however
+    // the active domains are distributed across ids. Which party
+    // runs a domain never affects what the domain does, so this is
+    // invisible to simulated state.
+    for (std::size_t i = party; i < active_.size(); i += parties_)
+        executeDomain(active_[i]);
+}
+
+void
+DomainScheduler::closure(std::uint64_t gen)
 {
     for (;;) {
-        barrier(); // wait for the coordinator to publish bound_
-        if (exit_.load(std::memory_order_relaxed))
+        if (exit_) {
+            publish(Phase::Exit, gen);
             return;
-        runStripe(worker, bound_);
-        barrier(); // round complete
+        }
+        sampleRound(); // previous round's dispatch delta
+        if (stop_) {
+            // Round-granularity stop: messages sent during the last
+            // round stay on the write side; the next run()'s first
+            // flip delivers them, so a resumed run continues exactly
+            // where an uninterrupted one would be.
+            publish(Phase::Done, gen);
+            return;
+        }
+        router_.flipEpoch();
+        computePlan();
+
+        if (quiescent_) {
+            publish(Phase::Done, gen);
+            return;
+        }
+
+        ++rounds_;
+        if (nRunnable_ <= 1)
+            ++serialRounds_;
+        roundOpen_ = true;
+
+        // Round fusion: with no exploitable parallelism (or rounds
+        // forced serial), run inline and recompute the next plan
+        // without waking the pool — ping-pong phases cost a plan
+        // computation, not a barrier crossing.
+        if (parties_ == 1 || serial_ || nRunnable_ <= 1) {
+            for (DomainId d : active_)
+                executeDomain(d);
+            continue;
+        }
+        publish(Phase::RunRound, gen);
+        return;
     }
 }
 
 void
 DomainScheduler::run()
 {
+    if (parties_ > 1 && pool_.empty())
+        startPool();
     for (;;) {
-        // Serial phase: deliver mailboxes, find the global horizon.
-        router_.drainAll();
-        Tick nextT = maxTick;
-        for (EventQueue *q : queues_) {
-            const Tick t = q->nextEventTick();
-            if (t < nextT)
-                nextT = t;
-        }
-        if (nextT == maxTick)
-            return; // quiescent: nothing anywhere, nothing in flight
-
-        // Parallel phase: every domain runs up to (not through) the
-        // horizon B = nextT + Λ. run()'s bound is inclusive.
-        const Tick bound = nextT + router_.lookahead() - 1;
-        if (parties_ == 1 || serial_) {
-            // Degenerate case: inline, in domain order, no workers.
-            for (EventQueue *q : queues_)
-                q->run(bound);
-        } else {
-            if (pool_.empty())
-                startPool();
-            bound_ = bound;
-            barrier(); // start: workers read bound_ after this
-            runStripe(0, bound);
-            barrier(); // finish: worker writes visible after this
-        }
-        ++rounds_;
-
-        if (stop_)
-            return; // round-granularity stop (see requestStop)
+        const Phase p = arrive(0);
+        if (p == Phase::Done)
+            return;
+        assert(p == Phase::RunRound && "Exit published during run()");
     }
 }
 
@@ -171,6 +552,22 @@ DomainScheduler::idle()
             return false;
     }
     return true;
+}
+
+std::uint64_t
+DomainScheduler::domainWallNs(DomainId d) const
+{
+    assert(d < prof_.size());
+    return prof_[d].wallNs;
+}
+
+std::uint64_t
+DomainScheduler::barrierWaitNs() const
+{
+    std::uint64_t total = 0;
+    for (const PartyProf &p : partyProf_)
+        total += p.barrierNs;
+    return total;
 }
 
 } // namespace sim

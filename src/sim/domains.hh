@@ -1,7 +1,7 @@
 /**
  * @file
  * Deterministic intra-run parallelism: per-CPU event-queue domains
- * synchronized by a conservative quantum/barrier scheme.
+ * synchronized by a conservative adaptive-horizon round scheme.
  *
  * The simulation is partitioned into domains, each owning one
  * EventQueue: domain 0 (the *shared* domain) holds the snoop
@@ -9,51 +9,108 @@
  * OS kernel; domain 1+i holds CPU i and its private L1 pair. Every
  * cross-domain interaction is a *message*: a closure posted through
  * the DomainRouter that executes in the target domain at least one
- * lookahead (Λ) in the future.
+ * lane lookahead in the future.
  *
- * The round protocol (DomainScheduler::run) is:
+ * The round protocol (DomainScheduler::run) generalizes the classic
+ * CMB quantum B = nextT + Λ in three ways:
  *
- *   1. Drain every mailbox lane into the target queues, in a fixed
- *      order (destination-major, then source, then lane FIFO). This
- *      is serial, on the coordinating thread.
- *   2. Compute nextT = min over all queues of the next live event
- *      tick; the round horizon is B = nextT + Λ.
- *   3. Every domain dispatches its events with tick < B, in
- *      parallel. A domain never touches another domain's state: all
- *      it can do is append messages to its own single-writer lanes.
- *   4. Barrier; goto 1.
+ *  1. **Per-lane lookahead.** Each (src, dst) lane carries its own
+ *     lookahead la(src, dst) — the minimum scheduling distance
+ *     checkSend enforces on that edge — and lanes the topology never
+ *     uses (CPU↔CPU: all cross-CPU traffic flows through the shared
+ *     domain) are declared unused, so they impose no bound at all.
  *
- * Conservative correctness: every event dispatched in step 3 has
- * tick >= nextT, so every message it sends carries
- * when >= nextT + Λ = B — beyond the horizon. No domain can receive
+ *  2. **Adaptive horizons from reach declarations.** Every pending
+ *     event and undelivered message is an *item* with a conservative
+ *     SendReach (see eventq.hh): an item at tick w cannot cause a
+ *     send toward domain d delivering before
+ *     w + delay_d + la(j, d). Per source domain j the scheduler
+ *     reduces items to
+ *
+ *         A_j    = min over items of (w + otherDelay)
+ *         S_j[d] = min over items with reach.dom == d
+ *                  of (w + selfDelay)
+ *
+ *     and closes them transitively: an item of j can also wake a
+ *     *third* domain k, whose own (conservatively immediate)
+ *     response re-enters the graph one more lookahead later. The
+ *     earliest tick any future message could be delivered into d is
+ *     therefore the least fixpoint of
+ *
+ *         P_d = min over used lanes (j, d), j != d
+ *               of la(j, d) + min(A_j, S_j[d], P_j)
+ *
+ *     (a positive-weight shortest path over the lane graph), and
+ *     each destination gets the *inclusive* horizon B_d = P_d - 1.
+ *     Without the P_j term an idle CPU would impose no bound while a
+ *     pending fill was about to wake it — the shared domain could
+ *     run past the reply that fill provokes two hops later.
+ *
+ *     With every reach at the default {none, 0, 0} this collapses to
+ *     the old global quantum; with the memory system's annotations
+ *     (a request in flight cannot echo back to *other* CPUs before
+ *     the fabric's modeled latency) rounds grow from Λ ticks to the
+ *     fabric latency scale — an order of magnitude fewer barriers.
+ *
+ *  3. **Round fusion.** A domain whose earliest item lies beyond its
+ *     horizon skips the round. When at most one domain is runnable
+ *     (or rounds are forced serial), the closure runs it inline and
+ *     recomputes the next plan without waking or re-barriering the
+ *     pool — ping-pong phases degrade to plain serial dispatch
+ *     instead of barrier storms.
+ *
+ * One round is: flip the mailbox epoch (messages sent last round
+ * become this round's deliveries), compute {B_d, runnable_d}, then
+ * each destination domain *itself* drains its incoming lanes
+ * (source-ascending, FIFO per lane — the same per-destination order
+ * the old serial coordinator used, so delivered seq numbers are
+ * unchanged) and dispatches its events with tick <= B_d. A domain
+ * never touches another domain's state: all it can do is append
+ * messages to its own single-writer lane side.
+ *
+ * Conservative correctness: an item of j executing at w >= its
+ * scanned tick sends toward d only with when >= w + delay_d +
+ * la(j, d) > B_d — beyond the horizon. No domain can receive
  * anything during a round that should have influenced that same
- * round, so no rollback is ever needed.
+ * round, so no rollback is ever needed (checkSend asserts the bound
+ * per message in debug builds, so an unsound reach annotation fails
+ * loudly and deterministically).
  *
- * Determinism: the round sequence, the mailbox drain order, and each
- * queue's (tick, priority, seq) dispatch order are all pure
- * functions of simulation state — no host clocks, no thread IDs, no
- * pointer values. The worker count only changes which host thread
- * dispatches a domain's events, never their order, so results are
- * bitwise identical for any --threads value (pinned by
+ * Determinism: the plan sequence (epoch flips, horizons, runnable
+ * sets) is a pure function of simulation state — no host clocks, no
+ * thread IDs, no pointer values — and each queue's
+ * (tick, priority, seq) dispatch order is fixed. The worker count
+ * only changes which host thread drains and dispatches a domain,
+ * never what any domain observes, so results are bitwise identical
+ * for any --threads value (pinned by
  * tests/core/test_parallel_golden.cc).
  *
- * Memory model: workers synchronize exclusively through the round
- * barrier (acquire/release on the generation counter), which orders
- * every write a domain made in round R before every read of it in
- * round R+1 — message payloads and queue internals cross threads
- * only over that edge, so the scheme is clean under ThreadSanitizer.
+ * Memory model: workers synchronize exclusively through one flat
+ * cache-aligned rendezvous. Arrivals fetch_add an aligned counter
+ * (acq_rel: the last arriver observes every round write); the last
+ * arriver runs the serial closure and publishes the next plan with a
+ * release store to the generation counter, which waiters
+ * acquire-load (bounded spin, then park on a condvar). Every write a
+ * domain made in round R is therefore ordered before every read of
+ * it in round R+1 — message payloads, queue internals, and the plan
+ * itself cross threads only over that edge, so the scheme is clean
+ * under ThreadSanitizer. All per-domain mutable state (lanes, plan
+ * slots, profiles) is padded to cache lines to kill false sharing.
  */
 
 #ifndef VARSIM_SIM_DOMAINS_HH
 #define VARSIM_SIM_DOMAINS_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "sim/eventq.hh"
+#include "sim/statistics.hh"
 #include "sim/types.hh"
 
 namespace varsim
@@ -158,77 +215,265 @@ class InlineFn
 /**
  * Per-(source, destination) mailbox lanes between domains.
  *
- * During a round each domain appends messages only to its own lanes
- * (single writer, no locks); between rounds the coordinator drains
- * every lane into the destination queues in a fixed total order.
- * Lane vectors keep their capacity across rounds, so steady-state
- * messaging is allocation-free for inline closures.
+ * Each lane is double-buffered: during a round every domain appends
+ * only to its own lanes' *write side* (single writer, no locks),
+ * while the destination domain drains the *read side* — messages
+ * sent one round earlier — into its queue. The scheduler's serial
+ * closure flips the epoch between rounds, so the two sides never
+ * alias and parallel drain needs no synchronization beyond the round
+ * barrier. Buffers keep their capacity across rounds, so
+ * steady-state messaging is allocation-free for inline closures.
  */
 class DomainRouter
 {
   public:
     /**
+     * Lane-lookahead sentinel: the topology never sends on this
+     * lane. Unused lanes impose no horizon bound on their
+     * destination (and sending on one asserts).
+     */
+    static constexpr Tick laneUnused = maxTick;
+
+    /**
      * @param queues one EventQueue per domain, index == DomainId
      *               (index 0 is the shared domain).
-     * @param lookahead the conservative horizon Λ, in ticks (> 0).
+     * @param lookahead the default per-lane lookahead Λ, in ticks
+     *                  (> 0); see setLaneLookahead.
      */
     DomainRouter(std::vector<EventQueue *> queues, Tick lookahead);
 
+    /** The default lane lookahead Λ. */
     Tick lookahead() const { return lookahead_; }
+
     std::size_t numDomains() const { return queues_.size(); }
+
+    /** Lookahead of one lane (laneUnused if declared unused). */
+    Tick
+    laneLookahead(DomainId src, DomainId dst) const
+    {
+        return laneLa_[src * queues_.size() + dst];
+    }
+
+    /**
+     * Declare a per-lane lookahead: the minimum scheduling distance
+     * for messages src -> dst. Must be > 0 (or laneUnused). Raising
+     * a lane's lookahead above Λ changes what checkSend accepts, so
+     * it is only sound for edges whose senders already schedule that
+     * far out; the usual way to widen horizons without touching send
+     * timing is a SendReach annotation on the pending work instead.
+     */
+    void setLaneLookahead(DomainId src, DomainId dst, Tick la);
+
+    /**
+     * Declare that the topology never sends src -> dst. The lane
+     * then imposes no bound on dst's horizon — declaring the unused
+     * CPU↔CPU lanes is what frees every CPU domain from its
+     * siblings' positions (they are coupled only through the shared
+     * fabric).
+     */
+    void
+    markLaneUnused(DomainId src, DomainId dst)
+    {
+        setLaneLookahead(src, dst, laneUnused);
+    }
+
+    /**
+     * Monotone counter bumped by every lane-lookahead change. The
+     * scheduler caches the used-lane edge list keyed on this, so the
+     * per-round horizon fixpoint walks only lanes the topology
+     * actually wired (E edges) instead of the full N² matrix.
+     */
+    std::uint64_t laneVersion() const { return laneVersion_; }
 
     /**
      * Post a closure to execute in domain @p dst at tick @p when.
      * Must be called from the context executing domain @p src (its
      * worker during a round, or the coordinator between rounds).
-     * @p when must lie at least one lookahead past @p src's current
-     * tick — that bound is what makes rounds conservative.
+     * @p when must lie at least one lane lookahead past @p src's
+     * current tick — that bound is what makes rounds conservative.
      */
     template <typename F>
     void
     send(DomainId src, DomainId dst, Tick when, Event::Priority pri,
          F &&fn)
     {
-        checkSend(src, dst, when);
-        lanes_[src * queues_.size() + dst].push_back(
-            {when, pri, InlineFn(std::forward<F>(fn))});
+        send(src, dst, when, pri, SendReach{}, std::forward<F>(fn));
     }
 
     /**
-     * Deliver every pending message into its destination queue
-     * (EventQueue::callAt). Serial; call only between rounds. The
-     * order — destination-major, source-minor, FIFO within a lane —
-     * fixes the seq numbers ties resolve by, so delivery order is a
-     * pure function of what was sent.
+     * As send, declaring the delivered message's conservative reach:
+     * the scheduler treats the undelivered message exactly like a
+     * pending event of @p dst when computing horizons.
+     */
+    template <typename F>
+    void
+    send(DomainId src, DomainId dst, Tick when, Event::Priority pri,
+         const SendReach &reach, F &&fn)
+    {
+        checkSend(src, dst, when);
+        auto &buf = lanes_[src * queues_.size() + dst].buf[epoch_];
+        // First message on this lane since the last flip: record it
+        // in the source's touched list, so the flip and the drains
+        // cost O(messages), never O(N²) lanes.
+        if (buf.empty())
+            touched_[src].dsts.push_back(dst);
+        buf.push_back(
+            {when, pri, reach, InlineFn(std::forward<F>(fn))});
+    }
+
+    /**
+     * Swap every lane's read and write side. Serial (scheduler
+     * closure, between rounds). The read side must already be
+     * drained — flipping turns last round's sends into this round's
+     * deliveries and recycles the emptied buffers for new sends.
+     */
+    void flipEpoch();
+
+    /**
+     * Deliver domain @p dst's read-side messages into its queue
+     * (EventQueue::callAt), source-ascending, FIFO within a lane —
+     * the same per-destination total order the serial drain used, so
+     * the seq numbers ties resolve by are a pure function of what
+     * was sent. Runs on whichever thread executes @p dst this round;
+     * touches only @p dst's queue and read-side buffers.
+     */
+    void drainTo(DomainId dst);
+
+    /**
+     * Deliver every pending message (both sides, read side first)
+     * into its destination queue, destination-major. Serial; between
+     * rounds only — the scheduler itself always delivers via
+     * flipEpoch/drainTo, but unit tests and quiesce paths want a
+     * one-call "flush everything".
      */
     void drainAll();
 
-    /** Any undelivered messages? Serial; between rounds only. */
+    /**
+     * Visit every undelivered read-side message as
+     * (src, dst, when, reach). Serial (scheduler closure, after the
+     * epoch flip): these are the messages the imminent round will
+     * deliver, so they count as items of their destination when
+     * computing horizons. Walks the per-destination incoming lists
+     * the flip built, so the cost is proportional to traffic.
+     */
+    template <typename F>
+    void
+    forEachUndelivered(F &&fn) const
+    {
+        const std::size_t n = queues_.size();
+        for (std::size_t dst = 0; dst < n; ++dst) {
+            for (std::uint32_t src : incoming_[dst].srcs) {
+                const auto &buf =
+                    lanes_[src * n + dst].buf[1 - epoch_];
+                for (const Message &m : buf)
+                    fn(static_cast<DomainId>(src),
+                       static_cast<DomainId>(dst), m.when, m.reach);
+            }
+        }
+    }
+
+    /** Any undelivered messages (either side)? Serial. */
     bool anyPending() const;
 
     /** Messages delivered since construction. */
-    std::uint64_t delivered() const { return delivered_; }
+    std::uint64_t delivered() const;
+
+    /**
+     * Debug hook: while a round is active the scheduler registers
+     * each destination's horizon here, and checkSend asserts every
+     * message lands strictly beyond it — an unsound SendReach
+     * annotation dies at the send that violates it instead of
+     * corrupting determinism silently. No-ops in release builds
+     * (inline so the per-round registration costs nothing there).
+     */
+    void
+    setDebugBound(DomainId dst, Tick bound)
+    {
+#ifndef NDEBUG
+        debugBound_[dst] = bound;
+#endif
+        (void)dst;
+        (void)bound;
+    }
+
+    void
+    setDebugBoundsActive(bool on)
+    {
+#ifndef NDEBUG
+        debugBoundsActive_ = on;
+#endif
+        (void)on;
+    }
 
   private:
     struct Message
     {
         Tick when;
         Event::Priority pri;
+        SendReach reach;
         InlineFn fn;
     };
 
+    /**
+     * One mailbox lane, cache-line aligned so the single writer
+     * never false-shares its append side with neighbouring lanes'
+     * writers or the reader of another lane.
+     */
+    struct alignas(64) Lane
+    {
+        std::vector<Message> buf[2];
+    };
+
+    /** Per-destination delivery counter, padded: drains run on
+     *  different threads concurrently. */
+    struct alignas(64) DstCounter
+    {
+        std::uint64_t delivered = 0;
+    };
+
+    /** Write-side lanes this source touched since the last flip.
+     *  Single writer (the thread executing the source domain),
+     *  padded against its neighbours. */
+    struct alignas(64) SrcTouched
+    {
+        std::vector<std::uint32_t> dsts;
+    };
+
+    /** Sources with undelivered read-side messages for one
+     *  destination, ascending. Built serially at the epoch flip;
+     *  consumed (and cleared) by the destination's drain, which runs
+     *  on whichever thread executes the destination. */
+    struct alignas(64) DstIncoming
+    {
+        std::vector<std::uint32_t> srcs;
+    };
+
     void checkSend(DomainId src, DomainId dst, Tick when) const;
+    void deliver(DomainId dst, std::vector<Message> &buf);
 
     std::vector<EventQueue *> queues_;
     Tick lookahead_;
-    /** lanes_[src * N + dst]; each written only by domain src. */
-    std::vector<std::vector<Message>> lanes_;
-    std::uint64_t delivered_ = 0;
+    /** lanes_[src * N + dst]; write side written only by src, read
+     *  side drained only by dst. */
+    std::vector<Lane> lanes_;
+    /** laneLa_[src * N + dst]; fixed before the first round. */
+    std::vector<Tick> laneLa_;
+    /** Senders append to buf[epoch_]; drains read buf[1 - epoch_].
+     *  Flipped only by the scheduler's serial closure. */
+    unsigned epoch_ = 0;
+    std::vector<DstCounter> deliveredByDst_;
+    std::vector<SrcTouched> touched_;   ///< per source
+    std::vector<DstIncoming> incoming_; ///< per destination
+    std::uint64_t laneVersion_ = 0;
+#ifndef NDEBUG
+    std::vector<Tick> debugBound_;
+    bool debugBoundsActive_ = false;
+#endif
 };
 
 /**
- * Runs the round protocol over a set of domain queues, optionally on
- * a private worker pool.
+ * Runs the adaptive-horizon round protocol over a set of domain
+ * queues, optionally on a private worker pool.
  *
  * The pool is deliberately NOT the process-wide HostThreadPool:
  * campaign engines run whole simulations inside pool jobs, and pool
@@ -260,25 +505,25 @@ class DomainScheduler
     /**
      * Ask run() to return at the next round boundary. Unlike
      * EventQueue::requestStop this never halts a domain mid-round:
-     * the round completes, keeping every queue at the common
+     * the round completes, keeping every queue at its granted
      * horizon, so a later run() resumes exactly where an
-     * uninterrupted one would be. Call from shared-domain event
-     * context (the coordinator's thread) or between rounds.
+     * uninterrupted one would be. Call from event context inside a
+     * round or between rounds.
      */
     void requestStop() { stop_ = true; }
 
     void clearStop() { stop_ = false; }
 
     /**
-     * Force rounds to run inline on the calling thread (the
-     * degenerate `parties == 1` path) regardless of the worker
-     * count. Used by sampling fast-forward intervals, whose warm
-     * memory path makes direct cross-domain calls: serial rounds
-     * make those calls race-free without tearing down the pool —
-     * idle workers merely park on the round barrier. Inline rounds
-     * dispatch identically to parallel ones (the determinism pin),
-     * so flipping this mid-run never changes results. Flip only
-     * between rounds (e.g. while the system is drained).
+     * Force rounds to run inline on the closure thread (fused)
+     * regardless of the worker count. Used by sampling fast-forward
+     * intervals, whose warm memory path makes direct cross-domain
+     * calls: serial rounds make those calls race-free without
+     * tearing down the pool — idle workers merely stay parked on the
+     * rendezvous. Fused rounds dispatch identically to parallel ones
+     * (the determinism pin), so flipping this mid-run never changes
+     * results. Flip only between rounds (e.g. while the system is
+     * drained).
      */
     void setSerialRounds(bool on) { serial_ = on; }
 
@@ -291,28 +536,132 @@ class DomainScheduler
     /** Rounds executed since construction. */
     std::uint64_t rounds() const { return rounds_; }
 
+    /**
+     * Rounds whose runnable set had at most one domain — rounds
+     * with no exploitable parallelism (fused inline when a pool
+     * exists). A pure function of simulated state, so identical for
+     * every --threads value.
+     */
+    std::uint64_t serialRoundCount() const { return serialRounds_; }
+
+    /** Events dispatched per round (deterministic; sampled in the
+     *  closure from the queues' dispatch counters). */
+    const statistics::Distribution &
+    eventsPerRound() const
+    {
+        return eventsPerRound_;
+    }
+
+    /** Host wall-ns domain @p d spent draining + dispatching. */
+    std::uint64_t domainWallNs(DomainId d) const;
+
+    /** Host wall-ns all parties spent waiting at the rendezvous. */
+    std::uint64_t barrierWaitNs() const;
+
     /** Host threads participating (1 = fully inline). */
     std::size_t parties() const { return parties_; }
 
   private:
+    /** What the serial closure tells the pool to do next. */
+    enum class Phase : std::uint8_t
+    {
+        RunRound, ///< execute your stripe of the published plan
+        Done,     ///< run() returns; workers re-arrive and wait
+        Exit      ///< destructor: workers return
+    };
+
+    /** Per-domain round plan. Written only by the serial closure and
+     *  read-only while a round runs, so it needs no cache-line
+     *  padding — concurrent readers of a clean line don't contend. */
+    struct DomainPlan
+    {
+        Tick runTo = 0;
+        bool runnable = false;
+    };
+
+    /** Per-domain host profile, written by whichever thread
+     *  executes the domain (padded: different threads, same round). */
+    struct alignas(64) DomainProf
+    {
+        std::uint64_t wallNs = 0;
+    };
+
+    /** Per-party host profile (padded for the same reason). */
+    struct alignas(64) PartyProf
+    {
+        std::uint64_t barrierNs = 0;
+    };
+
     void startPool();
-    void workerLoop(std::size_t worker);
-    void barrier();
-    void runStripe(std::size_t worker, Tick bound);
+    void workerLoop(std::size_t party);
+    Phase arrive(std::size_t party);
+    void await(std::uint64_t gen, std::size_t party);
+    void closure(std::uint64_t gen);
+    void publish(Phase phase, std::uint64_t gen);
+    void computePlan();
+    void executeDomain(DomainId d);
+    void executeStripe(std::size_t party);
+    void sampleRound();
 
     std::vector<EventQueue *> queues_;
     DomainRouter &router_;
     std::size_t parties_;
     bool stop_ = false;
     bool serial_ = false;
+    bool exit_ = false; ///< read/written only under the rendezvous
     std::uint64_t rounds_ = 0;
+    std::uint64_t serialRounds_ = 0;
+    bool roundOpen_ = false; ///< a round ran since the last sample
+    statistics::Distribution eventsPerRound_;
 
-    // ---- worker pool (created on the first parallel round) ----
+    // ---- closure scratch (serial) ----
+    // Queue-only reductions, cached across rounds. A queue's pending
+    // set only changes when its domain executes (or an external
+    // caller schedules into it), and every change bumps the queue's
+    // mutation counter, so rows whose stamp is unchanged keep their
+    // cached nextEvt_/aMin_/sMin_ values. Per-round recompute cost
+    // then tracks the few domains that actually ran, not N.
+    std::vector<Tick> nextEvt_;   ///< per domain: next live event
+    std::vector<Tick> aMin_;      ///< queue part of A_j (file comment)
+    std::vector<Tick> sMin_;      ///< queue part of S_j[d], j * N + d
+    std::vector<std::uint64_t> lastMut_; ///< mutation stamp per queue
+    std::vector<std::uint8_t> rowAnn_;   ///< sMin_ row has live slots
+    // Message-side scratch, rebuilt every round from the undelivered
+    // read-side messages (cost proportional to traffic). Kept apart
+    // from the cached queue rows so stale message contributions can
+    // never survive a delivery.
+    std::vector<Tick> laneMinIn_; ///< per dst: min incoming when
+    std::vector<Tick> aMsg_;      ///< message part of A (per dst)
+    std::vector<Tick> sMsg_;      ///< message part of S, dst * N + src
+    std::vector<std::uint32_t> sMsgDirty_; ///< sMsg_ slots written
+    std::vector<Tick> pIn_;       ///< P_d fixpoint (file comment)
+    /** Used incoming lanes per destination as (src, la) pairs;
+     *  cached from the router's lane table so the fixpoint sweeps
+     *  E edges, not N² — rebuilt when laneVersion() moves. */
+    std::vector<std::vector<std::pair<std::uint32_t, Tick>>> usedIn_;
+    std::uint64_t usedInVersion_ = ~0ull;
+    /** Domains with work this round (runnable or undelivered
+     *  messages), ascending. Built by computePlan; the execute paths
+     *  iterate it instead of the full domain set, so idle topology
+     *  costs nothing per round. Read-only while a round runs. */
+    std::vector<DomainId> active_;
+    bool quiescent_ = true;      ///< set by computePlan
+    std::size_t nRunnable_ = 0;  ///< set by computePlan
+    /** Per-domain dispatched count at the last sample; lets the
+     *  events-per-round sample read only last round's active
+     *  domains. */
+    std::vector<std::uint64_t> dispSeen_;
+    std::vector<DomainPlan> plan_;
+    std::vector<DomainProf> prof_;
+    std::vector<PartyProf> partyProf_;
+    Phase phase_ = Phase::Done; ///< published before generation_
+
+    // ---- worker pool (created on the first parallel run) ----
     std::vector<std::thread> pool_;
-    Tick bound_ = 0;                ///< written by the coordinator
-    std::atomic<bool> exit_{false};
-    std::atomic<std::uint32_t> arrived_{0};
-    std::atomic<std::uint64_t> generation_{0};
+    alignas(64) std::atomic<std::uint32_t> arrived_{0};
+    alignas(64) std::atomic<std::uint64_t> generation_{0};
+    std::mutex parkMu_;
+    std::condition_variable parkCv_;
 };
 
 } // namespace sim

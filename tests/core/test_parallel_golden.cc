@@ -91,8 +91,8 @@ struct Golden
 const Golden goldenTable[] = {
     {workload::WorkloadKind::Oltp, 11ull, 204233ull, 40ull, 4103ull,
      46ull, 131942ull, 10026904219885934213ull},
-    {workload::WorkloadKind::Oltp, 12ull, 198912ull, 40ull, 4025ull,
-     46ull, 128855ull, 11948877569814390369ull},
+    {workload::WorkloadKind::Oltp, 12ull, 199058ull, 40ull, 4009ull,
+     48ull, 128241ull, 9789354669978000983ull},
     {workload::WorkloadKind::Apache, 11ull, 46065ull, 40ull, 997ull,
      21ull, 31518ull, 13851625815240542648ull},
     {workload::WorkloadKind::Apache, 12ull, 42481ull, 40ull, 1005ull,
@@ -153,7 +153,7 @@ TEST_P(ParallelGoldenMatrix, BitwiseIdenticalAcrossThreadCounts)
 
     // ...and every other worker count must be indistinguishable
     // from it, down to the full stats dump and the trace hash.
-    for (std::size_t threads : {2u, 4u}) {
+    for (std::size_t threads : {2u, 4u, 8u}) {
         const Observation par = observe(g, threads);
         EXPECT_EQ(par.r.runtimeTicks, base.r.runtimeTicks)
             << "threads=" << threads;
@@ -250,7 +250,7 @@ TEST(ParallelGoldenSampled, SampledRunIdenticalAcrossThreadCounts)
     EXPECT_GT(base.sampled.fastTxns, 0u);
     EXPECT_FALSE(base.sampled.fullDetailFallback);
 
-    for (std::size_t threads : {2u, 4u}) {
+    for (std::size_t threads : {2u, 4u, 8u}) {
         const core::RunResult par = runIt(threads);
         EXPECT_EQ(par.runtimeTicks, base.runtimeTicks)
             << "threads=" << threads;
@@ -283,10 +283,10 @@ TEST(ParallelGolden, CheckpointRoundTripAcrossThreadCounts)
         return p;
     };
 
-    // Same simulated prefix, three thread counts: one image.
-    core::Checkpoint cps[3];
+    // Same simulated prefix, four thread counts: one image.
+    core::Checkpoint cps[4];
     int k = 0;
-    for (std::size_t t : {1u, 2u, 4u}) {
+    for (std::size_t t : {1u, 2u, 4u, 8u}) {
         core::Simulation s(sys, wl, par(t));
         s.seedPerturbation(7);
         s.runTransactions(15);
@@ -294,6 +294,7 @@ TEST(ParallelGolden, CheckpointRoundTripAcrossThreadCounts)
     }
     EXPECT_EQ(cps[0].bytes, cps[1].bytes);
     EXPECT_EQ(cps[1].bytes, cps[2].bytes);
+    EXPECT_EQ(cps[2].bytes, cps[3].bytes);
 
     // Continuation == restoration, across an engine-width change.
     core::Simulation cont(sys, wl, par(2));

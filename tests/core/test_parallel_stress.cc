@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Randomized stress for the adaptive-horizon round protocol, and the
+ * ThreadSanitizer workhorse for the engine: random topologies fire
+ * message storms with randomized (but sound-by-construction) reach
+ * annotations, interrupted by stop/resume cycles that flip serial
+ * rounds mid-run. Every configuration must dispatch identically for
+ * every worker count — the same contract test_parallel_golden pins
+ * on the full simulator, exercised here on topologies and traffic
+ * shapes the simulator never generates.
+ *
+ * Soundness by construction: each storm actor carries the
+ * `otherDelay` its event was annotated with and only sends at least
+ * that far past its own tick, so the horizon bounds the scheduler
+ * derives are honored no matter what the RNG draws. Each domain owns
+ * a private RNG consumed only by that domain's events (which execute
+ * in a deterministic order), keeping the whole storm a pure function
+ * of the seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "sim/domains.hh"
+
+namespace varsim
+{
+namespace sim
+{
+namespace
+{
+
+struct StormTopology
+{
+    StormTopology(std::size_t domains, Tick lookahead)
+    {
+        for (std::size_t i = 0; i < domains; ++i)
+            ptrs.push_back(&owned.emplace_back());
+        router.emplace(ptrs, lookahead);
+    }
+
+    std::deque<EventQueue> owned;
+    std::vector<EventQueue *> ptrs;
+    std::optional<DomainRouter> router;
+};
+
+/** Per-domain log entry: (tick, actor id) at dispatch. */
+using Log = std::vector<std::pair<Tick, std::uint32_t>>;
+
+class Storm
+{
+  public:
+    Storm(std::uint64_t seed, std::size_t domains, Tick lookahead,
+          std::size_t workers)
+        : topo_(domains, lookahead),
+          sched_(topo_.ptrs, *topo_.router, workers), logs_(domains),
+          rngs_(domains)
+    {
+        for (std::size_t d = 0; d < domains; ++d)
+            rngs_[d].seed(seed * 1000003ull + d);
+
+        // Seed actors: a few per domain, staggered start ticks,
+        // mixed hop budgets so some chains die early and some run
+        // the whole storm.
+        std::mt19937_64 init(seed);
+        for (std::size_t d = 0; d < domains; ++d) {
+            const int actors = 1 + static_cast<int>(init() % 3);
+            for (int a = 0; a < actors; ++a) {
+                const Tick start = 1 + init() % 40;
+                const int budget = 4 + static_cast<int>(init() % 24);
+                const Tick declared = init() % 16;
+                scheduleActor(static_cast<DomainId>(d), start,
+                              budget, declared);
+            }
+        }
+
+        // Stop events: domain 0 interrupts the run at a few points;
+        // the driver flips serial rounds at each and resumes.
+        const int stops = 2 + static_cast<int>(init() % 3);
+        for (int s = 0; s < stops; ++s) {
+            const Tick when = 20 + init() % 300;
+            DomainScheduler *sc = &sched_;
+            topo_.owned[0].callAt(when, [sc] { sc->requestStop(); });
+        }
+    }
+
+    void
+    drive(bool flipSerial = true)
+    {
+        bool serial = false;
+        for (;;) {
+            sched_.run();
+            if (sched_.idle())
+                return;
+            // Stopped mid-storm: flip the round mode between rounds
+            // (the only legal place) and resume.
+            if (flipSerial) {
+                serial = !serial;
+                sched_.setSerialRounds(serial);
+            }
+            sched_.clearStop();
+        }
+    }
+
+    const std::vector<Log> &logs() const { return logs_; }
+    const DomainScheduler &sched() const { return sched_; }
+
+  private:
+    /**
+     * Schedule one actor event in @p d at @p when, annotated with
+     * @p declared ticks of cross-domain send delay. The actor honors
+     * the declaration when it runs.
+     */
+    void
+    scheduleActor(DomainId d, Tick when, int budget, Tick declared)
+    {
+        Storm *self = this;
+        topo_.owned[d].callAt(
+            when,
+            [self, d, budget, declared] {
+                self->act(d, budget, declared);
+            },
+            Event::defaultPri,
+            SendReach{SendReach::noDomain, 0, declared});
+    }
+
+    void
+    act(DomainId d, int budget, Tick declared)
+    {
+        EventQueue &q = topo_.owned[d];
+        logs_[d].push_back({q.curTick(), nextId_[d]++});
+        if (budget <= 0)
+            return;
+
+        std::mt19937_64 &rng = rngs_[d];
+        const std::size_t n = topo_.owned.size();
+
+        // 0-2 cross-domain messages, never sooner than the reach
+        // this event declared when it was scheduled.
+        const int sends = static_cast<int>(rng() % 3);
+        for (int s = 0; s < sends; ++s) {
+            DomainId dst = static_cast<DomainId>(rng() % n);
+            if (dst == d)
+                dst = static_cast<DomainId>((d + 1) % n);
+            const Tick la = topo_.router->laneLookahead(d, dst);
+            const Tick childDeclared = rng() % 16;
+            const Tick when =
+                q.curTick() + declared + la + rng() % 25;
+            Storm *self = this;
+            const int childBudget = budget - 1;
+            topo_.router->send(
+                d, dst, when, Event::defaultPri,
+                SendReach{SendReach::noDomain, 0, childDeclared},
+                [self, dst, childBudget, childDeclared] {
+                    self->act(dst, childBudget, childDeclared);
+                });
+        }
+
+        // Maybe a local follow-up, re-drawing the declared reach.
+        if (rng() % 2 == 0) {
+            scheduleActor(d, q.curTick() + 1 + rng() % 12,
+                          budget - 1, rng() % 16);
+        }
+    }
+
+    StormTopology topo_;
+    DomainScheduler sched_;
+    std::vector<Log> logs_;
+    std::vector<std::mt19937_64> rngs_;
+    /** One id counter per domain (sized after logs_ initializes). */
+    std::vector<std::uint32_t> nextId_ =
+        std::vector<std::uint32_t>(logs_.size());
+};
+
+TEST(ParallelStress, RandomStormsIdenticalAcrossWorkerCounts)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const std::size_t domains = 2 + seed % 7;
+        const Tick lookahead = 3 + seed % 9;
+
+        std::vector<Log> reference;
+        std::uint64_t refRounds = 0;
+        for (std::size_t workers : {1u, 2u, 4u}) {
+            Storm storm(seed, domains, lookahead, workers);
+            storm.drive();
+            std::size_t hops = 0;
+            for (const Log &log : storm.logs())
+                hops += log.size();
+            EXPECT_GT(hops, 0u) << "seed=" << seed;
+            if (reference.empty()) {
+                reference = storm.logs();
+                refRounds = storm.sched().rounds();
+            } else {
+                EXPECT_EQ(storm.logs(), reference)
+                    << "seed=" << seed << " workers=" << workers;
+                // Round structure is simulated state, not host
+                // state: it must not see the worker count either.
+                EXPECT_EQ(storm.sched().rounds(), refRounds)
+                    << "seed=" << seed << " workers=" << workers;
+            }
+        }
+    }
+}
+
+TEST(ParallelStress, SerialFlipsPreserveDispatch)
+{
+    // The same storm driven with and without mid-run serial-round
+    // flips must dispatch identically: fusion changes who executes a
+    // round, never what the round does.
+    auto runFlipped = [](bool flips) {
+        Storm storm(9, /*domains=*/5, /*lookahead=*/6,
+                    /*workers=*/2);
+        storm.drive(flips);
+        return storm.logs();
+    };
+    EXPECT_EQ(runFlipped(true), runFlipped(false));
+}
+
+} // anonymous namespace
+} // namespace sim
+} // namespace varsim

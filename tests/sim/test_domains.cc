@@ -10,6 +10,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <utility>
@@ -272,6 +273,158 @@ TEST(DomainScheduler, SingleDomainDegenerateCase)
         EXPECT_TRUE(sched.idle());
         EXPECT_EQ(ticks, (std::vector<Tick>{5, 5, 12, 20}));
     }
+}
+
+TEST(DomainRouter, PerLaneLookaheadOverridesDefault)
+{
+    Topology t(3, /*lookahead=*/10);
+    EXPECT_EQ(t.router->laneLookahead(1, 0), 10u);
+    t.router->setLaneLookahead(1, 0, 25);
+    EXPECT_EQ(t.router->laneLookahead(1, 0), 25u);
+    EXPECT_EQ(t.router->laneLookahead(0, 1), 10u);
+    t.router->markLaneUnused(1, 2);
+    EXPECT_EQ(t.router->laneLookahead(1, 2),
+              DomainRouter::laneUnused);
+
+    // A message at the widened lane's minimum still delivers.
+    int hits = 0;
+    int *p = &hits;
+    t.router->send(1, 0, t.owned[1].curTick() + 25,
+                   Event::defaultPri, [p] { ++*p; });
+    t.router->drainAll();
+    t.owned[0].run();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(DomainScheduler, UnusedLaneImposesNoHorizon)
+{
+    // Domain 0 runs a 60-event self-chain; domain 1 never sends.
+    // With the (1, 0) lane declared unused nothing bounds domain 0,
+    // so the whole chain dispatches in one round; with the lane live
+    // the conservative horizon forces one round per lookahead
+    // quantum.
+    auto roundsFor = [](bool unused) {
+        Topology t(2, /*lookahead=*/5);
+        if (unused)
+            t.router->markLaneUnused(1, 0);
+        DomainScheduler sched(t.ptrs, *t.router, 1);
+        int hops = 0;
+        std::function<void()> chain = [&] {
+            if (++hops < 60)
+                t.owned[0].callAt(t.owned[0].curTick() + 1, chain);
+        };
+        t.owned[0].callAt(1, chain);
+        sched.run();
+        EXPECT_EQ(hops, 60);
+        return sched.rounds();
+    };
+    EXPECT_EQ(roundsFor(true), 1u);
+    EXPECT_GT(roundsFor(false), 4u);
+}
+
+TEST(DomainScheduler, ReachAnnotationWidensHorizon)
+{
+    // Domain 1 runs a long self-chain. Unannotated, each chain event
+    // could message domain 0 at once, and domain 0's immediate reply
+    // reflects a two-lookahead bound back onto domain 1 — one round
+    // per quantum. Annotating the chain's events ("no cross-domain
+    // send before +100") pushes that whole reflection out by the
+    // declared delay, so the chain collapses into a couple of
+    // rounds. Same dispatch either way; only the round count moves.
+    auto roundsFor = [](Tick otherDelay) {
+        Topology t(2, /*lookahead=*/5);
+        DomainScheduler sched(t.ptrs, *t.router, 1);
+        int hops = 0;
+        std::function<void()> chain = [&] {
+            if (++hops < 100)
+                t.owned[1].callAt(
+                    t.owned[1].curTick() + 1, chain,
+                    Event::defaultPri,
+                    SendReach{SendReach::noDomain, 0, otherDelay});
+        };
+        t.owned[1].callAt(1, chain, Event::defaultPri,
+                          SendReach{SendReach::noDomain, 0,
+                                    otherDelay});
+        sched.run();
+        EXPECT_EQ(hops, 100);
+        return sched.rounds();
+    };
+    EXPECT_LT(roundsFor(100), 5u);
+    EXPECT_GT(roundsFor(0), 8u);
+}
+
+TEST(DomainScheduler, EchoChainStaysConservative)
+{
+    // Regression: an annotated item of domain 0 wakes domain 1, and
+    // domain 1's *reply* re-enters domain 0 then echoes on into
+    // domain 2 after only a few lookaheads — far inside the direct
+    // reach claim. The horizon fixpoint must bound domain 2 by the
+    // reflected chain, not the one-hop annotation, or the echo lands
+    // in domain 2's past (eventq asserts scheduled-in-the-past).
+    constexpr Tick la = 5;
+    Topology t(3, la);
+    t.router->markLaneUnused(1, 2);
+    t.router->markLaneUnused(2, 1);
+    DomainScheduler sched(t.ptrs, *t.router, 1);
+
+    std::vector<Tick> echoLog;
+    auto *log = &echoLog;
+    auto *r = &*t.router;
+    auto *q0 = &t.owned[0];
+    auto *q1 = &t.owned[1];
+    auto *q2 = &t.owned[2];
+    // Item of domain 0: immediate toward domain 1, distant (+1000)
+    // toward anyone else.
+    q0->callAt(
+        10,
+        [=] {
+            r->send(0, 1, q0->curTick() + la, Event::defaultPri,
+                    [=] {
+                        r->send(1, 0, q1->curTick() + la,
+                                Event::defaultPri, [=] {
+                                    r->send(0, 2,
+                                            q0->curTick() + la,
+                                            Event::defaultPri,
+                                            [=] {
+                                                log->push_back(
+                                                    q2->curTick());
+                                            });
+                                });
+                    });
+        },
+        Event::defaultPri, SendReach{1, 0, 1000});
+
+    // Busy chain in domain 2 that would race past the echo under the
+    // unsound one-hop bound.
+    int hops = 0;
+    std::function<void()> chain = [&] {
+        if (++hops < 300)
+            q2->callAt(q2->curTick() + 1, chain);
+    };
+    q2->callAt(1, chain);
+
+    sched.run();
+    EXPECT_TRUE(sched.idle());
+    ASSERT_EQ(echoLog.size(), 1u);
+    EXPECT_EQ(echoLog[0], 10 + 3 * la);
+}
+
+TEST(DomainScheduler, RoundCountersAreObservable)
+{
+    Cascade c(3, /*workers=*/2);
+    c.seed(0, 2, 9);
+    c.sched.run();
+    EXPECT_TRUE(c.sched.idle());
+    EXPECT_EQ(c.sched.parties(), 2u);
+    EXPECT_GT(c.sched.rounds(), 0u);
+    // A one-message-at-a-time cascade never has two runnable
+    // domains, so every round is serial.
+    EXPECT_EQ(c.sched.serialRoundCount(), c.sched.rounds());
+    EXPECT_EQ(c.sched.eventsPerRound().count(), c.sched.rounds());
+    std::uint64_t wall = 0;
+    for (DomainId d = 0; d < 3; ++d)
+        wall += c.sched.domainWallNs(d);
+    EXPECT_GT(wall, 0u);
 }
 
 TEST(DomainScheduler, StopRequestHaltsAtRoundBoundaryAndResumes)

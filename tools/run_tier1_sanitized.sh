@@ -119,9 +119,11 @@ echo "tier-1 suite clean under address,undefined sanitizers;" \
 # ---- ThreadSanitizer flavor: the domained engine's data-race gate ----
 # TSan is incompatible with ASan, so it gets its own tree. Only the
 # suites that exercise the barrier/mailbox machinery with real worker
-# threads are run: the DomainScheduler/DomainRouter/InlineFn units and
-# the ParallelGolden end-to-end matrix (threads 1, 2 and 4, including
-# the ParallelGoldenSampled sampling-under-parallelism pin). The
+# threads are run: the DomainScheduler/DomainRouter/InlineFn units,
+# the randomized ParallelStress storms (random topologies, message
+# storms, mid-run serial-round flips), and the ParallelGolden
+# end-to-end matrix (threads 1, 2, 4 and 8, including the
+# ParallelGoldenSampled sampling-under-parallelism pin). The
 # engine's claim is that workers synchronize exclusively through the
 # round barrier — TSan proves the absence of any side channel.
 cmake -S "$repo" -B "$tsan_build" \
@@ -142,7 +144,7 @@ done
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 ctest --test-dir "$tsan_build" --output-on-failure -j "$jobs" \
-    -R 'InlineFn|DomainRouter|DomainScheduler|ParallelGolden'
+    -R 'InlineFn|DomainRouter|DomainScheduler|ParallelGolden|ParallelStress'
 
 echo "domained engine clean under thread sanitizer"
 
